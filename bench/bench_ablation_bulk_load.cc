@@ -1,0 +1,55 @@
+// Ablation: STR bulk loading vs incremental insertion (library extension).
+//
+// The paper builds its trees by repeated Insert. The library also ships a
+// Sort-Tile-Recursive bulk loader; this bench measures what it buys:
+// build time, index size (packing density), and query cost (clustering
+// quality) for the IR2-Tree on the Restaurants dataset.
+
+#include "bench/bench_util.h"
+
+int main() {
+  double scale = ir2::DatasetScale(ir2::bench::kDefaultScale);
+  ir2::SyntheticConfig config = ir2::RestaurantsLikeConfig(scale);
+  std::vector<ir2::StoredObject> objects = ir2::GenerateDataset(config);
+
+  ir2::Tokenizer tokenizer;
+  ir2::WorkloadConfig workload_config;
+  workload_config.seed = 888;
+  workload_config.num_queries = 20;
+  workload_config.num_keywords = 2;
+  workload_config.k = 10;
+  std::vector<ir2::DistanceFirstQuery> queries =
+      ir2::GenerateWorkload(objects, tokenizer, workload_config);
+
+  std::printf("\nAblation: STR bulk load vs incremental insert "
+              "(Restaurants, IR2-Tree, %zu objects)\n",
+              objects.size());
+  std::printf("  %-12s %10s %10s %10s %10s %12s %9s\n", "build", "secs",
+              "size(MB)", "height", "ms/query", "random", "objects");
+
+  for (bool bulk : {false, true}) {
+    ir2::DatabaseOptions options =
+        ir2::bench::DefaultOptions(ir2::bench::kRestaurantsSignatureBytes);
+    options.build_rtree = false;
+    options.build_mir2 = false;
+    options.build_iio = false;
+    options.bulk_load = bulk;
+    options.bulk_fill_fraction = 0.9;
+
+    ir2::Stopwatch watch;
+    auto db = ir2::SpatialKeywordDatabase::Build(objects, options).value();
+    double build_seconds = watch.ElapsedSeconds();
+
+    ir2::bench::AlgoResult result =
+        ir2::bench::RunWorkload(*db, ir2::bench::Algo::kIr2, queries);
+    std::printf("  %-12s %10.2f %10.1f %10u %10.3f %12.1f %9.1f\n",
+                bulk ? "STR bulk" : "incremental", build_seconds,
+                db->Ir2TreeBytes() / (1024.0 * 1024.0),
+                db->ir2_tree()->height() + 1, result.ms,
+                result.random_reads, result.object_accesses);
+  }
+  std::printf("\nShape check: STR packs leaves at ~90%% fill (smaller "
+              "index, faster build)\nand clusters spatially, reducing the "
+              "nodes a query touches.\n");
+  return 0;
+}

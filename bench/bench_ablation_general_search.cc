@@ -1,0 +1,70 @@
+// Ablation: general ranking-function search (Section V-C) vs the
+// distance-first algorithm.
+//
+// The general IR2 algorithm relaxes the conjunctive filter (an object with
+// some keywords can rank) and orders the queue by the upper bound
+// f(MinDist, UpperIR). This bench shows what that generality costs as the
+// ranking function shifts from proximity-dominated to relevance-dominated,
+// against the distance-first algorithm on the same keyword sets.
+
+#include "bench/bench_util.h"
+
+int main() {
+  ir2::bench::BenchDataset restaurants = ir2::bench::BuildRestaurants();
+  ir2::SpatialKeywordDatabase& db = *restaurants.db;
+
+  ir2::WorkloadConfig workload_config;
+  workload_config.seed = 777;
+  workload_config.num_queries = 20;
+  workload_config.num_keywords = 2;
+  workload_config.k = 10;
+  std::vector<ir2::DistanceFirstQuery> queries = ir2::GenerateWorkload(
+      restaurants.objects, db.tokenizer(), workload_config);
+
+  // Distance-first reference.
+  ir2::bench::AlgoResult distance_first =
+      ir2::bench::RunWorkload(db, ir2::bench::Algo::kIr2, queries);
+
+  struct Weighting {
+    const char* name;
+    double ir_weight;
+    double distance_weight;
+  };
+  const Weighting weightings[] = {
+      {"proximity (w_ir=1, w_d=10)", 1.0, 10.0},
+      {"balanced  (w_ir=10, w_d=1)", 10.0, 1.0},
+      {"relevance (w_ir=100, w_d=0.1)", 100.0, 0.1},
+  };
+
+  std::printf("\nAblation: general vs distance-first top-k "
+              "(Restaurants, k=10, 2 keywords)\n");
+  std::printf("  %-32s %10s %10s %12s %9s\n", "ranking", "ms/query",
+              "random", "sequential", "objects");
+  std::printf("  %-32s %10.3f %10.1f %12.1f %9.1f\n",
+              "distance-first (AND filter)", distance_first.ms,
+              distance_first.random_reads, distance_first.sequential_reads,
+              distance_first.object_accesses);
+
+  for (const Weighting& weighting : weightings) {
+    ir2::QueryStats total;
+    for (const ir2::DistanceFirstQuery& base : queries) {
+      ir2::GeneralQuery query;
+      query.point = base.point;
+      query.keywords = base.keywords;
+      query.k = base.k;
+      query.ir_weight = weighting.ir_weight;
+      query.distance_weight = weighting.distance_weight;
+      IR2_CHECK(db.QueryGeneral(query, &total).ok());
+    }
+    double n = queries.size();
+    std::printf("  %-32s %10.3f %10.1f %12.1f %9.1f\n", weighting.name,
+                total.seconds * 1000.0 / n, total.io.random_reads / n,
+                total.io.sequential_reads / n, total.objects_loaded / n);
+  }
+  std::printf(
+      "\nShape check: OR semantics must inspect every object whose "
+      "signature\nmatches any keyword, so the general search reads more "
+      "than the\nconjunctive distance-first cursor; stronger distance "
+      "weighting\ntightens the upper bounds and prunes earlier.\n");
+  return 0;
+}

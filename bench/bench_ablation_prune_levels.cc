@@ -1,0 +1,71 @@
+// Ablation: where the pruning happens (per tree level).
+//
+// Section IV's case for the MIR2-Tree: uniform-width signatures saturate
+// toward the root ("more 1's, since they are superimpositions of the lower
+// levels"), so the IR2-Tree prunes mostly at the leaves, after descending.
+// Per-level optimal widths let the MIR2-Tree prune whole subtrees at the
+// inner levels instead. This bench prints signature density and pruned
+// entries per level for both trees.
+
+#include "bench/bench_util.h"
+#include "rtree/tree_stats.h"
+
+int main() {
+  ir2::bench::BenchDataset restaurants = ir2::bench::BuildRestaurants();
+  ir2::SpatialKeywordDatabase& db = *restaurants.db;
+
+  ir2::WorkloadConfig workload_config;
+  workload_config.seed = 7000;
+  workload_config.num_queries = 20;
+  workload_config.num_keywords = 2;
+  workload_config.k = 10;
+  std::vector<ir2::DistanceFirstQuery> queries = ir2::GenerateWorkload(
+      restaurants.objects, db.tokenizer(), workload_config);
+
+  struct TreeCase {
+    const char* name;
+    ir2::Ir2Tree* tree;
+    ir2::bench::Algo algo;
+  };
+  const TreeCase cases[] = {
+      {"IR2-Tree", db.ir2_tree(), ir2::bench::Algo::kIr2},
+      {"MIR2-Tree", db.mir2_tree(), ir2::bench::Algo::kMir2},
+  };
+
+  std::printf("\nAblation: signature density and pruning per level "
+              "(Restaurants, k=10, 2 keywords)\n");
+  for (const TreeCase& tree_case : cases) {
+    ir2::TreeStatsReport structure =
+        ir2::ComputeTreeStats(*tree_case.tree).value();
+
+    ir2::QueryStats stats;
+    for (const ir2::DistanceFirstQuery& query : queries) {
+      auto results = tree_case.algo == ir2::bench::Algo::kIr2
+                         ? db.QueryIr2(query, &stats)
+                         : db.QueryMir2(query, &stats);
+      IR2_CHECK(results.ok()) << results.status().ToString();
+    }
+
+    std::printf("\n%s (height %u):\n", tree_case.name,
+                tree_case.tree->height());
+    std::printf("  %-6s %12s %14s %18s\n", "level", "sig bits",
+                "sig density", "pruned/query");
+    for (size_t level = structure.levels.size(); level-- > 0;) {
+      double pruned =
+          level < stats.entries_pruned_per_level.size()
+              ? static_cast<double>(stats.entries_pruned_per_level[level]) /
+                    queries.size()
+              : 0.0;
+      std::printf("  %-6zu %12u %14.3f %18.1f\n", level,
+                  tree_case.tree->LevelConfig(
+                      static_cast<uint32_t>(level)).bits,
+                  structure.levels[level].PayloadDensity(), pruned);
+    }
+  }
+  std::printf(
+      "\nShape check: the IR2-Tree's inner levels saturate (density -> 1, "
+      "nothing\npruned there); the MIR2-Tree's wider upper signatures stay "
+      "near 0.5 and\nprune whole subtrees before the search ever reaches "
+      "the leaves.\n");
+  return 0;
+}

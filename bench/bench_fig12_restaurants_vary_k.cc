@@ -1,0 +1,31 @@
+// Figure 12: varying k (top-k) on the Restaurants dataset. 2 query
+// keywords, 8-byte signatures.
+//
+// Paper shape: as Figure 9 — IR2/MIR2 fastest, R-Tree degrades with k,
+// IIO constant in k. The terse Restaurant descriptions make conjunctions
+// rare, so the R-Tree baseline wades through many non-matching objects.
+
+#include "bench/bench_util.h"
+
+int main() {
+  ir2::bench::BenchDataset restaurants = ir2::bench::BuildRestaurants();
+
+  ir2::WorkloadConfig workload_config;
+  workload_config.seed = 1212;
+  workload_config.num_queries = 20;
+  workload_config.num_keywords = 2;
+  std::vector<ir2::DistanceFirstQuery> base = ir2::GenerateWorkload(
+      restaurants.objects, restaurants.db->tokenizer(), workload_config);
+
+  ir2::bench::RunAlgorithmSweep(
+      *restaurants.db,
+      "Figure 12 (Restaurants, 2 keywords, 8-byte signatures) ", "k",
+      {1, 5, 10, 20, 50}, [&](uint32_t k) {
+        std::vector<ir2::DistanceFirstQuery> queries = base;
+        for (ir2::DistanceFirstQuery& query : queries) {
+          query.k = k;
+        }
+        return queries;
+      });
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 13: varying the number of query keywords on the Restaurants
+// dataset. k = 10, 8-byte signatures.
+//
+// Paper shape: as Figure 10, amplified — restaurant descriptions have only
+// ~14 words, so multi-keyword conjunctions are very selective: IIO's
+// intersections shrink toward a handful of objects while the R-Tree
+// baseline approaches a full scan.
+
+#include "bench/bench_util.h"
+
+int main() {
+  ir2::bench::BenchDataset restaurants = ir2::bench::BuildRestaurants();
+
+  ir2::bench::RunAlgorithmSweep(
+      *restaurants.db, "Figure 13 (Restaurants, k=10, 8-byte signatures) ",
+      "#keywords", {1, 2, 3, 4, 5}, [&](uint32_t num_keywords) {
+        ir2::WorkloadConfig config;
+        config.seed = 1313;
+        config.num_queries = 20;
+        config.num_keywords = num_keywords;
+        config.k = 10;
+        return ir2::GenerateWorkload(restaurants.objects,
+                                     restaurants.db->tokenizer(), config);
+      });
+  return 0;
+}

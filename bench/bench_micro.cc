@@ -1,0 +1,164 @@
+// Micro-benchmarks (google-benchmark) of the primitive operations every
+// query composes: signature construction / superimposition / containment,
+// tokenization, posting-list decoding, R-Tree insert and incremental NN
+// steps, and the block device + buffer pool.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/ir2_tree.h"
+#include "datagen/zipf.h"
+#include "rtree/incremental_nn.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "text/inverted_index.h"
+#include "text/signature.h"
+#include "text/tokenizer.h"
+
+namespace ir2 {
+namespace {
+
+void BM_SignatureBuild(benchmark::State& state) {
+  const uint32_t bits = static_cast<uint32_t>(state.range(0));
+  const uint32_t words = static_cast<uint32_t>(state.range(1));
+  Rng rng(1);
+  std::vector<uint64_t> hashes(words);
+  for (uint64_t& hash : hashes) hash = rng.NextUint64();
+  SignatureConfig config{bits, 3};
+  for (auto _ : state) {
+    Signature sig = MakeSignatureFromHashes(hashes, config);
+    benchmark::DoNotOptimize(sig);
+  }
+  state.SetItemsProcessed(state.iterations() * words);
+}
+BENCHMARK(BM_SignatureBuild)->Args({64, 14})->Args({1512, 349});
+
+void BM_SignatureContainment(benchmark::State& state) {
+  const uint32_t bits = static_cast<uint32_t>(state.range(0));
+  Rng rng(2);
+  SignatureConfig config{bits, 3};
+  std::vector<uint64_t> doc_words(40), query_words(2);
+  for (uint64_t& w : doc_words) w = rng.NextUint64();
+  for (uint64_t& w : query_words) w = rng.NextUint64();
+  Signature doc = MakeSignatureFromHashes(doc_words, config);
+  Signature query = MakeSignatureFromHashes(query_words, config);
+  std::vector<uint8_t> payload(doc.bytes().begin(), doc.bytes().end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PayloadContainsSignature(payload, query));
+  }
+}
+BENCHMARK(BM_SignatureContainment)->Arg(64)->Arg(512)->Arg(1512);
+
+void BM_SignatureSuperimpose(benchmark::State& state) {
+  const uint32_t bits = static_cast<uint32_t>(state.range(0));
+  Signature a(bits), b(bits);
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    b.SetBit(static_cast<uint32_t>(rng.NextUint64(bits)));
+  }
+  for (auto _ : state) {
+    a.Superimpose(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_SignatureSuperimpose)->Arg(64)->Arg(1512)->Arg(16384);
+
+void BM_Tokenize(benchmark::State& state) {
+  Tokenizer tokenizer;
+  std::string text;
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    text += "word" + std::to_string(rng.NextUint64(1000)) + " ";
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Tokenize(text));
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(static_cast<uint64_t>(state.range(0)), 1.0);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(73855);
+
+void BM_PostingListDecode(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  MemoryBlockDevice device;
+  InvertedIndexBuilder builder(&device);
+  std::vector<std::string> word = {"term"};
+  for (uint32_t i = 0; i < n; ++i) {
+    builder.AddObject(i * 37, word, 1);
+  }
+  IR2_CHECK_OK(builder.Finish());
+  auto index = InvertedIndex::Open(&device).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->RetrieveList("term").value());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PostingListDecode)->Arg(1000)->Arg(100000);
+
+void BM_RTreeInsert(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    state.PauseTiming();
+    MemoryBlockDevice device;
+    BufferPool pool(&device, 1 << 14);
+    RTree tree(&pool, RTreeOptions{});
+    IR2_CHECK_OK(tree.Init());
+    state.ResumeTiming();
+    for (uint32_t i = 0; i < 2000; ++i) {
+      IR2_CHECK_OK(tree.Insert(
+          i, Rect::ForPoint(
+                 Point(rng.NextDouble(0, 1000), rng.NextDouble(0, 1000)))));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_RTreeInsert);
+
+void BM_IncrementalNN(benchmark::State& state) {
+  MemoryBlockDevice device;
+  BufferPool pool(&device, 1 << 14);
+  RTree tree(&pool, RTreeOptions{});
+  IR2_CHECK_OK(tree.Init());
+  Rng rng(7);
+  for (uint32_t i = 0; i < 20000; ++i) {
+    IR2_CHECK_OK(tree.Insert(
+        i, Rect::ForPoint(
+               Point(rng.NextDouble(0, 1000), rng.NextDouble(0, 1000)))));
+  }
+  for (auto _ : state) {
+    IncrementalNNCursor cursor(&tree, Point(500, 500));
+    for (int i = 0; i < 10; ++i) {
+      benchmark::DoNotOptimize(cursor.Next().value());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_IncrementalNN);
+
+void BM_BufferPoolRead(benchmark::State& state) {
+  MemoryBlockDevice device;
+  (void)device.Allocate(256).value();
+  BufferPool pool(&device, 128);
+  std::vector<uint8_t> buffer(device.block_size());
+  Rng rng(8);
+  for (auto _ : state) {
+    IR2_CHECK_OK(pool.Read(rng.NextUint64(256), buffer));
+  }
+  state.SetBytesProcessed(state.iterations() * device.block_size());
+}
+BENCHMARK(BM_BufferPoolRead);
+
+}  // namespace
+}  // namespace ir2
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Related-work comparison: the separate-indexes hybrid ([VJJS05]/[ZXW+05]
+// style; per-keyword R-Trees + posting lists) vs the paper's combined
+// IR2-/MIR2-Tree, across query keyword counts.
+//
+// The paper's Related Work argues such hybrids "do not scale well for
+// multiple keywords" because no single keyword's index captures the
+// conjunction: the rarest keyword's tree still enumerates its objects
+// near the query point and most fail the other keywords. The IR2-Tree's
+// per-node conjunctive signature test prunes those subtrees outright.
+
+#include "bench/bench_util.h"
+#include "core/hybrid_index.h"
+
+int main() {
+  double scale = ir2::DatasetScale(ir2::bench::kDefaultScale);
+  ir2::SyntheticConfig config = ir2::RestaurantsLikeConfig(scale);
+  std::vector<ir2::StoredObject> objects = ir2::GenerateDataset(config);
+
+  // The facade for IR2/MIR2 + an object store shared with the hybrid.
+  ir2::DatabaseOptions db_options =
+      ir2::bench::DefaultOptions(ir2::bench::kRestaurantsSignatureBytes);
+  db_options.build_rtree = false;
+  auto db = ir2::SpatialKeywordDatabase::Build(objects, db_options).value();
+  std::fprintf(stderr, "[hybrid] IR2/MIR2 built\n");
+
+  // The hybrid index over the same corpus.
+  ir2::MemoryBlockDevice tree_device, postings_device, object_device;
+  ir2::ObjectStoreWriter writer(&object_device);
+  std::vector<ir2::ObjectRef> refs;
+  for (const ir2::StoredObject& object : objects) {
+    refs.push_back(writer.Append(object).value());
+  }
+  IR2_CHECK_OK(writer.Finish());
+  ir2::ObjectStore store(&object_device, writer.bytes_written());
+  ir2::HybridKeywordIndex::Options hybrid_options;
+  hybrid_options.tree_threshold = 64;
+  ir2::HybridKeywordIndex::Builder builder(&tree_device, &postings_device,
+                                           hybrid_options);
+  ir2::Tokenizer tokenizer;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    std::vector<std::string> words =
+        tokenizer.DistinctTokens(objects[i].text);
+    ir2::TermCounts counts = ir2::CountTerms(tokenizer, objects[i].text);
+    builder.AddObject(refs[i], ir2::Point(objects[i].coords), words,
+                      counts.total_tokens);
+  }
+  auto hybrid = builder.Finish().value();
+  std::fprintf(stderr, "[hybrid] %llu per-term trees built\n",
+               static_cast<unsigned long long>(hybrid->num_term_trees()));
+
+  std::printf("\nRelated-work comparison: hybrid per-keyword trees vs "
+              "combined (M)IR2-Tree\n(Restaurants, k=10; hybrid tree "
+              "threshold df>=%u; sizes: hybrid %.1f MB, IR2 %.1f MB, "
+              "MIR2 %.1f MB)\n",
+              hybrid_options.tree_threshold,
+              hybrid->SizeBytes() / 1048576.0,
+              db->Ir2TreeBytes() / 1048576.0,
+              db->Mir2TreeBytes() / 1048576.0);
+
+  const auto run_table = [&](ir2::WorkloadConfig::KeywordSource source,
+                             const char* label) {
+    std::printf("\n%s\n", label);
+    std::printf("  %-10s | %10s %10s | %10s %10s | %10s %10s\n",
+                "#keywords", "hyb ms", "hyb objs", "ir2 ms", "ir2 objs",
+                "mir2 ms", "mir2 objs");
+    for (uint32_t num_keywords = 1; num_keywords <= 5; ++num_keywords) {
+      ir2::WorkloadConfig workload_config;
+      workload_config.seed = 2000 + num_keywords;
+      workload_config.num_queries = 20;
+      workload_config.num_keywords = num_keywords;
+      workload_config.k = 10;
+      workload_config.source = source;
+      std::vector<ir2::DistanceFirstQuery> queries =
+          ir2::GenerateWorkload(objects, tokenizer, workload_config);
+
+      ir2::QueryStats hybrid_stats;
+      for (const ir2::DistanceFirstQuery& query : queries) {
+        IR2_CHECK_OK(hybrid->DropCaches());
+        ir2::Stopwatch watch;
+        auto results = hybrid->TopK(store, tokenizer, query, &hybrid_stats);
+        IR2_CHECK(results.ok()) << results.status().ToString();
+        hybrid_stats.seconds += watch.ElapsedSeconds();
+      }
+      ir2::bench::AlgoResult ir2_result =
+          ir2::bench::RunWorkload(*db, ir2::bench::Algo::kIr2, queries);
+      ir2::bench::AlgoResult mir2_result =
+          ir2::bench::RunWorkload(*db, ir2::bench::Algo::kMir2, queries);
+
+      double n = queries.size();
+      std::printf("  %-10u | %10.2f %10.1f | %10.2f %10.1f | %10.2f "
+                  "%10.1f\n",
+                  num_keywords, hybrid_stats.seconds * 1000.0 / n,
+                  hybrid_stats.objects_loaded / n, ir2_result.ms,
+                  ir2_result.object_accesses, mir2_result.ms,
+                  mir2_result.object_accesses);
+    }
+  };
+
+  run_table(ir2::WorkloadConfig::KeywordSource::kFromObject,
+            "(a) co-occurring keywords (drawn from one object: some rare "
+            "keyword usually anchors the query)");
+  run_table(ir2::WorkloadConfig::KeywordSource::kIndependent,
+            "(b) independent frequency-weighted keywords (all keywords "
+            "tend to be frequent - the paper's multi-keyword critique)");
+
+  std::printf(
+      "\nShape check: with a rare anchor keyword the hybrid is strong (its "
+      "driver\ntree IS almost the answer) but pays ~6x the space. With "
+      "independent\nfrequent keywords the driver term enumerates objects "
+      "that fail the other\nkeywords, while (M)IR2 prunes the conjunction "
+      "inside one structure.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Scalability supplement: the abstract claims "superior performance and
+// excellent scalability" — this bench grows the Restaurants-like dataset
+// and tracks per-query cost of each algorithm (k=10, 2 keywords).
+//
+// Expected shape: the R-Tree baseline's cost grows roughly linearly with
+// the dataset (it wades through non-matching objects); IR2/MIR2 grow
+// sub-linearly (signature pruning keeps the visited set near the true
+// result neighborhood); IIO grows with the posting-list lengths.
+
+#include "bench/bench_util.h"
+
+int main() {
+  const std::vector<double> scales = {0.01, 0.02, 0.04, 0.08};
+  std::vector<std::string> x_names;
+  std::vector<std::vector<double>> times(4), objects_accessed(4);
+
+  for (double scale : scales) {
+    ir2::SyntheticConfig config = ir2::RestaurantsLikeConfig(scale);
+    std::vector<ir2::StoredObject> objects = ir2::GenerateDataset(config);
+    x_names.push_back(std::to_string(objects.size()));
+
+    ir2::DatabaseOptions options =
+        ir2::bench::DefaultOptions(ir2::bench::kRestaurantsSignatureBytes);
+    auto db = ir2::SpatialKeywordDatabase::Build(objects, options).value();
+    std::fprintf(stderr, "[scale %.2f] %zu objects built\n", scale,
+                 objects.size());
+
+    ir2::WorkloadConfig workload_config;
+    workload_config.seed = 3000;
+    workload_config.num_queries = 15;
+    workload_config.num_keywords = 2;
+    workload_config.k = 10;
+    std::vector<ir2::DistanceFirstQuery> queries = ir2::GenerateWorkload(
+        objects, db->tokenizer(), workload_config);
+
+    const ir2::bench::Algo algos[] = {
+        ir2::bench::Algo::kIio, ir2::bench::Algo::kRTree,
+        ir2::bench::Algo::kIr2, ir2::bench::Algo::kMir2};
+    for (size_t a = 0; a < 4; ++a) {
+      ir2::bench::AlgoResult result =
+          ir2::bench::RunWorkload(*db, algos[a], queries);
+      times[a].push_back(result.ms);
+      objects_accessed[a].push_back(result.object_accesses);
+    }
+  }
+
+  const char* names[] = {"IIO", "R-Tree", "IR2", "MIR2"};
+  ir2::bench::FigurePrinter time_figure(
+      "Scalability: execution time (ms/query) vs dataset size", "#objects",
+      x_names);
+  ir2::bench::FigurePrinter object_figure(
+      "Scalability: object accesses per query vs dataset size", "#objects",
+      x_names);
+  for (size_t a = 0; a < 4; ++a) {
+    time_figure.AddRow(names[a], times[a]);
+    object_figure.AddRow(names[a], objects_accessed[a], "%12.1f");
+  }
+  time_figure.Print();
+  object_figure.Print();
+  return 0;
+}

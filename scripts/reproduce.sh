@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full reproduction: build, run every test, regenerate every table/figure.
+#
+#   scripts/reproduce.sh            # laptop scale (IR2_SCALE=0.08)
+#   IR2_SCALE=1 scripts/reproduce.sh  # the paper's full dataset sizes
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+for b in build/bench/bench_*; do
+  echo "=== $b ==="
+  "$b"
+done 2>&1 | tee bench_output.txt

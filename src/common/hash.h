@@ -1,0 +1,25 @@
+#ifndef IR2TREE_COMMON_HASH_H_
+#define IR2TREE_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ir2 {
+
+// 64-bit FNV-1a over a byte string. Stable across platforms; used to hash
+// terms into signature bit positions, so its value is part of the on-disk
+// index semantics and must never change.
+uint64_t Fnv1a64(std::string_view data);
+
+// SplitMix-style finalizer; turns a 64-bit value into a well-mixed 64-bit
+// value. Used to derive independent hash functions h_i(x) = Mix64(x + i*C).
+uint64_t Mix64(uint64_t x);
+
+// The i-th independent hash of `base` (typically a term's Fnv1a64).
+inline uint64_t NthHash(uint64_t base, uint32_t i) {
+  return Mix64(base + 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(i) + 1));
+}
+
+}  // namespace ir2
+
+#endif  // IR2TREE_COMMON_HASH_H_

@@ -1,0 +1,76 @@
+#ifndef IR2TREE_COMMON_LOGGING_H_
+#define IR2TREE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace ir2 {
+namespace internal_logging {
+
+// Accumulates a failure message and aborts the process when destroyed.
+// Used only via the IR2_CHECK family below; CHECK failures are programmer
+// errors, not runtime errors (those use Status).
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failure at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Makes the streaming expression void so it can appear in a ternary whose
+// other arm is (void)0 (the glog "voidify" idiom).
+struct Voidify {
+  void operator&(const CheckFailureStream&) const {}
+};
+
+}  // namespace internal_logging
+}  // namespace ir2
+
+// Aborts with a message when `condition` is false; supports streaming extra
+// context: IR2_CHECK(x > 0) << "x was" << x;
+// Active in all build modes: index corruption must never propagate silently
+// in a storage engine.
+#define IR2_CHECK(condition)                                       \
+  (condition) ? (void)0                                            \
+              : ::ir2::internal_logging::Voidify() &               \
+                    ::ir2::internal_logging::CheckFailureStream(   \
+                        "CHECK", __FILE__, __LINE__, #condition)
+
+#define IR2_CHECK_OK(expr)                                             \
+  do {                                                                 \
+    const ::ir2::Status ir2_check_ok_status = (expr);                  \
+    IR2_CHECK(ir2_check_ok_status.ok()) << ir2_check_ok_status.ToString(); \
+  } while (false)
+
+#define IR2_CHECK_EQ(a, b) IR2_CHECK((a) == (b))
+#define IR2_CHECK_NE(a, b) IR2_CHECK((a) != (b))
+#define IR2_CHECK_LT(a, b) IR2_CHECK((a) < (b))
+#define IR2_CHECK_LE(a, b) IR2_CHECK((a) <= (b))
+#define IR2_CHECK_GT(a, b) IR2_CHECK((a) > (b))
+#define IR2_CHECK_GE(a, b) IR2_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define IR2_DCHECK(condition) \
+  while (false) IR2_CHECK(condition)
+#else
+#define IR2_DCHECK(condition) IR2_CHECK(condition)
+#endif
+
+#endif  // IR2TREE_COMMON_LOGGING_H_

@@ -1,0 +1,43 @@
+#ifndef IR2TREE_COMMON_RANDOM_H_
+#define IR2TREE_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace ir2 {
+
+// Fast deterministic PRNG (xoshiro256++, seeded via SplitMix64).
+// Deterministic across platforms so data generation and property tests are
+// reproducible; not cryptographically secure.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t NextUint64();
+
+  // Uniform over [0, bound); bound must be > 0. Uses Lemire's multiply-shift
+  // rejection method to avoid modulo bias.
+  uint64_t NextUint64(uint64_t bound);
+
+  // Uniform over [lo, hi]; requires lo <= hi.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+
+  // Uniform over [0, 1).
+  double NextDouble();
+
+  // Uniform over [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // True with probability p (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace ir2
+
+#endif  // IR2TREE_COMMON_RANDOM_H_

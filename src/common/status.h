@@ -1,0 +1,123 @@
+#ifndef IR2TREE_COMMON_STATUS_H_
+#define IR2TREE_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ir2 {
+
+// Canonical error space, modeled after absl::StatusCode. The library does not
+// throw exceptions; fallible operations return Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+  kIoError = 9,
+  kCorruption = 10,
+};
+
+// Returns a stable human-readable name, e.g. "NOT_FOUND".
+std::string_view StatusCodeToString(StatusCode code);
+
+// Value-semantic result of a fallible operation: a code plus an optional
+// message. The OK status carries no message and is cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace ir2
+
+// Evaluates `expr`; if the resulting Status is not OK, returns it from the
+// enclosing function.
+#define IR2_RETURN_IF_ERROR(expr)                        \
+  do {                                                   \
+    ::ir2::Status ir2_status_macro_result = (expr);      \
+    if (!ir2_status_macro_result.ok()) {                 \
+      return ir2_status_macro_result;                    \
+    }                                                    \
+  } while (false)
+
+// Evaluates `rexpr` (a StatusOr<T>); on error returns the Status, otherwise
+// move-assigns the value into `lhs`. `lhs` may be a declaration.
+#define IR2_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  IR2_ASSIGN_OR_RETURN_IMPL_(                                  \
+      IR2_STATUS_MACRO_CONCAT_(ir2_statusor_, __LINE__), lhs, rexpr)
+
+#define IR2_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                               \
+  if (!statusor.ok()) {                                  \
+    return std::move(statusor).status();                 \
+  }                                                      \
+  lhs = std::move(statusor).value()
+
+#define IR2_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define IR2_STATUS_MACRO_CONCAT_(x, y) IR2_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // IR2TREE_COMMON_STATUS_H_

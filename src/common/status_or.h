@@ -1,0 +1,61 @@
+#ifndef IR2TREE_COMMON_STATUS_OR_H_
+#define IR2TREE_COMMON_STATUS_OR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace ir2 {
+
+// Holds either a value of type T or a non-OK Status explaining why the value
+// is absent. Accessing value() on an error StatusOr aborts the process (it is
+// a programmer error, like dereferencing an empty optional).
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`
+  // like absl::StatusOr.
+  StatusOr(const T& value) : value_(value) {}          // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    IR2_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  const T& value() const& {
+    IR2_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    IR2_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T value() && {
+    IR2_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace ir2
+
+#endif  // IR2TREE_COMMON_STATUS_OR_H_

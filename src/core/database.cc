@@ -1,0 +1,580 @@
+#include "core/database.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+#include "core/general_search.h"
+#include "core/iio.h"
+#include "core/ir2_search.h"
+#include "core/rtree_baseline.h"
+
+namespace ir2 {
+
+double DatasetStats::AvgBlocksPerObject() const {
+  if (num_objects == 0) {
+    return 0.0;
+  }
+  double record_bytes = static_cast<double>(object_file_bytes) /
+                        static_cast<double>(num_objects);
+  // A b-byte record starting at a uniform offset crosses (b - 1) / bs block
+  // boundaries in expectation, touching 1 + (b - 1) / bs blocks.
+  return 1.0 + (record_bytes - 1.0) / 4096.0;
+}
+
+SpatialKeywordDatabase::~SpatialKeywordDatabase() = default;
+
+StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
+    Build(std::span<const StoredObject> objects,
+          const DatabaseOptions& options) {
+  std::unique_ptr<SpatialKeywordDatabase> db(new SpatialKeywordDatabase());
+  db->options_ = options;
+  db->tokenizer_ = Tokenizer(options.stopwords);
+
+  // 1. Object file (the paper's tab-delimited plain text file).
+  db->object_device_ = std::make_unique<MemoryBlockDevice>();
+  ObjectStoreWriter writer(db->object_device_.get());
+  std::vector<ObjectRef> refs;
+  refs.reserve(objects.size());
+  for (const StoredObject& object : objects) {
+    IR2_ASSIGN_OR_RETURN(ObjectRef ref, writer.Append(object));
+    refs.push_back(ref);
+  }
+  IR2_RETURN_IF_ERROR(writer.Finish());
+  db->object_store_ = std::make_unique<ObjectStore>(db->object_device_.get(),
+                                                    writer.bytes_written());
+
+  // 2. Tokenize once; gather corpus statistics.
+  std::vector<std::vector<std::string>> distinct_words(objects.size());
+  std::vector<std::vector<uint64_t>> word_hashes(objects.size());
+  std::vector<uint32_t> doc_lengths(objects.size());
+  std::unordered_set<std::string> vocabulary;
+  DatasetStats& stats = db->stats_;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    std::vector<std::string> tokens = db->tokenizer_.Tokenize(objects[i].text);
+    doc_lengths[i] = static_cast<uint32_t>(tokens.size());
+    stats.total_tokens += tokens.size();
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    stats.total_distinct_words += tokens.size();
+    word_hashes[i].reserve(tokens.size());
+    for (const std::string& word : tokens) {
+      word_hashes[i].push_back(HashWord(word));
+      vocabulary.insert(word);
+    }
+    distinct_words[i] = std::move(tokens);
+  }
+  stats.num_objects = objects.size();
+  stats.vocabulary_size = vocabulary.size();
+  stats.object_file_bytes = writer.bytes_written();
+  stats.object_file_blocks = db->object_device_->NumBlocks();
+
+  const auto point_rect = [](const StoredObject& object) {
+    return Rect::ForPoint(Point(object.coords));
+  };
+
+  // Shared bulk-load input for the signature trees.
+  std::vector<Ir2Tree::BulkObject> bulk_objects;
+  if (options.bulk_load) {
+    bulk_objects.reserve(objects.size());
+    for (size_t i = 0; i < objects.size(); ++i) {
+      bulk_objects.push_back(Ir2Tree::BulkObject{
+          refs[i], point_rect(objects[i]), word_hashes[i]});
+    }
+  }
+
+  // 3. Plain R-Tree (baseline).
+  if (options.build_rtree) {
+    db->rtree_device_ = std::make_unique<MemoryBlockDevice>();
+    db->rtree_pool_ = std::make_unique<BufferPool>(db->rtree_device_.get(),
+                                                   options.pool_blocks);
+    db->rtree_ = std::make_unique<RTree>(db->rtree_pool_.get(),
+                                         options.tree_options);
+    IR2_RETURN_IF_ERROR(db->rtree_->Init());
+    if (options.bulk_load) {
+      std::vector<RTreeBase::BulkItem> items;
+      items.reserve(objects.size());
+      for (size_t i = 0; i < objects.size(); ++i) {
+        items.push_back(RTreeBase::BulkItem{refs[i], point_rect(objects[i])});
+      }
+      EmptyPayloadSource empty;
+      IR2_RETURN_IF_ERROR(db->rtree_->BulkLoad(
+          std::move(items),
+          [&empty](size_t) -> const PayloadSource& { return empty; },
+          options.bulk_fill_fraction));
+    } else {
+      for (size_t i = 0; i < objects.size(); ++i) {
+        IR2_RETURN_IF_ERROR(
+            db->rtree_->Insert(refs[i], point_rect(objects[i])));
+      }
+    }
+    IR2_RETURN_IF_ERROR(db->rtree_->Flush());
+  }
+
+  // 4. IR2-Tree.
+  if (options.build_ir2) {
+    db->ir2_device_ = std::make_unique<MemoryBlockDevice>();
+    db->ir2_pool_ = std::make_unique<BufferPool>(db->ir2_device_.get(),
+                                                 options.pool_blocks);
+    db->ir2_ = std::make_unique<Ir2Tree>(db->ir2_pool_.get(),
+                                         options.tree_options,
+                                         options.ir2_signature);
+    IR2_RETURN_IF_ERROR(db->ir2_->Init());
+    if (options.bulk_load) {
+      IR2_RETURN_IF_ERROR(db->ir2_->BulkLoadObjects(
+          bulk_objects, options.bulk_fill_fraction));
+    } else {
+      for (size_t i = 0; i < objects.size(); ++i) {
+        IR2_RETURN_IF_ERROR(db->ir2_->InsertObject(
+            refs[i], point_rect(objects[i]),
+            std::span<const uint64_t>(word_hashes[i])));
+      }
+    }
+    IR2_RETURN_IF_ERROR(db->ir2_->Flush());
+  }
+
+  // 5. MIR2-Tree: bulk load with deferred inner signatures, then one
+  // recomputation pass (each object loaded once).
+  if (options.build_mir2) {
+    db->mir2_device_ = std::make_unique<MemoryBlockDevice>();
+    db->mir2_pool_ = std::make_unique<BufferPool>(db->mir2_device_.get(),
+                                                  options.pool_blocks);
+    MultilevelScheme scheme = options.mir2_scheme;
+    RTreeOptions mir2_options = options.tree_options;
+    mir2_options.defer_inner_payload_maintenance = true;
+    if (scheme.per_level.empty()) {
+      // Derive per-level widths from the dataset statistics. The probe tree
+      // is only used to compute the node capacity.
+      RTree capacity_probe(db->mir2_pool_.get(), options.tree_options);
+      uint32_t capacity = capacity_probe.node_capacity();
+      uint32_t max_levels =
+          2 + static_cast<uint32_t>(
+                  std::log(std::max<double>(2.0, objects.size())) /
+                  std::log(std::max(2.0, 0.7 * capacity)));
+      scheme = DeriveMultilevelScheme(
+          options.ir2_signature.bits, options.ir2_signature.hashes_per_word,
+          stats.AvgDistinctWordsPerObject(), stats.vocabulary_size, capacity,
+          /*expected_fill=*/0.7, max_levels);
+    }
+    db->mir2_ = std::make_unique<Mir2Tree>(
+        db->mir2_pool_.get(), mir2_options, std::move(scheme),
+        db->object_store_.get(), &db->tokenizer_);
+    IR2_RETURN_IF_ERROR(db->mir2_->Init());
+    if (options.bulk_load) {
+      IR2_RETURN_IF_ERROR(db->mir2_->BulkLoadObjects(
+          bulk_objects, options.bulk_fill_fraction));
+    } else {
+      for (size_t i = 0; i < objects.size(); ++i) {
+        IR2_RETURN_IF_ERROR(db->mir2_->InsertObject(
+            refs[i], point_rect(objects[i]),
+            std::span<const uint64_t>(word_hashes[i])));
+      }
+    }
+    IR2_RETURN_IF_ERROR(db->mir2_->RecomputeAllSignatures());
+    IR2_RETURN_IF_ERROR(db->mir2_->Flush());
+  }
+
+  // 6. Inverted index (IIO baseline).
+  if (options.build_iio) {
+    db->iio_device_ = std::make_unique<MemoryBlockDevice>();
+    InvertedIndexBuilder builder(db->iio_device_.get(), options.iio_options);
+    for (size_t i = 0; i < objects.size(); ++i) {
+      builder.AddObject(refs[i], distinct_words[i], doc_lengths[i]);
+    }
+    IR2_RETURN_IF_ERROR(builder.Finish());
+    IR2_ASSIGN_OR_RETURN(db->iio_, InvertedIndex::Open(db->iio_device_.get()));
+  }
+
+  db->scorer_ = std::make_unique<IrScorer>(
+      CorpusStats{stats.num_objects, stats.AvgDocLen()});
+  db->ResetIoStats();
+  return db;
+}
+
+Status SpatialKeywordDatabase::DropCaches() {
+  for (BufferPool* pool :
+       {rtree_pool_.get(), ir2_pool_.get(), mir2_pool_.get()}) {
+    if (pool != nullptr) {
+      IR2_RETURN_IF_ERROR(pool->Clear());
+    }
+  }
+  return Status::Ok();
+}
+
+void SpatialKeywordDatabase::ResetIoStats() {
+  for (BlockDevice* device :
+       {object_device_.get(), rtree_device_.get(), ir2_device_.get(),
+        mir2_device_.get(), iio_device_.get()}) {
+    if (device != nullptr) {
+      device->ResetStats();
+    }
+  }
+}
+
+IoStats SpatialKeywordDatabase::AggregateIo() const {
+  IoStats total;
+  for (const BlockDevice* device :
+       {object_device_.get(), rtree_device_.get(), ir2_device_.get(),
+        mir2_device_.get(), iio_device_.get()}) {
+    if (device != nullptr) {
+      total += device->stats();
+    }
+  }
+  return total;
+}
+
+template <typename Fn>
+StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::RunQuery(
+    QueryStats* stats, Fn&& fn) {
+  if (options_.cold_queries) {
+    IR2_RETURN_IF_ERROR(DropCaches());
+  }
+  IoStats before = AggregateIo();
+  Stopwatch watch;
+  QueryStats local;
+  IR2_ASSIGN_OR_RETURN(std::vector<QueryResult> results, fn(&local));
+  local.seconds = watch.ElapsedSeconds();
+  local.io = AggregateIo() - before;
+  if (stats != nullptr) {
+    *stats += local;
+  }
+  return results;
+}
+
+StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryRTree(
+    const DistanceFirstQuery& q, QueryStats* stats) {
+  if (rtree_ == nullptr) {
+    return Status::FailedPrecondition("R-Tree was not built");
+  }
+  return RunQuery(stats, [&](QueryStats* local) {
+    return RTreeTopK(*rtree_, *object_store_, tokenizer_, q, local);
+  });
+}
+
+StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryIio(
+    const DistanceFirstQuery& q, QueryStats* stats) {
+  if (iio_ == nullptr) {
+    return Status::FailedPrecondition("Inverted index was not built");
+  }
+  return RunQuery(stats, [&](QueryStats* local) {
+    return IioTopK(*iio_, *object_store_, tokenizer_, q, local);
+  });
+}
+
+StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryIr2(
+    const DistanceFirstQuery& q, QueryStats* stats) {
+  if (ir2_ == nullptr) {
+    return Status::FailedPrecondition("IR2-Tree was not built");
+  }
+  return RunQuery(stats, [&](QueryStats* local) {
+    return Ir2TopK(*ir2_, *object_store_, tokenizer_, q, local);
+  });
+}
+
+StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryMir2(
+    const DistanceFirstQuery& q, QueryStats* stats) {
+  if (mir2_ == nullptr) {
+    return Status::FailedPrecondition("MIR2-Tree was not built");
+  }
+  return RunQuery(stats, [&](QueryStats* local) {
+    return Ir2TopK(*mir2_, *object_store_, tokenizer_, q, local);
+  });
+}
+
+StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryGeneral(
+    const GeneralQuery& q, QueryStats* stats, bool use_mir2) {
+  Ir2Tree* tree = use_mir2 ? mir2_.get() : ir2_.get();
+  if (tree == nullptr) {
+    return Status::FailedPrecondition("Requested tree was not built");
+  }
+  if (iio_ == nullptr) {
+    return Status::FailedPrecondition(
+        "General queries need the inverted index for keyword idfs");
+  }
+  return RunQuery(stats, [&](QueryStats* local) {
+    std::vector<ScoredQueryTerm> terms =
+        BuildQueryTerms(*iio_, *scorer_, tokenizer_, q.keywords);
+    return GeneralIr2TopK(*tree, *object_store_, tokenizer_, *scorer_, terms,
+                          q, local);
+  });
+}
+
+StatusOr<std::vector<ObjectRef>> SpatialKeywordDatabase::KeywordMatches(
+    const std::vector<std::string>& keywords, QueryStats* stats) {
+  if (iio_ == nullptr) {
+    return Status::FailedPrecondition("Inverted index was not built");
+  }
+  std::vector<std::string> normalized = tokenizer_.NormalizeKeywords(keywords);
+  if (normalized.empty()) {
+    return Status::InvalidArgument(
+        "Keyword query needs at least one (non-stopword) keyword");
+  }
+  if (options_.cold_queries) {
+    IR2_RETURN_IF_ERROR(DropCaches());
+  }
+  IoStats before = AggregateIo();
+  Stopwatch watch;
+  std::vector<std::vector<ObjectRef>> lists;
+  lists.reserve(normalized.size());
+  for (const std::string& keyword : normalized) {
+    IR2_ASSIGN_OR_RETURN(std::vector<ObjectRef> list,
+                         iio_->RetrieveList(keyword));
+    lists.push_back(std::move(list));
+  }
+  std::vector<ObjectRef> matches = IntersectSorted(lists);
+  if (stats != nullptr) {
+    stats->seconds += watch.ElapsedSeconds();
+    stats->io += AggregateIo() - before;
+  }
+  return matches;
+}
+
+uint64_t SpatialKeywordDatabase::ObjectFileBytes() const {
+  return object_device_ ? object_device_->SizeBytes() : 0;
+}
+uint64_t SpatialKeywordDatabase::RTreeBytes() const {
+  return rtree_device_ ? rtree_device_->SizeBytes() : 0;
+}
+uint64_t SpatialKeywordDatabase::Ir2TreeBytes() const {
+  return ir2_device_ ? ir2_device_->SizeBytes() : 0;
+}
+uint64_t SpatialKeywordDatabase::Mir2TreeBytes() const {
+  return mir2_device_ ? mir2_device_->SizeBytes() : 0;
+}
+uint64_t SpatialKeywordDatabase::IioBytes() const {
+  return iio_device_ ? iio_device_->SizeBytes() : 0;
+}
+
+namespace {
+
+constexpr const char* kManifestName = "manifest.txt";
+
+std::string DevicePath(const std::string& directory, const char* name) {
+  return directory + "/" + name;
+}
+
+// Persists one (possibly absent) device to `<directory>/<name>.dat`.
+Status SaveDevice(BlockDevice* device, const std::string& directory,
+                  const char* name) {
+  if (device == nullptr) {
+    return Status::Ok();
+  }
+  IR2_ASSIGN_OR_RETURN(std::unique_ptr<FileBlockDevice> file,
+                       FileBlockDevice::Create(DevicePath(directory, name),
+                                               device->block_size()));
+  return CopyBlocks(device, file.get());
+}
+
+}  // namespace
+
+Status SpatialKeywordDatabase::Save(const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::IoError("create_directories(" + directory +
+                           "): " + ec.message());
+  }
+  // Make sure every dirty page and superblock is on its device.
+  for (RTreeBase* tree : {static_cast<RTreeBase*>(rtree_.get()),
+                          static_cast<RTreeBase*>(ir2_.get()),
+                          static_cast<RTreeBase*>(mir2_.get())}) {
+    if (tree != nullptr) {
+      IR2_RETURN_IF_ERROR(tree->Flush());
+    }
+  }
+
+  IR2_RETURN_IF_ERROR(SaveDevice(object_device_.get(), directory,
+                                 "objects.dat"));
+  IR2_RETURN_IF_ERROR(SaveDevice(rtree_device_.get(), directory,
+                                 "rtree.dat"));
+  IR2_RETURN_IF_ERROR(SaveDevice(ir2_device_.get(), directory, "ir2.dat"));
+  IR2_RETURN_IF_ERROR(SaveDevice(mir2_device_.get(), directory, "mir2.dat"));
+  IR2_RETURN_IF_ERROR(SaveDevice(iio_device_.get(), directory, "iio.dat"));
+
+  std::ofstream manifest(DevicePath(directory, kManifestName),
+                         std::ios::trunc);
+  if (!manifest) {
+    return Status::IoError("cannot write manifest in " + directory);
+  }
+  manifest << "ir2db 1\n";
+  manifest << "num_objects " << stats_.num_objects << "\n";
+  manifest << "total_tokens " << stats_.total_tokens << "\n";
+  manifest << "total_distinct_words " << stats_.total_distinct_words << "\n";
+  manifest << "vocabulary_size " << stats_.vocabulary_size << "\n";
+  manifest << "object_file_bytes " << stats_.object_file_bytes << "\n";
+  manifest << "object_file_blocks " << stats_.object_file_blocks << "\n";
+  manifest << "dims " << options_.tree_options.dims << "\n";
+  manifest << "min_fill_fraction " << options_.tree_options.min_fill_fraction
+           << "\n";
+  manifest << "capacity_override " << options_.tree_options.capacity_override
+           << "\n";
+  manifest << "ir2_signature " << options_.ir2_signature.bits << " "
+           << options_.ir2_signature.hashes_per_word << "\n";
+  if (mir2_ != nullptr) {
+    manifest << "mir2_scheme " << mir2_->scheme().per_level.size();
+    for (const SignatureConfig& config : mir2_->scheme().per_level) {
+      manifest << " " << config.bits << " " << config.hashes_per_word;
+    }
+    manifest << "\n";
+  }
+  manifest << "pool_blocks " << options_.pool_blocks << "\n";
+  manifest << "cold_queries " << (options_.cold_queries ? 1 : 0) << "\n";
+  manifest << "built " << (rtree_ != nullptr) << " " << (ir2_ != nullptr)
+           << " " << (mir2_ != nullptr) << " " << (iio_ != nullptr) << "\n";
+  manifest << "stopwords " << options_.stopwords.size();
+  for (const std::string& word : options_.stopwords) {
+    manifest << " " << word;
+  }
+  manifest << "\n";
+  manifest.close();
+  if (!manifest) {
+    return Status::IoError("manifest write failed in " + directory);
+  }
+  ResetIoStats();
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
+    Open(const std::string& directory) {
+  std::ifstream manifest(DevicePath(directory, kManifestName));
+  if (!manifest) {
+    return Status::NotFound("no manifest in " + directory);
+  }
+  std::unique_ptr<SpatialKeywordDatabase> db(new SpatialKeywordDatabase());
+  DatabaseOptions& options = db->options_;
+  DatasetStats& stats = db->stats_;
+  bool built_rtree = false, built_ir2 = false, built_mir2 = false,
+       built_iio = false;
+  MultilevelScheme mir2_scheme;
+
+  std::string key;
+  while (manifest >> key) {
+    if (key == "ir2db") {
+      int version = 0;
+      manifest >> version;
+      if (version != 1) {
+        return Status::InvalidArgument("unsupported manifest version");
+      }
+    } else if (key == "num_objects") {
+      manifest >> stats.num_objects;
+    } else if (key == "total_tokens") {
+      manifest >> stats.total_tokens;
+    } else if (key == "total_distinct_words") {
+      manifest >> stats.total_distinct_words;
+    } else if (key == "vocabulary_size") {
+      manifest >> stats.vocabulary_size;
+    } else if (key == "object_file_bytes") {
+      manifest >> stats.object_file_bytes;
+    } else if (key == "object_file_blocks") {
+      manifest >> stats.object_file_blocks;
+    } else if (key == "dims") {
+      manifest >> options.tree_options.dims;
+    } else if (key == "min_fill_fraction") {
+      manifest >> options.tree_options.min_fill_fraction;
+    } else if (key == "capacity_override") {
+      manifest >> options.tree_options.capacity_override;
+    } else if (key == "ir2_signature") {
+      manifest >> options.ir2_signature.bits >>
+          options.ir2_signature.hashes_per_word;
+    } else if (key == "mir2_scheme") {
+      size_t levels = 0;
+      manifest >> levels;
+      mir2_scheme.per_level.resize(levels);
+      for (SignatureConfig& config : mir2_scheme.per_level) {
+        manifest >> config.bits >> config.hashes_per_word;
+      }
+    } else if (key == "pool_blocks") {
+      manifest >> options.pool_blocks;
+    } else if (key == "cold_queries") {
+      int flag = 0;
+      manifest >> flag;
+      options.cold_queries = flag != 0;
+    } else if (key == "built") {
+      manifest >> built_rtree >> built_ir2 >> built_mir2 >> built_iio;
+    } else if (key == "stopwords") {
+      size_t n = 0;
+      manifest >> n;
+      for (size_t i = 0; i < n; ++i) {
+        std::string word;
+        manifest >> word;
+        options.stopwords.insert(std::move(word));
+      }
+    } else {
+      return Status::Corruption("unknown manifest key: " + key);
+    }
+    if (!manifest && !manifest.eof()) {
+      return Status::Corruption("malformed manifest value for " + key);
+    }
+  }
+  options.build_rtree = built_rtree;
+  options.build_ir2 = built_ir2;
+  options.build_mir2 = built_mir2;
+  options.build_iio = built_iio;
+  options.mir2_scheme = mir2_scheme;
+  db->tokenizer_ = Tokenizer(options.stopwords);
+
+  // Object file.
+  IR2_ASSIGN_OR_RETURN(
+      std::unique_ptr<FileBlockDevice> object_device,
+      FileBlockDevice::Open(DevicePath(directory, "objects.dat")));
+  db->object_device_ = std::move(object_device);
+  db->object_store_ = std::make_unique<ObjectStore>(
+      db->object_device_.get(), stats.object_file_bytes);
+
+  if (built_rtree) {
+    IR2_ASSIGN_OR_RETURN(
+        std::unique_ptr<FileBlockDevice> device,
+        FileBlockDevice::Open(DevicePath(directory, "rtree.dat")));
+    db->rtree_device_ = std::move(device);
+    db->rtree_pool_ = std::make_unique<BufferPool>(db->rtree_device_.get(),
+                                                   options.pool_blocks);
+    db->rtree_ = std::make_unique<RTree>(db->rtree_pool_.get(),
+                                         options.tree_options);
+    IR2_RETURN_IF_ERROR(db->rtree_->Load());
+  }
+  if (built_ir2) {
+    IR2_ASSIGN_OR_RETURN(
+        std::unique_ptr<FileBlockDevice> device,
+        FileBlockDevice::Open(DevicePath(directory, "ir2.dat")));
+    db->ir2_device_ = std::move(device);
+    db->ir2_pool_ = std::make_unique<BufferPool>(db->ir2_device_.get(),
+                                                 options.pool_blocks);
+    db->ir2_ = std::make_unique<Ir2Tree>(db->ir2_pool_.get(),
+                                         options.tree_options,
+                                         options.ir2_signature);
+    IR2_RETURN_IF_ERROR(db->ir2_->Load());
+  }
+  if (built_mir2) {
+    if (mir2_scheme.per_level.empty()) {
+      return Status::Corruption("manifest missing mir2_scheme");
+    }
+    IR2_ASSIGN_OR_RETURN(
+        std::unique_ptr<FileBlockDevice> device,
+        FileBlockDevice::Open(DevicePath(directory, "mir2.dat")));
+    db->mir2_device_ = std::move(device);
+    db->mir2_pool_ = std::make_unique<BufferPool>(db->mir2_device_.get(),
+                                                  options.pool_blocks);
+    RTreeOptions mir2_options = options.tree_options;
+    db->mir2_ = std::make_unique<Mir2Tree>(
+        db->mir2_pool_.get(), mir2_options, mir2_scheme,
+        db->object_store_.get(), &db->tokenizer_);
+    IR2_RETURN_IF_ERROR(db->mir2_->Load());
+  }
+  if (built_iio) {
+    IR2_ASSIGN_OR_RETURN(
+        std::unique_ptr<FileBlockDevice> device,
+        FileBlockDevice::Open(DevicePath(directory, "iio.dat")));
+    db->iio_device_ = std::move(device);
+    IR2_ASSIGN_OR_RETURN(db->iio_,
+                         InvertedIndex::Open(db->iio_device_.get()));
+  }
+  db->scorer_ = std::make_unique<IrScorer>(
+      CorpusStats{stats.num_objects, stats.AvgDocLen()});
+  db->ResetIoStats();
+  return db;
+}
+
+}  // namespace ir2

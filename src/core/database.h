@@ -1,0 +1,188 @@
+#ifndef IR2TREE_CORE_DATABASE_H_
+#define IR2TREE_CORE_DATABASE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status_or.h"
+#include "core/ir2_tree.h"
+#include "core/mir2_tree.h"
+#include "core/query.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/object_store.h"
+#include "text/inverted_index.h"
+#include "text/ir_score.h"
+#include "text/tokenizer.h"
+
+namespace ir2 {
+
+// Corpus statistics computed while building (Table 1 of the paper).
+struct DatasetStats {
+  uint64_t num_objects = 0;
+  uint64_t total_tokens = 0;
+  uint64_t total_distinct_words = 0;  // Summed per object.
+  uint64_t vocabulary_size = 0;
+  uint64_t object_file_bytes = 0;
+  uint64_t object_file_blocks = 0;
+
+  double AvgDistinctWordsPerObject() const {
+    return num_objects ? static_cast<double>(total_distinct_words) /
+                             static_cast<double>(num_objects)
+                       : 0.0;
+  }
+  double AvgDocLen() const {
+    return num_objects ? static_cast<double>(total_tokens) /
+                             static_cast<double>(num_objects)
+                       : 0.0;
+  }
+  // Disk blocks an average LoadObject touches (>= 1; grows with record size
+  // and block-boundary straddling).
+  double AvgBlocksPerObject() const;
+};
+
+struct DatabaseOptions {
+  // Uniform signature of the IR2-Tree (and leaf level of the MIR2-Tree).
+  // The paper's defaults: 189 bytes (Hotels), 8 bytes (Restaurants), k=3.
+  SignatureConfig ir2_signature{/*bits=*/1512, /*hashes_per_word=*/3};
+
+  // Per-level widths of the MIR2-Tree; leave empty to derive from the
+  // dataset statistics with DeriveMultilevelScheme.
+  MultilevelScheme mir2_scheme;
+
+  RTreeOptions tree_options;
+
+  // Words dropped at indexing and querying (see Tokenizer). Empty = index
+  // every word; pass EnglishStopwords() for typical text corpora.
+  std::unordered_set<std::string> stopwords;
+
+  // Posting-list storage of the inverted index (compressed by default).
+  InvertedIndexOptions iio_options;
+
+  // Buffer pool capacity (blocks) per tree. Pools keep index construction
+  // fast; queries run cold when cold_queries is set.
+  size_t pool_blocks = 1 << 16;
+
+  // Drop all caches before every query so each measured query starts from a
+  // cold disk, as the paper's per-query disk-access figures assume.
+  bool cold_queries = true;
+
+  // Build the trees with the STR bulk loader instead of repeated Insert —
+  // much faster and better clustered. Off by default: the paper's trees
+  // are built incrementally, and the figures are reproduced that way.
+  bool bulk_load = false;
+  double bulk_fill_fraction = 0.8;
+
+  bool build_rtree = true;
+  bool build_ir2 = true;
+  bool build_mir2 = true;
+  bool build_iio = true;
+};
+
+// Owns one dataset plus every index structure of the paper and exposes the
+// four query algorithms over them. This is the facade the examples and the
+// benchmark harness use; each structure lives on its own MemoryBlockDevice
+// so per-structure disk traffic and sizes (Table 2) can be reported.
+class SpatialKeywordDatabase {
+ public:
+  static StatusOr<std::unique_ptr<SpatialKeywordDatabase>> Build(
+      std::span<const StoredObject> objects, const DatabaseOptions& options);
+
+  // Persists every structure plus a manifest into `directory` (created if
+  // needed; any previous contents are overwritten). The database remains
+  // usable afterwards.
+  Status Save(const std::string& directory);
+
+  // Opens a database previously Save()d. Indexes are file-backed; queries
+  // perform real file I/O.
+  static StatusOr<std::unique_ptr<SpatialKeywordDatabase>> Open(
+      const std::string& directory);
+
+  ~SpatialKeywordDatabase();
+  SpatialKeywordDatabase(const SpatialKeywordDatabase&) = delete;
+  SpatialKeywordDatabase& operator=(const SpatialKeywordDatabase&) = delete;
+
+  // ---- The four distance-first algorithms (Section V) ----
+  StatusOr<std::vector<QueryResult>> QueryRTree(const DistanceFirstQuery& q,
+                                                QueryStats* stats = nullptr);
+  StatusOr<std::vector<QueryResult>> QueryIio(const DistanceFirstQuery& q,
+                                              QueryStats* stats = nullptr);
+  StatusOr<std::vector<QueryResult>> QueryIr2(const DistanceFirstQuery& q,
+                                              QueryStats* stats = nullptr);
+  StatusOr<std::vector<QueryResult>> QueryMir2(const DistanceFirstQuery& q,
+                                               QueryStats* stats = nullptr);
+
+  // General ranking-function query (Section V-C) over the IR2- or
+  // MIR2-Tree. Requires build_iio (for keyword idfs).
+  StatusOr<std::vector<QueryResult>> QueryGeneral(const GeneralQuery& q,
+                                                  QueryStats* stats = nullptr,
+                                                  bool use_mir2 = false);
+
+  // Pure Boolean keyword query (Section II's Ans(Q_w), no spatial
+  // component): refs of every object containing all keywords, ascending.
+  // Served by posting-list intersection; requires build_iio.
+  StatusOr<std::vector<ObjectRef>> KeywordMatches(
+      const std::vector<std::string>& keywords, QueryStats* stats = nullptr);
+
+  // ---- Measurement control ----
+  Status DropCaches();
+  void ResetIoStats();
+  // Sum of IoStats over every device.
+  IoStats AggregateIo() const;
+
+  // ---- Introspection ----
+  const DatasetStats& stats() const { return stats_; }
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+  const ObjectStore& object_store() const { return *object_store_; }
+  RTree* rtree() { return rtree_.get(); }
+  Ir2Tree* ir2_tree() { return ir2_.get(); }
+  Mir2Tree* mir2_tree() { return mir2_.get(); }
+  InvertedIndex* inverted_index() { return iio_.get(); }
+  const IrScorer& scorer() const { return *scorer_; }
+
+  // Structure sizes in bytes (Table 2).
+  uint64_t ObjectFileBytes() const;
+  uint64_t RTreeBytes() const;
+  uint64_t Ir2TreeBytes() const;
+  uint64_t Mir2TreeBytes() const;
+  uint64_t IioBytes() const;
+
+ private:
+  SpatialKeywordDatabase() = default;
+
+  // Shared prologue/epilogue of every query method: optional cache drop,
+  // timing, I/O diffing.
+  template <typename Fn>
+  StatusOr<std::vector<QueryResult>> RunQuery(QueryStats* stats, Fn&& fn);
+
+  DatabaseOptions options_;
+  DatasetStats stats_;
+  Tokenizer tokenizer_;
+
+  // Devices first, pools second, trees third: members are destroyed in
+  // reverse order, so trees flush into live pools and pools into live
+  // devices. Memory-backed when Build()t, file-backed when Open()ed.
+  std::unique_ptr<BlockDevice> object_device_;
+  std::unique_ptr<BlockDevice> rtree_device_;
+  std::unique_ptr<BlockDevice> ir2_device_;
+  std::unique_ptr<BlockDevice> mir2_device_;
+  std::unique_ptr<BlockDevice> iio_device_;
+
+  std::unique_ptr<BufferPool> rtree_pool_;
+  std::unique_ptr<BufferPool> ir2_pool_;
+  std::unique_ptr<BufferPool> mir2_pool_;
+
+  std::unique_ptr<ObjectStore> object_store_;
+  std::unique_ptr<RTree> rtree_;
+  std::unique_ptr<Ir2Tree> ir2_;
+  std::unique_ptr<Mir2Tree> mir2_;
+  std::unique_ptr<InvertedIndex> iio_;
+  std::unique_ptr<IrScorer> scorer_;
+};
+
+}  // namespace ir2
+
+#endif  // IR2TREE_CORE_DATABASE_H_

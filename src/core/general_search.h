@@ -1,0 +1,64 @@
+#ifndef IR2TREE_CORE_GENERAL_SEARCH_H_
+#define IR2TREE_CORE_GENERAL_SEARCH_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "core/ir2_tree.h"
+#include "core/query.h"
+#include "storage/object_store.h"
+#include "text/inverted_index.h"
+#include "text/ir_score.h"
+#include "text/tokenizer.h"
+
+namespace ir2 {
+
+// Normalizes the query keywords (dropping stopwords and duplicates) and
+// attaches their idfs (from the inverted index dictionary; no disk I/O) —
+// the per-keyword signatures W_i of Section V-C are derived from the word
+// hashes.
+std::vector<ScoredQueryTerm> BuildQueryTerms(
+    const InvertedIndex& index, const IrScorer& scorer,
+    const Tokenizer& tokenizer, const std::vector<std::string>& keywords);
+
+// The general IR2-Tree algorithm (Section V-C): objects are ranked by
+// f(distance, IRscore) = ir_weight * IRscore - distance_weight * distance.
+// The priority queue orders subtrees by Upper(v) = f(MinDist(v.MBR),
+// UpperBound_IR(v.S)); an object is emitted once its actual score is >= the
+// best possible score of anything still in the queue. Uses the individual
+// keyword signatures (OR semantics — an object containing only some
+// keywords may be a result). Works on Ir2Tree and Mir2Tree alike.
+StatusOr<std::vector<QueryResult>> GeneralIr2TopK(
+    const Ir2Tree& tree, const ObjectStore& objects,
+    const Tokenizer& tokenizer, const IrScorer& scorer,
+    const std::vector<ScoredQueryTerm>& terms, const GeneralQuery& query,
+    QueryStats* stats = nullptr);
+
+// Incremental cursor form of the general algorithm: each Next() emits the
+// next-best object by f (non-increasing scores), or nullopt when no
+// further object can score positively (or the tree is exhausted). `query.k`
+// is ignored — the caller decides when to stop.
+class GeneralIr2TopKCursor {
+ public:
+  GeneralIr2TopKCursor(const Ir2Tree* tree, const ObjectStore* objects,
+                       const Tokenizer* tokenizer, const IrScorer* scorer,
+                       std::vector<ScoredQueryTerm> terms,
+                       GeneralQuery query);
+  ~GeneralIr2TopKCursor();
+
+  GeneralIr2TopKCursor(const GeneralIr2TopKCursor&) = delete;
+  GeneralIr2TopKCursor& operator=(const GeneralIr2TopKCursor&) = delete;
+
+  StatusOr<std::optional<QueryResult>> Next();
+
+  const QueryStats& stats() const { return stats_; }
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+  QueryStats stats_;
+};
+
+}  // namespace ir2
+
+#endif  // IR2TREE_CORE_GENERAL_SEARCH_H_

@@ -1,0 +1,157 @@
+#include "core/hybrid_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "rtree/incremental_nn.h"
+
+namespace ir2 {
+
+HybridKeywordIndex::Builder::Builder(BlockDevice* tree_device,
+                                     BlockDevice* postings_device,
+                                     Options options)
+    : tree_device_(tree_device),
+      postings_device_(postings_device),
+      options_(options),
+      inverted_builder_(postings_device) {
+  IR2_CHECK(tree_device != nullptr);
+  IR2_CHECK_EQ(tree_device->NumBlocks(), 0u);
+  options_.tree_options.manage_superblock = false;
+}
+
+void HybridKeywordIndex::Builder::AddObject(
+    ObjectRef ref, const Point& location,
+    const std::vector<std::string>& distinct_words, uint32_t total_tokens) {
+  IR2_CHECK(!finished_);
+  for (const std::string& word : distinct_words) {
+    term_objects_[word].push_back(Posting{ref, location});
+  }
+  inverted_builder_.AddObject(ref, distinct_words, total_tokens);
+}
+
+StatusOr<std::unique_ptr<HybridKeywordIndex>>
+HybridKeywordIndex::Builder::Finish() {
+  IR2_CHECK(!finished_);
+  finished_ = true;
+  std::unique_ptr<HybridKeywordIndex> index(new HybridKeywordIndex());
+  index->tree_device_ = tree_device_;
+  index->postings_device_ = postings_device_;
+  index->pool_ = std::make_unique<BufferPool>(tree_device_,
+                                              options_.pool_blocks);
+
+  IR2_RETURN_IF_ERROR(inverted_builder_.Finish());
+  IR2_ASSIGN_OR_RETURN(index->inverted_, InvertedIndex::Open(postings_device_));
+
+  // One STR-packed R-Tree per frequent term, all on the shared device.
+  for (auto& [term, postings] : term_objects_) {
+    if (postings.size() < options_.tree_threshold) {
+      continue;
+    }
+    auto tree = std::make_unique<RTree>(index->pool_.get(),
+                                        options_.tree_options);
+    IR2_RETURN_IF_ERROR(tree->Init());
+    std::vector<RTreeBase::BulkItem> items;
+    items.reserve(postings.size());
+    for (const Posting& posting : postings) {
+      items.push_back(RTreeBase::BulkItem{
+          posting.ref, Rect::ForPoint(posting.location)});
+    }
+    EmptyPayloadSource empty;
+    IR2_RETURN_IF_ERROR(tree->BulkLoad(
+        std::move(items),
+        [&empty](size_t) -> const PayloadSource& { return empty; }));
+    index->trees_.emplace(term, std::move(tree));
+  }
+  term_objects_.clear();
+  IR2_RETURN_IF_ERROR(index->pool_->FlushAll());
+  return index;
+}
+
+StatusOr<std::vector<QueryResult>> HybridKeywordIndex::TopK(
+    const ObjectStore& objects, const Tokenizer& tokenizer,
+    const DistanceFirstQuery& query, QueryStats* stats) const {
+  std::vector<std::string> keywords =
+      tokenizer.NormalizeKeywords(query.keywords);
+  if (keywords.empty()) {
+    return Status::InvalidArgument(
+        "Hybrid index queries need at least one keyword");
+  }
+  const Rect target = query.Target();
+
+  // Drive from the rarest keyword: fewest candidates to verify.
+  std::string driver;
+  uint64_t driver_df = std::numeric_limits<uint64_t>::max();
+  for (const std::string& keyword : keywords) {
+    uint64_t df = inverted_->DocumentFrequency(keyword);
+    if (df < driver_df) {
+      driver_df = df;
+      driver = keyword;
+    }
+  }
+  if (driver_df == 0) {
+    return std::vector<QueryResult>();  // Some keyword matches nothing.
+  }
+
+  std::vector<QueryResult> results;
+  results.reserve(query.k);
+  auto tree_it = trees_.find(driver);
+  if (tree_it != trees_.end()) {
+    // Incremental NN over the driver term's tree; verify the rest.
+    IncrementalNNCursor cursor(tree_it->second.get(), target);
+    while (results.size() < query.k) {
+      IR2_ASSIGN_OR_RETURN(std::optional<Neighbor> neighbor, cursor.Next());
+      if (!neighbor.has_value()) break;
+      IR2_ASSIGN_OR_RETURN(StoredObject object, objects.Load(neighbor->ref));
+      if (stats != nullptr) {
+        ++stats->objects_loaded;
+      }
+      if (ContainsAllKeywords(tokenizer, object.text, keywords)) {
+        results.push_back(QueryResult{neighbor->ref, object.id,
+                                      neighbor->distance, 0.0,
+                                      -neighbor->distance});
+      } else if (stats != nullptr) {
+        ++stats->false_positives;
+      }
+    }
+    if (stats != nullptr) {
+      stats->nodes_visited += cursor.nodes_visited();
+    }
+    return results;
+  }
+
+  // Rare driver term: scan its posting list (IIO-style on one list).
+  IR2_ASSIGN_OR_RETURN(std::vector<ObjectRef> postings,
+                       inverted_->RetrieveList(driver));
+  std::vector<QueryResult> candidates;
+  for (ObjectRef ref : postings) {
+    IR2_ASSIGN_OR_RETURN(StoredObject object, objects.Load(ref));
+    if (stats != nullptr) {
+      ++stats->objects_loaded;
+    }
+    if (!ContainsAllKeywords(tokenizer, object.text, keywords)) {
+      if (stats != nullptr) {
+        ++stats->false_positives;
+      }
+      continue;
+    }
+    double distance = target.MinDist(Point(object.coords));
+    candidates.push_back(
+        QueryResult{ref, object.id, distance, 0.0, -distance});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const QueryResult& a, const QueryResult& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.ref < b.ref;
+            });
+  if (candidates.size() > query.k) {
+    candidates.resize(query.k);
+  }
+  return candidates;
+}
+
+uint64_t HybridKeywordIndex::SizeBytes() const {
+  return tree_device_->SizeBytes() + postings_device_->SizeBytes();
+}
+
+}  // namespace ir2

@@ -1,0 +1,53 @@
+#include "core/iio.h"
+
+#include <algorithm>
+
+#include "geo/point.h"
+
+namespace ir2 {
+
+StatusOr<std::vector<QueryResult>> IioTopK(const InvertedIndex& index,
+                                           const ObjectStore& objects,
+                                           const Tokenizer& tokenizer,
+                                           const DistanceFirstQuery& query,
+                                           QueryStats* stats) {
+  // Lines 1-3: retrieve and intersect the posting lists.
+  std::vector<std::string> keywords =
+      tokenizer.NormalizeKeywords(query.keywords);
+  std::vector<std::vector<ObjectRef>> lists;
+  lists.reserve(keywords.size());
+  for (const std::string& keyword : keywords) {
+    IR2_ASSIGN_OR_RETURN(std::vector<ObjectRef> list,
+                         index.RetrieveList(keyword));
+    lists.push_back(std::move(list));
+  }
+  std::vector<ObjectRef> intersection = IntersectSorted(lists);
+
+  // Lines 4-8: fetch every object in V and compute its distance.
+  const Rect target = query.Target();
+  std::vector<QueryResult> candidates;
+  candidates.reserve(intersection.size());
+  for (ObjectRef ref : intersection) {
+    IR2_ASSIGN_OR_RETURN(StoredObject object, objects.Load(ref));
+    if (stats != nullptr) {
+      ++stats->objects_loaded;
+    }
+    Point location(object.coords);
+    double distance = target.MinDist(location);
+    candidates.push_back(
+        QueryResult{ref, object.id, distance, 0.0, -distance});
+  }
+
+  // Lines 9-10: sort by distance, return the first k.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const QueryResult& a, const QueryResult& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.ref < b.ref;
+            });
+  if (candidates.size() > query.k) {
+    candidates.resize(query.k);
+  }
+  return candidates;
+}
+
+}  // namespace ir2

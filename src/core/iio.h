@@ -1,0 +1,31 @@
+#ifndef IR2TREE_CORE_IIO_H_
+#define IR2TREE_CORE_IIO_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "core/query.h"
+#include "storage/object_store.h"
+#include "text/inverted_index.h"
+#include "text/tokenizer.h"
+
+namespace ir2 {
+
+// The paper's second baseline, Inverted Index Only (Figure 7): retrieve the
+// posting list of every keyword, intersect, fetch every object in the
+// intersection, sort by distance and return the first k. The only
+// non-incremental algorithm: its cost is independent of k and degrades when
+// many objects contain all keywords.
+//
+// Unlike the tree algorithms, IIO cannot express a keyword-less (pure NN)
+// query: with no effective keywords the intersection — and the result — is
+// empty.
+StatusOr<std::vector<QueryResult>> IioTopK(const InvertedIndex& index,
+                                           const ObjectStore& objects,
+                                           const Tokenizer& tokenizer,
+                                           const DistanceFirstQuery& query,
+                                           QueryStats* stats = nullptr);
+
+}  // namespace ir2
+
+#endif  // IR2TREE_CORE_IIO_H_

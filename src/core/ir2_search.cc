@@ -1,0 +1,130 @@
+#include "core/ir2_search.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "rtree/incremental_nn.h"
+
+namespace ir2 {
+
+// Shared machinery of the one-shot and cursor forms.
+class Ir2TopKCursor::Impl {
+ public:
+  Impl(const Ir2Tree* tree, const ObjectStore* objects,
+       const Tokenizer* tokenizer, Rect target,
+       std::vector<std::string> keywords, QueryStats* stats)
+      : tree_(tree),
+        objects_(objects),
+        tokenizer_(tokenizer),
+        keywords_(tokenizer->NormalizeKeywords(keywords)),
+        stats_(stats) {
+    std::vector<uint64_t> hashes;
+    hashes.reserve(keywords_.size());
+    for (const std::string& keyword : keywords_) {
+      hashes.push_back(HashWord(keyword));
+    }
+    // W <- Signature(Q.t), one per level width (identical widths for the
+    // uniform IR2-Tree; per-level for the MIR2-Tree).
+    level_signatures_.reserve(tree->height() + 1);
+    for (uint32_t level = 0; level <= tree->height(); ++level) {
+      level_signatures_.push_back(tree->QuerySignature(hashes, level));
+    }
+    cursor_.emplace(
+        tree, target, [this](const Node& node, const Entry& entry) {
+          // Clamp defensively: a corrupted node's level byte must not index
+          // past the signatures prepared for the tree's real height.
+          const size_t level = std::min<size_t>(
+              node.level, level_signatures_.size() - 1);
+          const Signature& query_sig = level_signatures_[level];
+          if (PayloadContainsSignature(entry.payload, query_sig)) {
+            return true;
+          }
+          if (stats_ != nullptr) {
+            ++stats_->entries_pruned;
+            if (stats_->entries_pruned_per_level.size() <= level) {
+              stats_->entries_pruned_per_level.resize(level + 1);
+            }
+            ++stats_->entries_pruned_per_level[level];
+          }
+          return false;
+        });
+  }
+
+  StatusOr<std::optional<QueryResult>> Next() {
+    while (true) {
+      IR2_ASSIGN_OR_RETURN(std::optional<Neighbor> neighbor, cursor_->Next());
+      if (!neighbor.has_value()) {
+        if (stats_ != nullptr) {
+          stats_->nodes_visited = cursor_->nodes_visited();
+        }
+        return std::optional<QueryResult>();
+      }
+      // Candidate check (Figure 8 line 21): the signature test can produce
+      // false positives, so verify against the actual text.
+      IR2_ASSIGN_OR_RETURN(StoredObject object, objects_->Load(neighbor->ref));
+      if (stats_ != nullptr) {
+        ++stats_->objects_loaded;
+        stats_->nodes_visited = cursor_->nodes_visited();
+      }
+      if (ContainsAllKeywords(*tokenizer_, object.text, keywords_)) {
+        return std::optional<QueryResult>(
+            QueryResult{neighbor->ref, object.id, neighbor->distance, 0.0,
+                        -neighbor->distance});
+      }
+      if (stats_ != nullptr) {
+        ++stats_->false_positives;
+      }
+    }
+  }
+
+ private:
+  const Ir2Tree* tree_;
+  const ObjectStore* objects_;
+  const Tokenizer* tokenizer_;
+  std::vector<std::string> keywords_;
+  QueryStats* stats_;
+  std::vector<Signature> level_signatures_;
+  std::optional<IncrementalNNCursor> cursor_;
+};
+
+Ir2TopKCursor::Ir2TopKCursor(const Ir2Tree* tree, const ObjectStore* objects,
+                             const Tokenizer* tokenizer, Point point,
+                             std::vector<std::string> keywords)
+    : impl_(new Impl(tree, objects, tokenizer, Rect::ForPoint(point),
+                     std::move(keywords), &stats_)) {}
+
+Ir2TopKCursor::Ir2TopKCursor(const Ir2Tree* tree, const ObjectStore* objects,
+                             const Tokenizer* tokenizer, Rect target,
+                             std::vector<std::string> keywords)
+    : impl_(new Impl(tree, objects, tokenizer, target, std::move(keywords),
+                     &stats_)) {}
+
+Ir2TopKCursor::~Ir2TopKCursor() = default;
+
+StatusOr<std::optional<QueryResult>> Ir2TopKCursor::Next() {
+  return impl_->Next();
+}
+
+StatusOr<std::vector<QueryResult>> Ir2TopK(const Ir2Tree& tree,
+                                           const ObjectStore& objects,
+                                           const Tokenizer& tokenizer,
+                                           const DistanceFirstQuery& query,
+                                           QueryStats* stats) {
+  Ir2TopKCursor cursor(&tree, &objects, &tokenizer, query.Target(),
+                       query.keywords);
+  std::vector<QueryResult> results;
+  results.reserve(query.k);
+  while (results.size() < query.k) {
+    IR2_ASSIGN_OR_RETURN(std::optional<QueryResult> result, cursor.Next());
+    if (!result.has_value()) {
+      break;
+    }
+    results.push_back(*result);
+  }
+  if (stats != nullptr) {
+    *stats += cursor.stats();
+  }
+  return results;
+}
+
+}  // namespace ir2

@@ -1,0 +1,56 @@
+#ifndef IR2TREE_CORE_IR2_SEARCH_H_
+#define IR2TREE_CORE_IR2_SEARCH_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "core/ir2_tree.h"
+#include "core/query.h"
+#include "storage/object_store.h"
+#include "text/tokenizer.h"
+
+namespace ir2 {
+
+// The distance-first IR2-Tree algorithm (Figure 8, IR2TopK): incremental NN
+// over the IR2-Tree with the signature filter — entries (nodes or objects)
+// whose signature does not contain the query signature are dropped from the
+// search queue — followed by a false-positive check on each candidate
+// object. Operates unchanged on a Mir2Tree (the per-level query signatures
+// come from the tree's LevelConfig).
+StatusOr<std::vector<QueryResult>> Ir2TopK(const Ir2Tree& tree,
+                                           const ObjectStore& objects,
+                                           const Tokenizer& tokenizer,
+                                           const DistanceFirstQuery& query,
+                                           QueryStats* stats = nullptr);
+
+// Incremental cursor form of the same algorithm, for callers that consume
+// results lazily (e.g. "next matching hotel" pagination).
+class Ir2TopKCursor {
+ public:
+  Ir2TopKCursor(const Ir2Tree* tree, const ObjectStore* objects,
+                const Tokenizer* tokenizer, Point point,
+                std::vector<std::string> keywords);
+
+  // Area-target variant: results ordered by MINDIST to `target`.
+  Ir2TopKCursor(const Ir2Tree* tree, const ObjectStore* objects,
+                const Tokenizer* tokenizer, Rect target,
+                std::vector<std::string> keywords);
+  ~Ir2TopKCursor();
+
+  Ir2TopKCursor(const Ir2TopKCursor&) = delete;
+  Ir2TopKCursor& operator=(const Ir2TopKCursor&) = delete;
+
+  // Next verified result, or nullopt when exhausted.
+  StatusOr<std::optional<QueryResult>> Next();
+
+  const QueryStats& stats() const { return stats_; }
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+  QueryStats stats_;
+};
+
+}  // namespace ir2
+
+#endif  // IR2TREE_CORE_IR2_SEARCH_H_

@@ -1,0 +1,105 @@
+#ifndef IR2TREE_CORE_IR2_TREE_H_
+#define IR2TREE_CORE_IR2_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rtree/rtree_base.h"
+#include "text/signature.h"
+
+namespace ir2 {
+
+// The IR2-Tree (Information Retrieval R-Tree) of Section IV: an R-Tree in
+// which every entry carries a superimposed-coding signature of the text of
+// the object (leaf entries) or of all objects in the subtree (inner
+// entries). The signature of a node is the OR of the signatures of its
+// entries, so a subtree whose signature lacks a query keyword's bits can be
+// pruned wholesale during nearest-neighbor search.
+//
+// This class uses one signature length for all levels; see Mir2Tree for the
+// multilevel variant. All R-Tree maintenance (quadratic split, AdjustTree,
+// CondenseTree) is inherited from RTreeBase, with payloads = signatures.
+class Ir2Tree : public RTreeBase {
+ public:
+  // The tree spills into extra contiguous blocks per node to keep the plain
+  // R-Tree fan-out, as in the paper (§IV "we allocate additional disk
+  // block(s) to an IR2-Tree node when needed").
+  Ir2Tree(BufferPool* pool, RTreeOptions options, SignatureConfig signature)
+      : RTreeBase(pool, options), signature_(signature) {}
+
+  uint32_t PayloadBytes(uint32_t /*level*/) const override {
+    return signature_.bytes();
+  }
+
+  // Signature scheme for entries residing in a node at `level`. Uniform
+  // here; Mir2Tree overrides with per-level widths.
+  virtual SignatureConfig LevelConfig(uint32_t /*level*/) const {
+    return signature_;
+  }
+
+  // Inserts an object whose (normalized, distinct) words have the given
+  // stable hashes (HashWord). The entry signatures at every level are
+  // derived from these hashes.
+  Status InsertObject(ObjectRef ref, const Rect& rect,
+                      std::span<const uint64_t> word_hashes);
+
+  // Convenience: hashes `distinct_words` first.
+  Status InsertObject(ObjectRef ref, const Rect& rect,
+                      std::span<const std::string> distinct_words);
+
+  // Removes the object previously inserted as (ref, rect); signatures of
+  // ancestors are re-tightened by CondenseTree (Figure 8 of the paper).
+  StatusOr<bool> DeleteObject(ObjectRef ref, const Rect& rect) {
+    return Delete(ref, rect);
+  }
+
+  // One object handed to BulkLoadObjects.
+  struct BulkObject {
+    ObjectRef ref;
+    Rect rect;
+    std::vector<uint64_t> word_hashes;  // HashWord of each distinct word.
+  };
+
+  // STR bulk load with signature payloads (see RTreeBase::BulkLoad). On a
+  // Mir2Tree, construct with defer_inner_payload_maintenance and run
+  // RecomputeAllSignatures() afterwards.
+  Status BulkLoadObjects(std::span<const BulkObject> objects,
+                         double fill_fraction = 0.7);
+
+  // Signature of a conjunctive query (OR of the keywords' signatures) at
+  // the width used by nodes at `level` — the W of IR2NearestNeighbor.
+  Signature QuerySignature(std::span<const uint64_t> keyword_hashes,
+                           uint32_t level) const;
+
+  const SignatureConfig& signature_config() const { return signature_; }
+
+ private:
+  SignatureConfig signature_;
+};
+
+// True iff every set bit of `query` is set in the raw `payload` bytes of an
+// entry — the "S matches W" check, performed without copying the payload
+// into a Signature.
+bool PayloadContainsSignature(std::span<const uint8_t> payload,
+                              const Signature& query);
+
+// PayloadSource adapter: supplies an object's signature at each level of an
+// (M)IR2-Tree given its word hashes.
+class SignaturePayloadSource final : public PayloadSource {
+ public:
+  SignaturePayloadSource(const Ir2Tree* tree,
+                         std::span<const uint64_t> word_hashes)
+      : tree_(tree), word_hashes_(word_hashes) {}
+
+  void FillPayload(uint32_t level, std::span<uint8_t> out) const override;
+
+ private:
+  const Ir2Tree* tree_;
+  std::span<const uint64_t> word_hashes_;
+};
+
+}  // namespace ir2
+
+#endif  // IR2TREE_CORE_IR2_TREE_H_

@@ -1,0 +1,98 @@
+#ifndef IR2TREE_CORE_QUERY_H_
+#define IR2TREE_CORE_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/rect.h"
+#include "storage/block_device.h"
+#include "storage/object_store.h"
+
+namespace ir2 {
+
+// Distance-first top-k spatial keyword query (Section II): the k objects
+// closest to the query target that contain every keyword (Boolean AND
+// semantics). The target is `point`, or `area` when set ("a query area and
+// a set of keywords"; distances are then MINDIST to the area).
+struct DistanceFirstQuery {
+  Point point;
+  std::optional<Rect> area;
+  std::vector<std::string> keywords;
+  uint32_t k = 10;
+
+  Rect Target() const { return area.has_value() ? *area : Rect::ForPoint(point); }
+};
+
+// General top-k spatial keyword query (Section II / V-C): objects ranked by
+// f(distance(T.p, Q.p), IRscore(T.t, Q.t)); an object need not contain all
+// keywords.
+struct GeneralQuery {
+  Point point;
+  std::optional<Rect> area;
+  std::vector<std::string> keywords;
+  uint32_t k = 10;
+
+  Rect Target() const { return area.has_value() ? *area : Rect::ForPoint(point); }
+  // Ranking function f = ir_weight * IRscore - distance_weight * distance:
+  // increasing in IRscore, decreasing in distance, as Section V-C requires.
+  double ir_weight = 1.0;
+  double distance_weight = 1.0;
+  // When false (default), objects with IRscore 0 are not returned (the
+  // paper's "if Score > 0" check); when true, pure-NN results may fill up k.
+  bool allow_zero_ir_score = false;
+};
+
+// One query answer.
+struct QueryResult {
+  ObjectRef ref = kInvalidObjectRef;
+  uint32_t object_id = 0;
+  double distance = 0.0;
+  double ir_score = 0.0;  // 0 for distance-first queries.
+  double score = 0.0;     // f(...) for general queries; -distance otherwise.
+};
+
+// Per-query metrics in the units the paper's figures report.
+struct QueryStats {
+  // "Object accesses": LoadObject calls (candidates + results).
+  uint64_t objects_loaded = 0;
+  // Candidates that failed the keyword containment check — signature (or
+  // distance-order) false positives.
+  uint64_t false_positives = 0;
+  // Tree nodes visited / entries pruned by the signature test.
+  uint64_t nodes_visited = 0;
+  uint64_t entries_pruned = 0;
+  // entries_pruned broken down by the level of the node whose entry was
+  // pruned (index = level; 0 = leaf entries, i.e. objects skipped without
+  // loading). Shows where the signatures work — the MIR2-Tree exists to
+  // move pruning up from the leaves into the inner levels.
+  std::vector<uint64_t> entries_pruned_per_level;
+  // Wall-clock execution time.
+  double seconds = 0.0;
+  // Disk accesses across all structures the algorithm touched (diff of the
+  // devices' IoStats over the query).
+  IoStats io;
+
+  QueryStats& operator+=(const QueryStats& other) {
+    objects_loaded += other.objects_loaded;
+    false_positives += other.false_positives;
+    nodes_visited += other.nodes_visited;
+    entries_pruned += other.entries_pruned;
+    if (entries_pruned_per_level.size() <
+        other.entries_pruned_per_level.size()) {
+      entries_pruned_per_level.resize(other.entries_pruned_per_level.size());
+    }
+    for (size_t i = 0; i < other.entries_pruned_per_level.size(); ++i) {
+      entries_pruned_per_level[i] += other.entries_pruned_per_level[i];
+    }
+    seconds += other.seconds;
+    io += other.io;
+    return *this;
+  }
+};
+
+}  // namespace ir2
+
+#endif  // IR2TREE_CORE_QUERY_H_

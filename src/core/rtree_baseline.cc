@@ -1,0 +1,38 @@
+#include "core/rtree_baseline.h"
+
+#include "rtree/incremental_nn.h"
+
+namespace ir2 {
+
+StatusOr<std::vector<QueryResult>> RTreeTopK(const RTreeBase& tree,
+                                             const ObjectStore& objects,
+                                             const Tokenizer& tokenizer,
+                                             const DistanceFirstQuery& query,
+                                             QueryStats* stats) {
+  IncrementalNNCursor cursor(&tree, query.Target());
+  std::vector<QueryResult> results;
+  results.reserve(query.k);
+  while (results.size() < query.k) {
+    IR2_ASSIGN_OR_RETURN(std::optional<Neighbor> neighbor, cursor.Next());
+    if (!neighbor.has_value()) {
+      break;  // Dataset exhausted before k matches.
+    }
+    IR2_ASSIGN_OR_RETURN(StoredObject object, objects.Load(neighbor->ref));
+    if (stats != nullptr) {
+      ++stats->objects_loaded;
+    }
+    if (ContainsAllKeywords(tokenizer, object.text, query.keywords)) {
+      results.push_back(QueryResult{neighbor->ref, object.id,
+                                    neighbor->distance, 0.0,
+                                    -neighbor->distance});
+    } else if (stats != nullptr) {
+      ++stats->false_positives;
+    }
+  }
+  if (stats != nullptr) {
+    stats->nodes_visited += cursor.nodes_visited();
+  }
+  return results;
+}
+
+}  // namespace ir2

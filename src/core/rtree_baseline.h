@@ -1,0 +1,26 @@
+#ifndef IR2TREE_CORE_RTREE_BASELINE_H_
+#define IR2TREE_CORE_RTREE_BASELINE_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "core/query.h"
+#include "rtree/rtree.h"
+#include "storage/object_store.h"
+#include "text/tokenizer.h"
+
+namespace ir2 {
+
+// The paper's first baseline (Section V-A): incremental NN over a plain
+// R-Tree; every returned neighbor's object is fetched and its text checked
+// against the query keywords until k objects pass. Potentially retrieves
+// many "useless" objects — in the worst case the whole dataset.
+StatusOr<std::vector<QueryResult>> RTreeTopK(const RTreeBase& tree,
+                                             const ObjectStore& objects,
+                                             const Tokenizer& tokenizer,
+                                             const DistanceFirstQuery& query,
+                                             QueryStats* stats = nullptr);
+
+}  // namespace ir2
+
+#endif  // IR2TREE_CORE_RTREE_BASELINE_H_

@@ -1,0 +1,152 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "datagen/zipf.h"
+
+namespace ir2 {
+
+std::string VocabularyWord(uint64_t seed, uint32_t index) {
+  // A few pseudo-random letters followed by the rank in base-26; the suffix
+  // guarantees distinctness, the prefix makes words look natural and gives
+  // realistic length variance.
+  Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  std::string word;
+  uint64_t prefix_len = 2 + rng.NextUint64(4);
+  for (uint64_t i = 0; i < prefix_len; ++i) {
+    word.push_back(static_cast<char>('a' + rng.NextUint64(26)));
+  }
+  uint32_t n = index;
+  do {
+    word.push_back(static_cast<char>('a' + n % 26));
+    n /= 26;
+  } while (n > 0);
+  return word;
+}
+
+std::vector<StoredObject> GenerateDataset(const SyntheticConfig& config) {
+  IR2_CHECK_GT(config.num_objects, 0u);
+  IR2_CHECK_GT(config.vocabulary_size, 0u);
+  Rng rng(config.seed);
+  ZipfSampler zipf(config.vocabulary_size, config.zipf_s);
+
+  // Pre-spell the vocabulary once (word construction dominates otherwise).
+  std::vector<std::string> vocabulary(config.vocabulary_size);
+  for (uint32_t i = 0; i < config.vocabulary_size; ++i) {
+    vocabulary[i] = VocabularyWord(config.seed, i);
+  }
+
+  // Cluster centers for the clustered spatial distribution.
+  std::vector<std::pair<double, double>> centers;
+  if (config.spatial == SyntheticConfig::Spatial::kClustered) {
+    centers.reserve(config.num_clusters);
+    for (uint32_t c = 0; c < config.num_clusters; ++c) {
+      centers.emplace_back(
+          rng.NextDouble(config.world_min, config.world_max),
+          rng.NextDouble(config.world_min, config.world_max));
+    }
+  }
+
+  std::vector<StoredObject> objects;
+  objects.reserve(config.num_objects);
+  std::unordered_set<uint32_t> picked;
+  for (uint32_t i = 0; i < config.num_objects; ++i) {
+    StoredObject object;
+    object.id = i;
+
+    // Location.
+    double x, y;
+    if (config.spatial == SyntheticConfig::Spatial::kClustered) {
+      const auto& [cx, cy] = centers[rng.NextUint64(centers.size())];
+      x = std::clamp(cx + rng.NextGaussian() * config.cluster_sigma,
+                     config.world_min, config.world_max);
+      y = std::clamp(cy + rng.NextGaussian() * config.cluster_sigma,
+                     config.world_min, config.world_max);
+    } else {
+      x = rng.NextDouble(config.world_min, config.world_max);
+      y = rng.NextDouble(config.world_min, config.world_max);
+    }
+    object.coords = {x, y};
+
+    // Distinct word set: Zipf draws until the target count is reached.
+    double jitter = 1.0 + 0.15 * rng.NextGaussian();
+    uint32_t target = std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::lround(
+               config.avg_distinct_words * std::max(0.2, jitter))));
+    target = std::min(target, config.vocabulary_size);
+    picked.clear();
+    uint64_t attempts = 0;
+    const uint64_t max_attempts = 40ull * target + 400;
+    while (picked.size() < target && attempts < max_attempts) {
+      picked.insert(static_cast<uint32_t>(zipf.Sample(rng)));
+      ++attempts;
+    }
+
+    // Text: name plus the word set (order shuffled by construction) plus a
+    // few repeats so term frequencies exceed 1.
+    object.text = config.name_prefix + std::to_string(i);
+    std::vector<uint32_t> words(picked.begin(), picked.end());
+    for (uint32_t w : words) {
+      object.text += ' ';
+      object.text += vocabulary[w];
+    }
+    uint32_t repeats =
+        static_cast<uint32_t>(config.repeat_fraction * words.size());
+    for (uint32_t r = 0; r < repeats; ++r) {
+      object.text += ' ';
+      object.text += vocabulary[words[rng.NextUint64(words.size())]];
+    }
+    objects.push_back(std::move(object));
+  }
+  return objects;
+}
+
+SyntheticConfig HotelsLikeConfig(double scale) {
+  SyntheticConfig config;
+  config.seed = 20080415;  // ICDE 2008.
+  config.num_objects =
+      std::max<uint32_t>(100, static_cast<uint32_t>(129319 * scale));
+  config.vocabulary_size = 53906;
+  config.avg_distinct_words = 349.0;
+  config.zipf_s = 1.0;
+  config.spatial = SyntheticConfig::Spatial::kClustered;
+  config.num_clusters = 256;
+  config.cluster_sigma = 20.0;
+  config.name_prefix = "hotel";
+  return config;
+}
+
+SyntheticConfig RestaurantsLikeConfig(double scale) {
+  SyntheticConfig config;
+  config.seed = 19840601;  // R-Trees, SIGMOD 1984.
+  config.num_objects =
+      std::max<uint32_t>(100, static_cast<uint32_t>(456288 * scale));
+  config.vocabulary_size = 73855;
+  config.avg_distinct_words = 14.0;
+  config.zipf_s = 1.0;
+  config.spatial = SyntheticConfig::Spatial::kClustered;
+  config.num_clusters = 512;
+  config.cluster_sigma = 15.0;
+  config.name_prefix = "restaurant";
+  return config;
+}
+
+double DatasetScale(double fallback) {
+  const char* env = std::getenv("IR2_SCALE");
+  if (env == nullptr || *env == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  double value = std::strtod(env, &end);
+  if (end == env || value <= 0.0) {
+    return fallback;
+  }
+  return value;
+}
+
+}  // namespace ir2

@@ -1,0 +1,57 @@
+#ifndef IR2TREE_DATAGEN_SYNTHETIC_H_
+#define IR2TREE_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/object_store.h"
+
+namespace ir2 {
+
+// Generator for synthetic spatial-keyword datasets that match the *shape
+// statistics* of the paper's (non-public) HPDRC Hotels and Restaurants
+// datasets: object count, vocabulary size, average distinct words per
+// object, Zipfian word frequencies, and record sizes. See DESIGN.md for the
+// substitution rationale.
+struct SyntheticConfig {
+  uint64_t seed = 42;
+  uint32_t num_objects = 10000;
+  uint32_t vocabulary_size = 20000;
+  double avg_distinct_words = 20.0;  // Per object; ~N(avg, (0.15 avg)^2).
+  double zipf_s = 1.0;               // Word-frequency skew.
+  double repeat_fraction = 0.2;      // Extra duplicate tokens (tf > 1).
+
+  enum class Spatial { kUniform, kClustered };
+  Spatial spatial = Spatial::kUniform;
+  uint32_t num_clusters = 64;     // kClustered only.
+  double cluster_sigma = 15.0;    // kClustered only.
+  double world_min = 0.0;
+  double world_max = 1000.0;
+
+  std::string name_prefix = "obj";
+};
+
+// Deterministic for a given config (seed included).
+std::vector<StoredObject> GenerateDataset(const SyntheticConfig& config);
+
+// The word spelled by the generator for vocabulary rank `index` (rank 0 is
+// the most frequent word). Exposed so tests and benches can form queries
+// with known selectivity.
+std::string VocabularyWord(uint64_t seed, uint32_t index);
+
+// Paper-matched dataset shapes (Table 1). `scale` multiplies the object
+// count; 1.0 reproduces the published sizes (129,319 hotels with ~349
+// distinct words each over a 53,906-word vocabulary; 456,288 restaurants
+// with ~14 words over 73,855).
+SyntheticConfig HotelsLikeConfig(double scale);
+SyntheticConfig RestaurantsLikeConfig(double scale);
+
+// Benchmark dataset scale: the IR2_SCALE environment variable, else
+// `fallback` (benches default to a laptop-friendly fraction of the paper's
+// sizes; set IR2_SCALE=1 for full size).
+double DatasetScale(double fallback);
+
+}  // namespace ir2
+
+#endif  // IR2TREE_DATAGEN_SYNTHETIC_H_

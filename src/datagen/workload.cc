@@ -1,0 +1,87 @@
+#include "datagen/workload.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace ir2 {
+namespace {
+
+// Distinct tokens of `object`, filtered to the minimum keyword length.
+std::vector<std::string> KeywordCandidates(const Tokenizer& tokenizer,
+                                           const StoredObject& object,
+                                           uint32_t min_length) {
+  std::vector<std::string> tokens = tokenizer.DistinctTokens(object.text);
+  std::erase_if(tokens, [min_length](const std::string& token) {
+    return token.size() < min_length;
+  });
+  return tokens;
+}
+
+}  // namespace
+
+std::vector<DistanceFirstQuery> GenerateWorkload(
+    std::span<const StoredObject> objects, const Tokenizer& tokenizer,
+    const WorkloadConfig& config) {
+  IR2_CHECK(!objects.empty());
+  Rng rng(config.seed);
+
+  // Bounding box of the data for query points.
+  double min_x = std::numeric_limits<double>::infinity(), min_y = min_x;
+  double max_x = -min_x, max_y = -min_x;
+  for (const StoredObject& object : objects) {
+    IR2_CHECK_GE(object.coords.size(), 2u);
+    min_x = std::min(min_x, object.coords[0]);
+    max_x = std::max(max_x, object.coords[0]);
+    min_y = std::min(min_y, object.coords[1]);
+    max_y = std::max(max_y, object.coords[1]);
+  }
+
+  std::vector<DistanceFirstQuery> queries;
+  queries.reserve(config.num_queries);
+  while (queries.size() < config.num_queries) {
+    DistanceFirstQuery query;
+    query.k = config.k;
+    query.point = Point(rng.NextDouble(min_x, max_x),
+                        rng.NextDouble(min_y, max_y));
+
+    std::unordered_set<std::string> chosen;
+    if (config.source == WorkloadConfig::KeywordSource::kFromObject) {
+      const StoredObject& source =
+          objects[rng.NextUint64(objects.size())];
+      std::vector<std::string> candidates =
+          KeywordCandidates(tokenizer, source, config.min_keyword_length);
+      if (candidates.size() < config.num_keywords) {
+        continue;  // Object too word-poor; try another.
+      }
+      while (chosen.size() < config.num_keywords) {
+        chosen.insert(candidates[rng.NextUint64(candidates.size())]);
+      }
+    } else {
+      uint32_t attempts = 0;
+      while (chosen.size() < config.num_keywords && attempts < 1000) {
+        ++attempts;
+        const StoredObject& source =
+            objects[rng.NextUint64(objects.size())];
+        std::vector<std::string> candidates =
+            KeywordCandidates(tokenizer, source, config.min_keyword_length);
+        if (candidates.empty()) continue;
+        // One frequency-weighted token: frequent words appear in more
+        // objects, hence are drawn more often.
+        chosen.insert(candidates[rng.NextUint64(candidates.size())]);
+      }
+      if (chosen.size() < config.num_keywords) {
+        continue;
+      }
+    }
+    query.keywords.assign(chosen.begin(), chosen.end());
+    std::sort(query.keywords.begin(), query.keywords.end());
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace ir2

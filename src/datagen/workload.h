@@ -1,0 +1,43 @@
+#ifndef IR2TREE_DATAGEN_WORKLOAD_H_
+#define IR2TREE_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/query.h"
+#include "storage/object_store.h"
+#include "text/tokenizer.h"
+
+namespace ir2 {
+
+// Query workload generator for the experiments. The paper does not publish
+// its query set; we form queries the way the motivating applications do —
+// a user standing at some location asks for keywords that do co-occur in
+// some object (yellow pages: "internet pool"), so conjunctions are
+// satisfiable and the algorithms' relative behaviour matches the figures.
+struct WorkloadConfig {
+  uint64_t seed = 7;
+  uint32_t num_queries = 40;
+  uint32_t num_keywords = 2;
+  uint32_t k = 10;
+
+  // kFromObject draws all keywords from one (random) object's text, so at
+  // least one object matches the conjunction. kIndependent draws each
+  // keyword from a different object (frequency-weighted); conjunctions may
+  // be empty, exercising the R-Tree baseline's worst case.
+  enum class KeywordSource { kFromObject, kIndependent };
+  KeywordSource source = KeywordSource::kFromObject;
+
+  // Skip candidate keywords shorter than this (mimics stop-wording).
+  uint32_t min_keyword_length = 3;
+};
+
+// Query points are uniform over the dataset's bounding box.
+std::vector<DistanceFirstQuery> GenerateWorkload(
+    std::span<const StoredObject> objects, const Tokenizer& tokenizer,
+    const WorkloadConfig& config);
+
+}  // namespace ir2
+
+#endif  // IR2TREE_DATAGEN_WORKLOAD_H_

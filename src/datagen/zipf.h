@@ -1,0 +1,31 @@
+#ifndef IR2TREE_DATAGEN_ZIPF_H_
+#define IR2TREE_DATAGEN_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ir2 {
+
+// Samples ranks in [0, n) with P(r) proportional to 1 / (r + 1)^s — the
+// Zipfian distribution word frequencies in real corpora follow. Sampling is
+// by binary search over the precomputed CDF: O(n) memory, O(log n) per draw.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+  // Probability of rank r (for tests and analytic checks).
+  double Probability(uint64_t rank) const;
+
+  uint64_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r).
+};
+
+}  // namespace ir2
+
+#endif  // IR2TREE_DATAGEN_ZIPF_H_

@@ -1,0 +1,33 @@
+#include "geo/point.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ir2 {
+
+std::string Point::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (uint32_t i = 0; i < dims_; ++i) {
+    if (i > 0) os << ", ";
+    os << coords_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+double DistanceSquared(const Point& a, const Point& b) {
+  IR2_DCHECK(a.dims() == b.dims());
+  double sum = 0.0;
+  for (uint32_t i = 0; i < a.dims(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(DistanceSquared(a, b));
+}
+
+}  // namespace ir2

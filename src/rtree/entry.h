@@ -1,0 +1,48 @@
+#ifndef IR2TREE_RTREE_ENTRY_H_
+#define IR2TREE_RTREE_ENTRY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geo/rect.h"
+#include "storage/block_device.h"
+#include "storage/object_store.h"
+
+namespace ir2 {
+
+// One slot of an R-Tree / IR2-Tree node.
+//
+// In a leaf node (level 0): `ref` is the ObjectRef of a spatial object,
+// `rect` its (degenerate, for points) MBR, and `payload` the object's
+// signature — the paper's (ObjPtr, A, S) leaf entry.
+//
+// In an inner node (level > 0): `ref` is the BlockId of the child node's
+// first block, `rect` the child's MBR, and `payload` the child subtree's
+// superimposed signature — the paper's (NodePtr, A, S) entry.
+//
+// A plain R-Tree is the payload_bytes == 0 special case.
+struct Entry {
+  Rect rect;
+  uint32_t ref = 0;
+  std::vector<uint8_t> payload;
+};
+
+// An in-memory copy of a node. Nodes are value types: they are deserialized
+// from their disk blocks by RTreeBase::LoadNode and written back by
+// StoreNode; there is no in-memory node graph.
+struct Node {
+  BlockId id = kInvalidBlockId;
+  uint32_t level = 0;  // 0 = leaf; the root has level == tree height.
+  std::vector<Entry> entries;
+
+  bool is_leaf() const { return level == 0; }
+
+  // Smallest rectangle covering all entries. Must not be called on an empty
+  // node (only a brand-new empty root has no entries).
+  Rect BoundingRect() const;
+};
+
+}  // namespace ir2
+
+#endif  // IR2TREE_RTREE_ENTRY_H_

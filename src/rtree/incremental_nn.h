@@ -1,0 +1,86 @@
+#ifndef IR2TREE_RTREE_INCREMENTAL_NN_H_
+#define IR2TREE_RTREE_INCREMENTAL_NN_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/status_or.h"
+#include "geo/point.h"
+#include "rtree/rtree_base.h"
+
+namespace ir2 {
+
+// One result of the incremental NN traversal.
+struct Neighbor {
+  ObjectRef ref = kInvalidObjectRef;
+  double distance = 0.0;
+  Rect rect;  // The object's MBR as stored in its leaf entry.
+};
+
+// The Incremental Nearest Neighbor algorithm of Hjaltason and Samet [HS99]
+// (Figure 3 of the paper), extended with the entry filter that turns it
+// into IR2NearestNeighbor (Figure 8): entries whose signature does not match
+// the query signature are dropped from the search queue.
+//
+// The cursor owns a priority queue of nodes and objects ordered by MINDIST
+// to the query point; each Next() call pops until an object surfaces, which
+// is then the next-nearest (unfiltered) object. Node loads go through the
+// tree's buffer pool and are therefore visible in the device's IoStats.
+class IncrementalNNCursor {
+ public:
+  // Returns false to prune `entry` of `node` from the search (the paper's
+  // "if S matches W" test). An empty function prunes nothing (plain NN).
+  using EntryFilter = std::function<bool(const Node& node, const Entry& entry)>;
+
+  // `tree` must outlive the cursor and not be modified while it is in use.
+  IncrementalNNCursor(const RTreeBase* tree, const Point& query,
+                      EntryFilter filter = {});
+
+  // Area-target variant ("a point p, which is the query point (an area
+  // could be used instead)"): distances are MINDIST to `query_area`.
+  IncrementalNNCursor(const RTreeBase* tree, const Rect& query_area,
+                      EntryFilter filter = {});
+
+  // The next nearest object passing the filter, or nullopt when the tree is
+  // exhausted.
+  StatusOr<std::optional<Neighbor>> Next();
+
+  uint64_t nodes_visited() const { return nodes_visited_; }
+  uint64_t objects_enqueued() const { return objects_enqueued_; }
+  uint64_t entries_pruned() const { return entries_pruned_; }
+
+ private:
+  struct QueueItem {
+    double distance;
+    bool is_object;
+    uint64_t seq;  // Tie-break for deterministic order.
+    uint64_t id;   // BlockId (node) or ObjectRef (object).
+    Rect rect;
+  };
+  struct QueueOrder {
+    // std::priority_queue is a max-heap; return true when a is *worse*.
+    bool operator()(const QueueItem& a, const QueueItem& b) const {
+      if (a.distance != b.distance) return a.distance > b.distance;
+      // Objects surface before nodes at equal distance: they cannot be
+      // beaten by anything inside those nodes.
+      if (a.is_object != b.is_object) return b.is_object;
+      return a.seq > b.seq;
+    }
+  };
+
+  const RTreeBase* tree_;
+  Rect target_;  // Degenerate for point queries.
+  EntryFilter filter_;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, QueueOrder> queue_;
+  uint64_t seq_ = 0;
+  uint64_t nodes_visited_ = 0;
+  uint64_t objects_enqueued_ = 0;
+  uint64_t entries_pruned_ = 0;
+};
+
+}  // namespace ir2
+
+#endif  // IR2TREE_RTREE_INCREMENTAL_NN_H_

@@ -1,0 +1,102 @@
+#include "rtree/knn.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace ir2 {
+namespace {
+
+// Max-heap of the k best candidates so far, keyed by distance.
+class BestK {
+ public:
+  explicit BestK(uint32_t k) : k_(k) {}
+
+  double Worst() const {
+    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
+                             : heap_.top().distance;
+  }
+
+  void Offer(const Neighbor& neighbor) {
+    if (heap_.size() < k_) {
+      heap_.push(neighbor);
+    } else if (neighbor.distance < heap_.top().distance) {
+      heap_.pop();
+      heap_.push(neighbor);
+    }
+  }
+
+  std::vector<Neighbor> TakeSorted() {
+    std::vector<Neighbor> result;
+    result.reserve(heap_.size());
+    while (!heap_.empty()) {
+      result.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::reverse(result.begin(), result.end());
+    return result;
+  }
+
+ private:
+  struct ByDistance {
+    bool operator()(const Neighbor& a, const Neighbor& b) const {
+      if (a.distance != b.distance) return a.distance < b.distance;
+      return a.ref < b.ref;  // Deterministic tie-break.
+    }
+  };
+  uint32_t k_;
+  std::priority_queue<Neighbor, std::vector<Neighbor>, ByDistance> heap_;
+};
+
+Status Visit(const RTreeBase& tree, BlockId node_id, const Point& query,
+             BestK* best) {
+  IR2_ASSIGN_OR_RETURN(Node node, tree.LoadNode(node_id));
+  if (node.is_leaf()) {
+    for (const Entry& entry : node.entries) {
+      double distance = entry.rect.MinDist(query);
+      if (distance <= best->Worst()) {
+        best->Offer(Neighbor{entry.ref, distance, entry.rect});
+      }
+    }
+    return Status::Ok();
+  }
+  // Visit children in MINDIST order; prune once MINDIST exceeds the k-th
+  // best (children are sorted, so the first prune ends the node).
+  struct Child {
+    double distance;
+    BlockId id;
+  };
+  std::vector<Child> children;
+  children.reserve(node.entries.size());
+  for (const Entry& entry : node.entries) {
+    children.push_back(Child{entry.rect.MinDist(query), entry.ref});
+  }
+  std::sort(children.begin(), children.end(),
+            [](const Child& a, const Child& b) {
+              return a.distance < b.distance;
+            });
+  for (const Child& child : children) {
+    if (child.distance > best->Worst()) {
+      break;
+    }
+    IR2_RETURN_IF_ERROR(Visit(tree, child.id, query, best));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::vector<Neighbor>> BranchAndBoundKnn(const RTreeBase& tree,
+                                                  const Point& query,
+                                                  uint32_t k) {
+  if (query.dims() != tree.dims()) {
+    return Status::InvalidArgument("Query dimensionality mismatch");
+  }
+  BestK best(k);
+  if (k > 0 && tree.size() > 0) {
+    IR2_RETURN_IF_ERROR(Visit(tree, tree.root_id(), query, &best));
+  }
+  return best.TakeSorted();
+}
+
+}  // namespace ir2

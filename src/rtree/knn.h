@@ -1,0 +1,27 @@
+#ifndef IR2TREE_RTREE_KNN_H_
+#define IR2TREE_RTREE_KNN_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "rtree/incremental_nn.h"
+#include "rtree/rtree_base.h"
+
+namespace ir2 {
+
+// Classic branch-and-bound k-nearest-neighbor search of Roussopoulos,
+// Kelley and Vincent [RKV95] (the paper's Related Work): depth-first
+// traversal visiting children in MINDIST order, pruning subtrees whose
+// MINDIST exceeds the current k-th best distance.
+//
+// Equivalent results to running IncrementalNNCursor k times; provided
+// because the fixed-k form needs no persistent queue state and is the
+// algorithm most spatial databases historically shipped. Results are
+// ordered by ascending distance.
+StatusOr<std::vector<Neighbor>> BranchAndBoundKnn(const RTreeBase& tree,
+                                                  const Point& query,
+                                                  uint32_t k);
+
+}  // namespace ir2
+
+#endif  // IR2TREE_RTREE_KNN_H_

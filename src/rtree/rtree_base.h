@@ -1,0 +1,289 @@
+#ifndef IR2TREE_RTREE_RTREE_BASE_H_
+#define IR2TREE_RTREE_RTREE_BASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/status_or.h"
+#include "geo/rect.h"
+#include "rtree/entry.h"
+#include "storage/buffer_pool.h"
+#include "storage/object_store.h"
+
+namespace ir2 {
+
+// Supplies the per-level payload (signature) of an object being inserted.
+// For uniform-signature trees the payload is the same at every level; the
+// Multilevel IR2-Tree hashes the object's words at a different width per
+// level.
+class PayloadSource {
+ public:
+  virtual ~PayloadSource() = default;
+
+  // Fills `out` (whose size is the tree's PayloadBytes(level)) with the
+  // object's payload for entries stored in a node at `level`.
+  virtual void FillPayload(uint32_t level, std::span<uint8_t> out) const = 0;
+};
+
+// Payload source of a plain R-Tree object (no payload at any level).
+class EmptyPayloadSource final : public PayloadSource {
+ public:
+  void FillPayload(uint32_t, std::span<uint8_t>) const override {}
+};
+
+// Node split algorithm. The paper uses Guttman's quadratic split; the
+// R*-Tree split (margin-driven axis choice, overlap-driven distribution,
+// Beckmann et al. 1990) is provided as the standard higher-quality
+// alternative (cf. the R*-trees in the paper's Related Work [ZXW+05]).
+enum class SplitPolicy {
+  kQuadratic,
+  kRStar,
+};
+
+struct RTreeOptions {
+  uint32_t dims = 2;
+
+  SplitPolicy split_policy = SplitPolicy::kQuadratic;
+
+  // R* forced reinsertion (Beckmann et al.): on the first overflow of a
+  // level during an insertion, the entries farthest from the node's center
+  // are removed and re-inserted instead of splitting, which re-clusters
+  // the tree over time. Fraction of the node re-inserted; 0 disables.
+  // Non-zero values pair naturally with SplitPolicy::kRStar. Note: on a
+  // MIR2-Tree every removal forces subtree signature recomputation, so
+  // forced reinsertion is best left off there.
+  double forced_reinsert_fraction = 0.0;
+
+  // Guttman's minimum node fill m as a fraction of capacity M (m <= M/2).
+  double min_fill_fraction = 0.4;
+
+  // 0 derives the capacity from the block size so that a *payload-free*
+  // node fills exactly one disk block — the paper's 113 children at 4096 B.
+  // Signature-carrying trees keep this same fan-out and spill into extra
+  // contiguous blocks. Tests override this to force deep trees.
+  uint32_t capacity_override = 0;
+
+  // When true, inner-node payloads are NOT maintained during updates; the
+  // caller must run a bulk fix-up pass afterwards (Mir2Tree::
+  // RecomputeAllSignatures). Used to bulk load MIR2-Trees, whose faithful
+  // incremental maintenance is deliberately expensive (see the paper §IV).
+  bool defer_inner_payload_maintenance = false;
+
+  // When false, the tree writes no superblock and does not require an
+  // empty device: many trees can share one device (used by the hybrid
+  // per-keyword-tree baseline). The owner must persist root_id/height/
+  // size itself and restore them with Attach.
+  bool manage_superblock = true;
+};
+
+// Disk-resident R-Tree with per-entry payloads maintained alongside MBRs.
+//
+// This is Guttman's R-Tree [Gut84] — ChooseLeaf, quadratic split,
+// AdjustTree, and Delete via FindLeaf/CondenseTree with re-insertion —
+// extended exactly where the paper (§IV) extends it: every entry carries a
+// payload (signature) that AdjustTree/CondenseTree keep consistent with the
+// entries below it.
+//
+// Subclasses define the payload semantics:
+//   * RTree      — zero-byte payloads (the classic structure),
+//   * Ir2Tree    — uniform-length signatures, parent = OR of children,
+//   * Mir2Tree   — per-level signature lengths, parents recomputed from the
+//                  objects of the subtree.
+//
+// The tree persists through a BufferPool onto a BlockDevice; node reads and
+// writes therefore show up in the device's IoStats with the multi-block
+// first-random-then-sequential pattern the paper measures.
+class RTreeBase {
+ public:
+  virtual ~RTreeBase() = default;
+
+  RTreeBase(const RTreeBase&) = delete;
+  RTreeBase& operator=(const RTreeBase&) = delete;
+
+  // Creates an empty tree on the pool's (empty) device: superblock + empty
+  // root leaf. Call exactly one of Init or Load before any other method.
+  Status Init();
+
+  // Opens an existing tree (superblock at block 0).
+  Status Load();
+
+  // Adopts an existing tree on a shared device (manage_superblock == false
+  // mode): the caller supplies the metadata a superblock would hold.
+  void Attach(BlockId root_id, uint32_t root_level, uint64_t count);
+
+  // Inserts an object. `source` provides its signature at each level (pass
+  // EmptyPayloadSource for plain R-Trees).
+  Status Insert(ObjectRef ref, const Rect& rect, const PayloadSource& source);
+
+  // One object handed to BulkLoad.
+  struct BulkItem {
+    ObjectRef ref;
+    Rect rect;
+  };
+
+  // Sort-Tile-Recursive bulk load [Leutenegger et al.]: packs the items
+  // into leaves at `fill_fraction` of capacity and builds the upper levels
+  // bottom-up — far faster than repeated Insert and with better-clustered
+  // nodes. The tree must be freshly Init()-ed and empty.
+  // `source_for_item(i)` returns the payload source of items[i] (may return
+  // the same object each call); inner payloads use the subclass semantics
+  // (skipped when defer_inner_payload_maintenance is set — run the fix-up
+  // pass afterwards, as with incremental MIR2 bulk builds).
+  Status BulkLoad(std::vector<BulkItem> items,
+                  const std::function<const PayloadSource&(size_t)>&
+                      source_for_item,
+                  double fill_fraction = 0.7);
+
+  // Deletes the object previously inserted as (ref, rect). Returns true if
+  // found. Underflowing nodes are condensed and their entries re-inserted,
+  // with ancestor payloads recomputed (Figure 8 of the paper).
+  StatusOr<bool> Delete(ObjectRef ref, const Rect& rect);
+
+  // Flushes superblock + dirty pages to the device.
+  Status Flush();
+
+  // ---- Introspection (used by search algorithms, tests and benches) ----
+
+  uint64_t size() const { return count_; }
+  uint32_t height() const { return root_level_; }  // Leaf-only tree: 0.
+  BlockId root_id() const { return root_id_; }
+  uint32_t node_capacity() const { return capacity_; }
+  uint32_t min_fill() const { return min_fill_; }
+  uint32_t dims() const { return options_.dims; }
+  const RTreeOptions& options() const { return options_; }
+
+  // Payload length (bytes) of entries residing in a node at `level`.
+  virtual uint32_t PayloadBytes(uint32_t level) const = 0;
+
+  // Number of contiguous disk blocks reserved for a node at `level` (full
+  // capacity).
+  uint32_t BlocksPerNode(uint32_t level) const;
+
+  // Number of blocks a node at `level` with `entry_count` live entries
+  // actually occupies — what LoadNode/StoreNode transfer.
+  uint32_t BlocksUsed(uint32_t level, uint32_t entry_count) const;
+
+  // Reads a node from disk (counts I/O: 1 random + sequential reads).
+  StatusOr<Node> LoadNode(BlockId id) const;
+
+  // Appends the ObjectRefs of every object under `node_id` (inclusive
+  // subtree scan; reads nodes, not objects).
+  Status CollectObjectRefs(BlockId node_id, std::vector<ObjectRef>* out) const;
+
+  // Structural invariant check for tests: balance, fill factors, MBR
+  // containment, payload superimposition (parent payload contains the OR of
+  // child payloads for uniform trees), and object count.
+  Status Validate() const;
+
+  BufferPool* pool() const { return pool_; }
+
+ protected:
+  RTreeBase(BufferPool* pool, RTreeOptions options);
+
+  // Computes the payload that a parent entry describing `node` must carry
+  // (length PayloadBytes(node.level + 1)). The default superimposes (ORs)
+  // the node's entry payloads, which is correct when PayloadBytes is the
+  // same at both levels — the uniform IR2-Tree and the plain R-Tree.
+  // Mir2Tree overrides this with a subtree recomputation at the parent
+  // level's signature width.
+  virtual Status ComputeNodePayloadForParent(const Node& node,
+                                             std::vector<uint8_t>* out);
+
+  Status StoreNode(const Node& node);
+
+ private:
+  struct PathStep {
+    Node node;
+    // Index within node.entries of the child chosen while descending; -1 in
+    // the final (target) step.
+    int child_index = -1;
+  };
+
+  // Descends from the root picking minimum-enlargement children until a
+  // node at `target_level` is reached (0 = leaf). Returns the root-to-target
+  // path. ChooseLeaf of [Gut84], generalized for subtree re-insertion.
+  StatusOr<std::vector<PathStep>> ChoosePath(const Rect& rect,
+                                             uint32_t target_level) const;
+
+  // Exact search for the leaf holding (ref, rect): FindLeaf of [Gut84].
+  // Returns an empty vector when not found; otherwise the root-to-leaf path
+  // with the final step's child_index set to the matching entry.
+  StatusOr<std::vector<PathStep>> FindLeafPath(ObjectRef ref,
+                                               const Rect& rect) const;
+
+  // Inserts `entry` into the node at `target_level` (entries at that level
+  // describe subtrees of height target_level - 1, or objects when 0) and
+  // runs AdjustTree. `source` non-null enables the cheap OR-in payload
+  // update on non-split ancestors; when null, ancestors are recomputed.
+  // Overflow is handled by forced reinsertion (once per level per
+  // top-level insertion, when enabled) or by splitting.
+  Status InsertEntry(Entry entry, uint32_t target_level,
+                     const PayloadSource* source);
+
+  // Removes the forced_reinsert_fraction of `node`'s entries farthest from
+  // its center into `removed`.
+  void TakeFarthestEntries(Node* node, std::vector<Entry>* removed) const;
+
+  // Splits `node`'s entries (capacity_ + 1 of them) into `node` and a new
+  // node via Guttman's quadratic method. Allocates the new node on disk.
+  StatusOr<Node> SplitNode(Node* node);
+
+  // Quadratic PickSeeds / PickNext split of `entries` into two groups.
+  void QuadraticPartition(std::vector<Entry> entries,
+                          std::vector<Entry>* group_a,
+                          std::vector<Entry>* group_b) const;
+
+  // R* split: margin-minimal axis, then overlap-minimal distribution.
+  void RStarPartition(std::vector<Entry> entries,
+                      std::vector<Entry>* group_a,
+                      std::vector<Entry>* group_b) const;
+
+  // Recomputes the parent entry (rect + payload) for `child` inside
+  // `parent` at entry `index`. `source` (optional) + `child_membership_
+  // changed` decide between OR-in and full recomputation. Sets `*changed`
+  // iff the entry actually differs afterwards — callers skip StoreNode for
+  // untouched parents, which matters for wide-signature nodes spanning many
+  // blocks.
+  Status RefreshParentEntry(Node* parent, int index, const Node& child,
+                            bool child_membership_changed,
+                            const PayloadSource* source, bool* changed);
+
+  // Grows the tree: new root above `left` and `right`.
+  Status GrowRoot(const Node& left, const Node& right);
+
+  // Allocates blocks for a new node at `level`.
+  StatusOr<BlockId> AllocateNode(uint32_t level);
+
+  Status WriteSuperblock();
+  Status ValidateSubtree(BlockId node_id, uint32_t expected_level,
+                         bool is_root, const Rect* parent_rect,
+                         std::span<const uint8_t> parent_payload,
+                         uint64_t* object_count) const;
+
+  uint32_t EntryBytes(uint32_t level) const;
+  uint32_t NodeBytes(uint32_t level) const;
+
+  BufferPool* pool_;
+  RTreeOptions options_;
+  uint32_t capacity_ = 0;
+  uint32_t min_fill_ = 0;
+  bool ready_ = false;
+
+  BlockId root_id_ = kInvalidBlockId;
+  uint32_t root_level_ = 0;
+  uint64_t count_ = 0;
+
+  // Levels that already used forced reinsertion during the current
+  // top-level mutation (reset by Insert/Delete); bit i = level i.
+  uint64_t reinserted_levels_ = 0;
+  // Depth guard: reinsertion recursion beyond this falls back to splits.
+  int reinsert_depth_ = 0;
+};
+
+}  // namespace ir2
+
+#endif  // IR2TREE_RTREE_RTREE_BASE_H_

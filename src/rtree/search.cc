@@ -1,0 +1,32 @@
+#include "rtree/search.h"
+
+namespace ir2 {
+namespace {
+
+Status RangeSearchNode(const RTreeBase& tree, BlockId node_id,
+                       const Rect& query, std::vector<Entry>* out) {
+  IR2_ASSIGN_OR_RETURN(Node node, tree.LoadNode(node_id));
+  for (const Entry& entry : node.entries) {
+    if (!entry.rect.Intersects(query)) {
+      continue;
+    }
+    if (node.is_leaf()) {
+      out->push_back(entry);
+    } else {
+      IR2_RETURN_IF_ERROR(RangeSearchNode(tree, entry.ref, query, out));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status RangeSearch(const RTreeBase& tree, const Rect& query,
+                   std::vector<Entry>* out) {
+  if (query.dims() != tree.dims()) {
+    return Status::InvalidArgument("Query rect dimensionality mismatch");
+  }
+  return RangeSearchNode(tree, tree.root_id(), query, out);
+}
+
+}  // namespace ir2

@@ -1,0 +1,20 @@
+#ifndef IR2TREE_RTREE_SEARCH_H_
+#define IR2TREE_RTREE_SEARCH_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "geo/rect.h"
+#include "rtree/rtree_base.h"
+
+namespace ir2 {
+
+// Classic R-Tree range query [Gut84]: appends every leaf entry whose MBR
+// intersects `query`. Not used by the paper's algorithms (they are all
+// NN-based) but part of any credible R-Tree library and handy in tests.
+Status RangeSearch(const RTreeBase& tree, const Rect& query,
+                   std::vector<Entry>* out);
+
+}  // namespace ir2
+
+#endif  // IR2TREE_RTREE_SEARCH_H_

@@ -1,0 +1,67 @@
+#include "rtree/tree_stats.h"
+
+#include <bit>
+#include <sstream>
+
+namespace ir2 {
+namespace {
+
+Status Visit(const RTreeBase& tree, BlockId node_id,
+             TreeStatsReport* report) {
+  IR2_ASSIGN_OR_RETURN(Node node, tree.LoadNode(node_id));
+  if (node.level >= report->levels.size()) {
+    report->levels.resize(node.level + 1);
+  }
+  LevelStats& level = report->levels[node.level];
+  level.level = node.level;
+  ++level.nodes;
+  level.entries += node.entries.size();
+  level.blocks_used += tree.BlocksUsed(
+      node.level, static_cast<uint32_t>(node.entries.size()));
+  for (const Entry& entry : node.entries) {
+    level.payload_bits += entry.payload.size() * 8;
+    for (uint8_t byte : entry.payload) {
+      level.payload_ones += std::popcount(byte);
+    }
+  }
+  if (!node.is_leaf()) {
+    for (const Entry& entry : node.entries) {
+      IR2_RETURN_IF_ERROR(Visit(tree, entry.ref, report));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<TreeStatsReport> ComputeTreeStats(const RTreeBase& tree) {
+  TreeStatsReport report;
+  IR2_RETURN_IF_ERROR(Visit(tree, tree.root_id(), &report));
+  for (const LevelStats& level : report.levels) {
+    report.total_nodes += level.nodes;
+    report.total_entries += level.entries;
+    report.total_blocks_used += level.blocks_used;
+  }
+  return report;
+}
+
+std::string TreeStatsReport::ToString(uint32_t capacity) const {
+  std::ostringstream os;
+  os << "level   nodes  entries  fill%  blocks  sig-density\n";
+  for (size_t i = levels.size(); i-- > 0;) {
+    const LevelStats& level = levels[i];
+    char line[128];
+    std::snprintf(line, sizeof(line), "%5zu %7llu %8llu %6.1f %7llu %12.3f\n",
+                  i, static_cast<unsigned long long>(level.nodes),
+                  static_cast<unsigned long long>(level.entries),
+                  100.0 * level.AvgFill(capacity),
+                  static_cast<unsigned long long>(level.blocks_used),
+                  level.PayloadDensity());
+    os << line;
+  }
+  os << "total " << total_nodes << " nodes, " << total_entries
+     << " entries, " << total_blocks_used << " blocks used";
+  return os.str();
+}
+
+}  // namespace ir2

@@ -1,0 +1,53 @@
+#ifndef IR2TREE_RTREE_TREE_STATS_H_
+#define IR2TREE_RTREE_TREE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "rtree/rtree_base.h"
+
+namespace ir2 {
+
+// Aggregates for one tree level (0 = leaves).
+struct LevelStats {
+  uint32_t level = 0;
+  uint64_t nodes = 0;
+  uint64_t entries = 0;
+  uint64_t blocks_used = 0;     // Sum of BlocksUsed over the level's nodes.
+  uint64_t payload_bits = 0;    // Total signature bits at this level.
+  uint64_t payload_ones = 0;    // Set signature bits at this level.
+
+  double AvgFill(uint32_t capacity) const {
+    return nodes == 0 ? 0.0
+                      : static_cast<double>(entries) /
+                            (static_cast<double>(nodes) * capacity);
+  }
+  // Fraction of signature bits set — the superimposed-coding "weight".
+  // Near 0.5 is the optimum; near 1.0 means the signatures are saturated
+  // and prune nothing (the failure mode the MIR2-Tree exists to fix).
+  double PayloadDensity() const {
+    return payload_bits == 0 ? 0.0
+                             : static_cast<double>(payload_ones) /
+                                   static_cast<double>(payload_bits);
+  }
+};
+
+// Whole-tree structural report, computed by one full traversal.
+struct TreeStatsReport {
+  std::vector<LevelStats> levels;  // Index = level.
+  uint64_t total_nodes = 0;
+  uint64_t total_entries = 0;
+  uint64_t total_blocks_used = 0;
+
+  // Multi-line human-readable summary.
+  std::string ToString(uint32_t capacity) const;
+};
+
+// Walks the whole tree (reads every node once).
+StatusOr<TreeStatsReport> ComputeTreeStats(const RTreeBase& tree);
+
+}  // namespace ir2
+
+#endif  // IR2TREE_RTREE_TREE_STATS_H_

@@ -1,0 +1,176 @@
+#include "storage/block_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ir2 {
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "reads(random=" << random_reads << ", seq=" << sequential_reads
+     << ") writes(random=" << random_writes << ", seq=" << sequential_writes
+     << ")";
+  return os.str();
+}
+
+Status CopyBlocks(BlockDevice* src, BlockDevice* dst) {
+  if (src->block_size() != dst->block_size()) {
+    return Status::InvalidArgument("CopyBlocks: block size mismatch");
+  }
+  if (dst->NumBlocks() != 0) {
+    return Status::FailedPrecondition("CopyBlocks: destination not empty");
+  }
+  const uint64_t blocks = src->NumBlocks();
+  if (blocks == 0) {
+    return Status::Ok();
+  }
+  IR2_ASSIGN_OR_RETURN(BlockId first, dst->Allocate(
+      static_cast<uint32_t>(blocks)));
+  IR2_CHECK_EQ(first, 0u);
+  std::vector<uint8_t> buffer(src->block_size());
+  for (BlockId id = 0; id < blocks; ++id) {
+    IR2_RETURN_IF_ERROR(src->Read(id, buffer));
+    IR2_RETURN_IF_ERROR(dst->Write(id, buffer));
+  }
+  return Status::Ok();
+}
+
+Status BlockDevice::Read(BlockId id, std::span<uint8_t> out) {
+  if (out.size() != block_size_) {
+    return Status::InvalidArgument("Read buffer size != block size");
+  }
+  if (id >= NumBlocks()) {
+    return Status::OutOfRange("Read past end of device");
+  }
+  if (last_read_block_ != kInvalidBlockId && id == last_read_block_ + 1) {
+    ++stats_.sequential_reads;
+  } else {
+    ++stats_.random_reads;
+  }
+  last_read_block_ = id;
+  return ReadImpl(id, out);
+}
+
+Status BlockDevice::Write(BlockId id, std::span<const uint8_t> data) {
+  if (data.size() != block_size_) {
+    return Status::InvalidArgument("Write buffer size != block size");
+  }
+  if (id >= NumBlocks()) {
+    return Status::OutOfRange("Write past end of device");
+  }
+  if (last_write_block_ != kInvalidBlockId && id == last_write_block_ + 1) {
+    ++stats_.sequential_writes;
+  } else {
+    ++stats_.random_writes;
+  }
+  last_write_block_ = id;
+  return WriteImpl(id, data);
+}
+
+MemoryBlockDevice::MemoryBlockDevice(size_t block_size)
+    : BlockDevice(block_size) {}
+
+uint64_t MemoryBlockDevice::NumBlocks() const { return blocks_.size(); }
+
+StatusOr<BlockId> MemoryBlockDevice::Allocate(uint32_t count) {
+  if (count == 0) {
+    return Status::InvalidArgument("Allocate count must be > 0");
+  }
+  BlockId first = blocks_.size();
+  for (uint32_t i = 0; i < count; ++i) {
+    blocks_.emplace_back(block_size(), uint8_t{0});
+  }
+  return first;
+}
+
+Status MemoryBlockDevice::ReadImpl(BlockId id, std::span<uint8_t> out) {
+  std::memcpy(out.data(), blocks_[id].data(), block_size());
+  return Status::Ok();
+}
+
+Status MemoryBlockDevice::WriteImpl(BlockId id,
+                                    std::span<const uint8_t> data) {
+  std::memcpy(blocks_[id].data(), data.data(), block_size());
+  return Status::Ok();
+}
+
+FileBlockDevice::FileBlockDevice(int fd, size_t block_size,
+                                 uint64_t num_blocks)
+    : BlockDevice(block_size), fd_(fd), num_blocks_(num_blocks) {}
+
+FileBlockDevice::~FileBlockDevice() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+StatusOr<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Create(
+    const std::string& path, size_t block_size) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  return std::unique_ptr<FileBlockDevice>(
+      new FileBlockDevice(fd, block_size, 0));
+}
+
+StatusOr<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
+    const std::string& path, size_t block_size) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IoError("lseek(" + path + "): " + std::strerror(errno));
+  }
+  if (static_cast<uint64_t>(size) % block_size != 0) {
+    ::close(fd);
+    return Status::Corruption("File size not a multiple of block size: " +
+                              path);
+  }
+  return std::unique_ptr<FileBlockDevice>(new FileBlockDevice(
+      fd, block_size, static_cast<uint64_t>(size) / block_size));
+}
+
+uint64_t FileBlockDevice::NumBlocks() const { return num_blocks_; }
+
+StatusOr<BlockId> FileBlockDevice::Allocate(uint32_t count) {
+  if (count == 0) {
+    return Status::InvalidArgument("Allocate count must be > 0");
+  }
+  BlockId first = num_blocks_;
+  uint64_t new_size = (num_blocks_ + count) * block_size();
+  if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+    return Status::IoError(std::string("ftruncate: ") + std::strerror(errno));
+  }
+  num_blocks_ += count;
+  return first;
+}
+
+Status FileBlockDevice::ReadImpl(BlockId id, std::span<uint8_t> out) {
+  ssize_t n = ::pread(fd_, out.data(), block_size(),
+                      static_cast<off_t>(id * block_size()));
+  if (n != static_cast<ssize_t>(block_size())) {
+    return Status::IoError(std::string("pread: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status FileBlockDevice::WriteImpl(BlockId id, std::span<const uint8_t> data) {
+  ssize_t n = ::pwrite(fd_, data.data(), block_size(),
+                       static_cast<off_t>(id * block_size()));
+  if (n != static_cast<ssize_t>(block_size())) {
+    return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace ir2

@@ -1,0 +1,110 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ir2 {
+
+BufferPool::BufferPool(BlockDevice* device, size_t capacity_blocks)
+    : device_(device), capacity_(capacity_blocks) {
+  IR2_CHECK(device != nullptr);
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort flush; callers that care about the status flush explicitly.
+  Status s = FlushAll();
+  (void)s;
+}
+
+BufferPool::Page& BufferPool::Touch(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+  return lru_.front();
+}
+
+Status BufferPool::EvictIfFull() {
+  while (lru_.size() >= capacity_ && !lru_.empty()) {
+    Page& victim = lru_.back();
+    if (victim.dirty) {
+      IR2_RETURN_IF_ERROR(device_->Write(victim.id, victim.data));
+    }
+    index_.erase(victim.id);
+    lru_.pop_back();
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::Read(BlockId id, std::span<uint8_t> out) {
+  if (out.size() != block_size()) {
+    return Status::InvalidArgument("Read buffer size != block size");
+  }
+  if (capacity_ == 0) {
+    return device_->Read(id, out);
+  }
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    ++hits_;
+    Page& page = Touch(it->second);
+    std::memcpy(out.data(), page.data.data(), block_size());
+    return Status::Ok();
+  }
+  ++misses_;
+  IR2_RETURN_IF_ERROR(device_->Read(id, out));
+  IR2_RETURN_IF_ERROR(EvictIfFull());
+  lru_.push_front(
+      Page{id, /*dirty=*/false,
+           std::vector<uint8_t>(out.begin(), out.end())});
+  index_[id] = lru_.begin();
+  return Status::Ok();
+}
+
+Status BufferPool::Write(BlockId id, std::span<const uint8_t> data) {
+  if (data.size() != block_size()) {
+    return Status::InvalidArgument("Write buffer size != block size");
+  }
+  if (capacity_ == 0) {
+    return device_->Write(id, data);
+  }
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    Page& page = Touch(it->second);
+    std::memcpy(page.data.data(), data.data(), block_size());
+    page.dirty = true;
+    return Status::Ok();
+  }
+  IR2_RETURN_IF_ERROR(EvictIfFull());
+  lru_.push_front(
+      Page{id, /*dirty=*/true, std::vector<uint8_t>(data.begin(), data.end())});
+  index_[id] = lru_.begin();
+  return Status::Ok();
+}
+
+StatusOr<BlockId> BufferPool::Allocate(uint32_t count) {
+  return device_->Allocate(count);
+}
+
+Status BufferPool::FlushAll() {
+  // Flush in ascending block order so flush I/O is mostly sequential, as a
+  // real write-back cache would schedule it.
+  std::vector<Page*> dirty;
+  for (Page& page : lru_) {
+    if (page.dirty) dirty.push_back(&page);
+  }
+  std::sort(dirty.begin(), dirty.end(),
+            [](const Page* a, const Page* b) { return a->id < b->id; });
+  for (Page* page : dirty) {
+    IR2_RETURN_IF_ERROR(device_->Write(page->id, page->data));
+    page->dirty = false;
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::Clear() {
+  IR2_RETURN_IF_ERROR(FlushAll());
+  lru_.clear();
+  index_.clear();
+  return Status::Ok();
+}
+
+}  // namespace ir2

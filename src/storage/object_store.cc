@@ -1,0 +1,195 @@
+#include "storage/object_store.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ir2 {
+namespace {
+
+void AppendSanitized(const std::string& text, std::string* out) {
+  for (char c : text) {
+    out->push_back((c == '\t' || c == '\n' || c == '\r') ? ' ' : c);
+  }
+}
+
+void AppendDouble(double v, std::string* out) {
+  char buf[32];
+  int n = std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf, static_cast<size_t>(n));
+}
+
+}  // namespace
+
+ObjectStoreWriter::ObjectStoreWriter(BlockDevice* device) : device_(device) {
+  IR2_CHECK(device != nullptr);
+  IR2_CHECK_EQ(device->NumBlocks(), 0u);
+  pending_.reserve(device->block_size());
+}
+
+StatusOr<ObjectRef> ObjectStoreWriter::Append(const StoredObject& object) {
+  if (finished_) {
+    return Status::FailedPrecondition("Append after Finish");
+  }
+  std::string row;
+  row.reserve(object.text.size() + 64);
+  row += std::to_string(object.id);
+  row += '\t';
+  row += std::to_string(object.coords.size());
+  for (double c : object.coords) {
+    row += '\t';
+    AppendDouble(c, &row);
+  }
+  row += '\t';
+  AppendSanitized(object.text, &row);
+  row += '\n';
+
+  uint64_t ref = offset_;
+  if (ref > kInvalidObjectRef - row.size()) {
+    return Status::ResourceExhausted("Object file exceeds 4 GiB");
+  }
+  const size_t block_size = device_->block_size();
+  for (char c : row) {
+    pending_.push_back(static_cast<uint8_t>(c));
+    if (pending_.size() == block_size) {
+      IR2_RETURN_IF_ERROR(FlushBlock());
+    }
+  }
+  offset_ += row.size();
+  ++count_;
+  return static_cast<ObjectRef>(ref);
+}
+
+Status ObjectStoreWriter::FlushBlock() {
+  pending_.resize(device_->block_size(), 0);
+  IR2_ASSIGN_OR_RETURN(BlockId id, device_->Allocate(1));
+  IR2_RETURN_IF_ERROR(device_->Write(id, pending_));
+  pending_.clear();
+  return Status::Ok();
+}
+
+Status ObjectStoreWriter::Finish() {
+  if (finished_) {
+    return Status::Ok();
+  }
+  if (!pending_.empty()) {
+    IR2_RETURN_IF_ERROR(FlushBlock());
+  }
+  finished_ = true;
+  return Status::Ok();
+}
+
+ObjectStore::ObjectStore(BlockDevice* device, uint64_t size_bytes)
+    : device_(device), size_bytes_(size_bytes) {
+  IR2_CHECK(device != nullptr);
+}
+
+StatusOr<uint64_t> ObjectStore::ReadLine(uint64_t ref,
+                                         std::string* line) const {
+  if (ref >= size_bytes_) {
+    return Status::OutOfRange("Object ref past end of file");
+  }
+  const size_t block_size = device_->block_size();
+  std::vector<uint8_t> block(block_size);
+  uint64_t block_id = ref / block_size;
+  size_t in_block = static_cast<size_t>(ref % block_size);
+  line->clear();
+  while (true) {
+    IR2_RETURN_IF_ERROR(device_->Read(block_id, block));
+    size_t limit = block_size;
+    uint64_t block_end = (block_id + 1) * block_size;
+    if (block_end > size_bytes_) {
+      limit = static_cast<size_t>(size_bytes_ - block_id * block_size);
+    }
+    for (size_t i = in_block; i < limit; ++i) {
+      if (block[i] == '\n') {
+        return block_id * block_size + i + 1;
+      }
+      line->push_back(static_cast<char>(block[i]));
+    }
+    ++block_id;
+    in_block = 0;
+    if (block_id * block_size >= size_bytes_) {
+      return Status::Corruption("Unterminated object record");
+    }
+  }
+}
+
+StatusOr<StoredObject> ObjectStore::ParseRecord(const std::string& line) {
+  StoredObject object;
+  const char* p = line.data();
+  const char* end = p + line.size();
+
+  auto next_field = [&]() -> std::string_view {
+    const char* start = p;
+    while (p < end && *p != '\t') ++p;
+    std::string_view field(start, static_cast<size_t>(p - start));
+    if (p < end) ++p;  // Skip tab.
+    return field;
+  };
+
+  std::string_view id_field = next_field();
+  auto [id_end, id_err] =
+      std::from_chars(id_field.begin(), id_field.end(), object.id);
+  if (id_err != std::errc() || id_end != id_field.end()) {
+    return Status::Corruption("Bad object id field");
+  }
+
+  std::string_view ndims_field = next_field();
+  uint32_t ndims = 0;
+  auto [nd_end, nd_err] =
+      std::from_chars(ndims_field.begin(), ndims_field.end(), ndims);
+  if (nd_err != std::errc() || nd_end != ndims_field.end() || ndims == 0 ||
+      ndims > 16) {
+    return Status::Corruption("Bad object dimension field");
+  }
+
+  object.coords.reserve(ndims);
+  for (uint32_t d = 0; d < ndims; ++d) {
+    std::string_view coord = next_field();
+    // std::from_chars<double> needs a NUL-free contiguous range; coords are
+    // short, so copy into a small buffer for strtod.
+    char buf[40];
+    if (coord.empty() || coord.size() >= sizeof(buf)) {
+      return Status::Corruption("Bad coordinate field");
+    }
+    std::memcpy(buf, coord.data(), coord.size());
+    buf[coord.size()] = '\0';
+    char* conv_end = nullptr;
+    double value = std::strtod(buf, &conv_end);
+    if (conv_end != buf + coord.size()) {
+      return Status::Corruption("Bad coordinate field");
+    }
+    object.coords.push_back(value);
+  }
+
+  object.text.assign(p, static_cast<size_t>(end - p));
+  return object;
+}
+
+StatusOr<StoredObject> ObjectStore::Load(ObjectRef ref) const {
+  std::string line;
+  IR2_ASSIGN_OR_RETURN(uint64_t next, ReadLine(ref, &line));
+  (void)next;
+  return ParseRecord(line);
+}
+
+Status ObjectStore::ForEach(
+    const std::function<Status(ObjectRef, const StoredObject&)>& fn) const {
+  uint64_t offset = 0;
+  std::string line;
+  while (offset < size_bytes_) {
+    IR2_ASSIGN_OR_RETURN(uint64_t next, ReadLine(offset, &line));
+    if (line.empty() && next >= size_bytes_) {
+      break;  // Trailing padding in the final block.
+    }
+    IR2_ASSIGN_OR_RETURN(StoredObject object, ParseRecord(line));
+    IR2_RETURN_IF_ERROR(fn(static_cast<ObjectRef>(offset), object));
+    offset = next;
+  }
+  return Status::Ok();
+}
+
+}  // namespace ir2

@@ -1,0 +1,98 @@
+#ifndef IR2TREE_STORAGE_OBJECT_STORE_H_
+#define IR2TREE_STORAGE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/status_or.h"
+#include "storage/block_device.h"
+
+namespace ir2 {
+
+// One spatial object as stored in the object file: T = (T.p, T.t) in the
+// paper's notation. `coords` is the location descriptor, `text` the textual
+// description (e.g. name + amenities for the hotel dataset).
+struct StoredObject {
+  uint32_t id = 0;
+  std::vector<double> coords;
+  std::string text;
+};
+
+// Byte offset of a record within the object file. Leaf entries of the trees
+// store this 4-byte pointer, exactly the paper's setup ("the leaf nodes of
+// the tree data structures store pointers to the object locations in the
+// file"). 32 bits bound the object file at 4 GiB, ample for the datasets.
+using ObjectRef = uint32_t;
+
+inline constexpr ObjectRef kInvalidObjectRef = ~ObjectRef{0};
+
+// Append-only writer producing the paper's "plain text file (tab delimited)
+// where each spatial object occupies a row":
+//
+//   id \t ndims \t c1 \t ... \t cn \t text \n
+//
+// Tabs/newlines inside `text` are replaced by spaces so the row framing is
+// unambiguous.
+class ObjectStoreWriter {
+ public:
+  // `device` must outlive the writer and must be empty (the object file owns
+  // the whole device).
+  explicit ObjectStoreWriter(BlockDevice* device);
+
+  // Appends one object; returns the ObjectRef to store in index leaves.
+  StatusOr<ObjectRef> Append(const StoredObject& object);
+
+  // Flushes the trailing partial block. Must be called before reading.
+  Status Finish();
+
+  uint64_t bytes_written() const { return offset_; }
+  uint64_t objects_written() const { return count_; }
+
+ private:
+  Status FlushBlock();
+
+  BlockDevice* device_;
+  std::vector<uint8_t> pending_;  // Current partially filled block.
+  uint64_t offset_ = 0;           // Total bytes appended so far.
+  uint64_t count_ = 0;
+  bool finished_ = false;
+};
+
+// Random-access reader over an object file. Loading an object reads every
+// block its record spans: one random access for the first block and
+// sequential accesses for the rest, which is how the paper's LoadObject
+// costs out.
+class ObjectStore {
+ public:
+  // `device` must outlive the store. `size_bytes` is the logical file size
+  // (ObjectStoreWriter::bytes_written()).
+  ObjectStore(BlockDevice* device, uint64_t size_bytes);
+
+  // Loads the record that starts at `ref`.
+  StatusOr<StoredObject> Load(ObjectRef ref) const;
+
+  // Sequentially scans every record in file order. Stops early and returns
+  // the callback's error if it returns non-OK.
+  Status ForEach(
+      const std::function<Status(ObjectRef, const StoredObject&)>& fn) const;
+
+  uint64_t size_bytes() const { return size_bytes_; }
+  BlockDevice* device() const { return device_; }
+
+ private:
+  // Reads the raw record line starting at byte `ref` into `line` (without
+  // the trailing newline) and returns the offset one past the newline.
+  StatusOr<uint64_t> ReadLine(uint64_t ref, std::string* line) const;
+
+  static StatusOr<StoredObject> ParseRecord(const std::string& line);
+
+  BlockDevice* device_;
+  uint64_t size_bytes_;
+};
+
+}  // namespace ir2
+
+#endif  // IR2TREE_STORAGE_OBJECT_STORE_H_

@@ -1,0 +1,162 @@
+#ifndef IR2TREE_STORAGE_SERIALIZER_H_
+#define IR2TREE_STORAGE_SERIALIZER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+
+#include "common/logging.h"
+
+namespace ir2 {
+
+// Fixed-width little-endian encoding helpers. All on-disk structures
+// (R-Tree / IR2-Tree nodes, inverted index postings) use these, so the disk
+// format is platform independent.
+
+inline void EncodeU16(uint16_t v, uint8_t* dst) {
+  dst[0] = static_cast<uint8_t>(v);
+  dst[1] = static_cast<uint8_t>(v >> 8);
+}
+
+inline void EncodeU32(uint32_t v, uint8_t* dst) {
+  for (int i = 0; i < 4; ++i) dst[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline void EncodeU64(uint64_t v, uint8_t* dst) {
+  for (int i = 0; i < 8; ++i) dst[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline void EncodeDouble(double v, uint8_t* dst) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  EncodeU64(bits, dst);
+}
+
+inline uint16_t DecodeU16(const uint8_t* src) {
+  return static_cast<uint16_t>(src[0]) |
+         static_cast<uint16_t>(static_cast<uint16_t>(src[1]) << 8);
+}
+
+inline uint32_t DecodeU32(const uint8_t* src) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(src[i]) << (8 * i);
+  return v;
+}
+
+inline uint64_t DecodeU64(const uint8_t* src) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(src[i]) << (8 * i);
+  return v;
+}
+
+inline double DecodeDouble(const uint8_t* src) {
+  uint64_t bits = DecodeU64(src);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// Bounds-checked sequential writer over a caller-owned buffer.
+class BufferWriter {
+ public:
+  explicit BufferWriter(std::span<uint8_t> buffer)
+      : buffer_(buffer), pos_(0) {}
+
+  void PutU8(uint8_t v) {
+    IR2_DCHECK(pos_ + 1 <= buffer_.size());
+    buffer_[pos_++] = v;
+  }
+  void PutU16(uint16_t v) {
+    IR2_DCHECK(pos_ + 2 <= buffer_.size());
+    EncodeU16(v, buffer_.data() + pos_);
+    pos_ += 2;
+  }
+  void PutU32(uint32_t v) {
+    IR2_DCHECK(pos_ + 4 <= buffer_.size());
+    EncodeU32(v, buffer_.data() + pos_);
+    pos_ += 4;
+  }
+  void PutU64(uint64_t v) {
+    IR2_DCHECK(pos_ + 8 <= buffer_.size());
+    EncodeU64(v, buffer_.data() + pos_);
+    pos_ += 8;
+  }
+  void PutDouble(double v) {
+    IR2_DCHECK(pos_ + 8 <= buffer_.size());
+    EncodeDouble(v, buffer_.data() + pos_);
+    pos_ += 8;
+  }
+  void PutBytes(std::span<const uint8_t> bytes) {
+    IR2_DCHECK(pos_ + bytes.size() <= buffer_.size());
+    if (!bytes.empty()) {  // memcpy(.., nullptr, 0) is UB.
+      std::memcpy(buffer_.data() + pos_, bytes.data(), bytes.size());
+      pos_ += bytes.size();
+    }
+  }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return buffer_.size() - pos_; }
+
+ private:
+  std::span<uint8_t> buffer_;
+  size_t pos_;
+};
+
+// Bounds-checked sequential reader over a caller-owned buffer.
+class BufferReader {
+ public:
+  explicit BufferReader(std::span<const uint8_t> buffer)
+      : buffer_(buffer), pos_(0) {}
+
+  uint8_t GetU8() {
+    IR2_DCHECK(pos_ + 1 <= buffer_.size());
+    return buffer_[pos_++];
+  }
+  uint16_t GetU16() {
+    IR2_DCHECK(pos_ + 2 <= buffer_.size());
+    uint16_t v = DecodeU16(buffer_.data() + pos_);
+    pos_ += 2;
+    return v;
+  }
+  uint32_t GetU32() {
+    IR2_DCHECK(pos_ + 4 <= buffer_.size());
+    uint32_t v = DecodeU32(buffer_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+  uint64_t GetU64() {
+    IR2_DCHECK(pos_ + 8 <= buffer_.size());
+    uint64_t v = DecodeU64(buffer_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+  double GetDouble() {
+    IR2_DCHECK(pos_ + 8 <= buffer_.size());
+    double v = DecodeDouble(buffer_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+  void GetBytes(std::span<uint8_t> out) {
+    IR2_DCHECK(pos_ + out.size() <= buffer_.size());
+    if (!out.empty()) {  // memcpy(nullptr, .., 0) is UB.
+      std::memcpy(out.data(), buffer_.data() + pos_, out.size());
+      pos_ += out.size();
+    }
+  }
+  void Skip(size_t n) {
+    IR2_DCHECK(pos_ + n <= buffer_.size());
+    pos_ += n;
+  }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return buffer_.size() - pos_; }
+
+ private:
+  std::span<const uint8_t> buffer_;
+  size_t pos_;
+};
+
+}  // namespace ir2
+
+#endif  // IR2TREE_STORAGE_SERIALIZER_H_

@@ -1,0 +1,322 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "storage/serializer.h"
+
+namespace ir2 {
+namespace {
+
+constexpr uint64_t kMagic = 0x3252497649647845ULL;  // "ExdIvIR2" (le).
+
+// Appends bytes to a device through a block-sized staging buffer.
+class BlockAppender {
+ public:
+  explicit BlockAppender(BlockDevice* device)
+      : device_(device), buffer_(device->block_size()) {}
+
+  uint64_t offset() const { return offset_; }
+
+  Status Append(std::span<const uint8_t> bytes) {
+    const size_t block_size = device_->block_size();
+    for (uint8_t b : bytes) {
+      buffer_[offset_ % block_size] = b;
+      ++offset_;
+      if (offset_ % block_size == 0) {
+        IR2_RETURN_IF_ERROR(FlushFull());
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status AppendU32(uint32_t v) {
+    uint8_t buf[4];
+    EncodeU32(v, buf);
+    return Append(buf);
+  }
+
+  // Pads to the block boundary and flushes the final partial block.
+  Status Finish() {
+    const size_t block_size = device_->block_size();
+    if (offset_ % block_size != 0) {
+      std::fill(buffer_.begin() + offset_ % block_size, buffer_.end(),
+                uint8_t{0});
+      offset_ += block_size - offset_ % block_size;
+      IR2_RETURN_IF_ERROR(FlushFull());
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status FlushFull() {
+    IR2_ASSIGN_OR_RETURN(BlockId id, device_->Allocate(1));
+    IR2_RETURN_IF_ERROR(device_->Write(id, buffer_));
+    return Status::Ok();
+  }
+
+  BlockDevice* device_;
+  std::vector<uint8_t> buffer_;
+  uint64_t offset_ = 0;  // Bytes appended; block-aligned after Finish().
+};
+
+// Reads `length` bytes starting at absolute byte `offset`. Touches each
+// spanned block once: one random access, then sequential.
+Status ReadByteRange(BlockDevice* device, uint64_t offset, uint64_t length,
+                     std::vector<uint8_t>* out) {
+  const size_t block_size = device->block_size();
+  out->resize(length);
+  std::vector<uint8_t> block(block_size);
+  uint64_t pos = 0;
+  BlockId block_id = offset / block_size;
+  size_t in_block = static_cast<size_t>(offset % block_size);
+  while (pos < length) {
+    IR2_RETURN_IF_ERROR(device->Read(block_id, block));
+    size_t n = std::min<uint64_t>(block_size - in_block, length - pos);
+    std::memcpy(out->data() + pos, block.data() + in_block, n);
+    pos += n;
+    ++block_id;
+    in_block = 0;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+InvertedIndexBuilder::InvertedIndexBuilder(BlockDevice* device,
+                                           InvertedIndexOptions options)
+    : device_(device), options_(options) {
+  IR2_CHECK(device != nullptr);
+  IR2_CHECK_EQ(device->NumBlocks(), 0u);
+}
+
+void InvertedIndexBuilder::AddObject(
+    ObjectRef ref, const std::vector<std::string>& distinct_words,
+    uint32_t total_tokens) {
+  IR2_CHECK(!finished_);
+  for (const std::string& word : distinct_words) {
+    postings_[word].push_back(ref);
+  }
+  ++num_objects_;
+  total_tokens_ += total_tokens;
+}
+
+Status InvertedIndexBuilder::Finish() {
+  if (finished_) {
+    return Status::Ok();
+  }
+  finished_ = true;
+  const size_t block_size = device_->block_size();
+
+  // Block 0: superblock, written last (allocate now).
+  IR2_ASSIGN_OR_RETURN(BlockId super_id, device_->Allocate(1));
+  IR2_CHECK_EQ(super_id, 0u);
+
+  // Deterministic term order.
+  std::vector<const std::string*> terms;
+  terms.reserve(postings_.size());
+  for (const auto& [term, refs] : postings_) {
+    terms.push_back(&term);
+  }
+  std::sort(terms.begin(), terms.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+
+  // Posting lists start at block 1.
+  std::unordered_map<std::string, InvertedIndex::TermInfo> dictionary;
+  dictionary.reserve(postings_.size());
+  BlockAppender postings_out(device_);
+  // The appender's offset is relative to its first block; lists begin at
+  // absolute byte block_size (block 1).
+  const uint64_t postings_base = block_size;
+  std::vector<uint8_t> encoded;
+  for (const std::string* term : terms) {
+    std::vector<ObjectRef>& refs = postings_[*term];
+    std::sort(refs.begin(), refs.end());
+    refs.erase(std::unique(refs.begin(), refs.end()), refs.end());
+    encoded.clear();
+    if (options_.compress_postings) {
+      // d-gap + varint compression: store the delta to the previous posting
+      // (first posting absolute), 7 bits per byte, high bit = continuation.
+      ObjectRef previous = 0;
+      for (ObjectRef ref : refs) {
+        uint32_t gap = ref - previous;
+        previous = ref;
+        while (gap >= 0x80) {
+          encoded.push_back(static_cast<uint8_t>(gap) | 0x80);
+          gap >>= 7;
+        }
+        encoded.push_back(static_cast<uint8_t>(gap));
+      }
+    } else {
+      encoded.resize(4 * refs.size());
+      for (size_t i = 0; i < refs.size(); ++i) {
+        EncodeU32(refs[i], encoded.data() + 4 * i);
+      }
+    }
+    dictionary[*term] = InvertedIndex::TermInfo{
+        postings_base + postings_out.offset(),
+        static_cast<uint32_t>(encoded.size()),
+        static_cast<uint32_t>(refs.size())};
+    IR2_RETURN_IF_ERROR(postings_out.Append(encoded));
+  }
+  IR2_RETURN_IF_ERROR(postings_out.Finish());
+
+  // Dictionary region.
+  const uint64_t dict_base = postings_base + postings_out.offset();
+  BlockAppender dict_out(device_);
+  uint8_t u64buf[8];
+  EncodeU64(postings_.size(), u64buf);
+  IR2_RETURN_IF_ERROR(dict_out.Append(u64buf));
+  for (const std::string* term : terms) {
+    const InvertedIndex::TermInfo& info = dictionary[*term];
+    uint8_t u16buf[2];
+    EncodeU16(static_cast<uint16_t>(term->size()), u16buf);
+    IR2_RETURN_IF_ERROR(dict_out.Append(u16buf));
+    IR2_RETURN_IF_ERROR(dict_out.Append(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(term->data()), term->size())));
+    EncodeU64(info.byte_offset, u64buf);
+    IR2_RETURN_IF_ERROR(dict_out.Append(u64buf));
+    IR2_RETURN_IF_ERROR(dict_out.AppendU32(info.byte_length));
+    IR2_RETURN_IF_ERROR(dict_out.AppendU32(info.count));
+  }
+  const uint64_t dict_length = dict_out.offset();
+  IR2_RETURN_IF_ERROR(dict_out.Finish());
+
+  // Superblock.
+  std::vector<uint8_t> super(block_size, 0);
+  BufferWriter writer(super);
+  writer.PutU64(kMagic);
+  writer.PutU64(num_objects_);
+  writer.PutU64(total_tokens_);
+  writer.PutU64(dict_base);
+  writer.PutU64(dict_length);
+  writer.PutU8(options_.compress_postings ? 1 : 0);
+  IR2_RETURN_IF_ERROR(device_->Write(super_id, super));
+
+  postings_.clear();
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<InvertedIndex>> InvertedIndex::Open(
+    BlockDevice* device) {
+  std::vector<uint8_t> super(device->block_size());
+  IR2_RETURN_IF_ERROR(device->Read(0, super));
+  BufferReader reader(super);
+  if (reader.GetU64() != kMagic) {
+    return Status::Corruption("Bad inverted index magic");
+  }
+  uint64_t num_objects = reader.GetU64();
+  uint64_t total_tokens = reader.GetU64();
+  uint64_t dict_base = reader.GetU64();
+  uint64_t dict_length = reader.GetU64();
+  bool compressed = reader.GetU8() != 0;
+
+  std::vector<uint8_t> dict_bytes;
+  IR2_RETURN_IF_ERROR(
+      ReadByteRange(device, dict_base, dict_length, &dict_bytes));
+  BufferReader dict(dict_bytes);
+  uint64_t num_terms = dict.GetU64();
+  std::unordered_map<std::string, TermInfo> dictionary;
+  dictionary.reserve(num_terms);
+  for (uint64_t i = 0; i < num_terms; ++i) {
+    if (dict.remaining() < 2) {
+      return Status::Corruption("Truncated inverted index dictionary");
+    }
+    uint16_t len = dict.GetU16();
+    if (dict.remaining() < static_cast<size_t>(len) + 16) {
+      return Status::Corruption("Truncated inverted index dictionary");
+    }
+    std::string term(len, '\0');
+    dict.GetBytes(std::span<uint8_t>(
+        reinterpret_cast<uint8_t*>(term.data()), term.size()));
+    TermInfo info;
+    info.byte_offset = dict.GetU64();
+    info.byte_length = dict.GetU32();
+    info.count = dict.GetU32();
+    dictionary.emplace(std::move(term), info);
+  }
+
+  double avg_doc_len =
+      num_objects > 0 ? static_cast<double>(total_tokens) / num_objects : 0.0;
+  return std::unique_ptr<InvertedIndex>(new InvertedIndex(
+      device, num_objects, avg_doc_len, compressed, std::move(dictionary)));
+}
+
+StatusOr<std::vector<ObjectRef>> InvertedIndex::RetrieveList(
+    std::string_view word) const {
+  auto it = dictionary_.find(std::string(word));
+  if (it == dictionary_.end()) {
+    return std::vector<ObjectRef>();
+  }
+  const TermInfo& info = it->second;
+  std::vector<uint8_t> bytes;
+  IR2_RETURN_IF_ERROR(
+      ReadByteRange(device_, info.byte_offset, info.byte_length, &bytes));
+  std::vector<ObjectRef> refs;
+  refs.reserve(info.count);
+  if (!compressed_) {
+    if (bytes.size() != 4 * static_cast<size_t>(info.count)) {
+      return Status::Corruption("Posting list length mismatch");
+    }
+    for (uint32_t i = 0; i < info.count; ++i) {
+      refs.push_back(DecodeU32(bytes.data() + 4 * static_cast<size_t>(i)));
+    }
+    return refs;
+  }
+  ObjectRef previous = 0;
+  size_t pos = 0;
+  for (uint32_t i = 0; i < info.count; ++i) {
+    uint32_t gap = 0;
+    int shift = 0;
+    while (true) {
+      if (pos >= bytes.size() || shift > 28) {
+        return Status::Corruption("Bad varint in posting list");
+      }
+      uint8_t b = bytes[pos++];
+      gap |= static_cast<uint32_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+    }
+    previous += gap;
+    refs.push_back(previous);
+  }
+  if (pos != bytes.size()) {
+    return Status::Corruption("Posting list length mismatch");
+  }
+  return refs;
+}
+
+uint64_t InvertedIndex::DocumentFrequency(std::string_view word) const {
+  auto it = dictionary_.find(std::string(word));
+  return it == dictionary_.end() ? 0 : it->second.count;
+}
+
+std::vector<ObjectRef> IntersectSorted(
+    const std::vector<std::vector<ObjectRef>>& lists) {
+  if (lists.empty()) {
+    return {};
+  }
+  // Start from the shortest list and probe the others with galloping merge.
+  size_t shortest = 0;
+  for (size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i].size() < lists[shortest].size()) shortest = i;
+  }
+  std::vector<ObjectRef> result = lists[shortest];
+  for (size_t i = 0; i < lists.size() && !result.empty(); ++i) {
+    if (i == shortest) continue;
+    const std::vector<ObjectRef>& other = lists[i];
+    std::vector<ObjectRef> next;
+    next.reserve(result.size());
+    auto it = other.begin();
+    for (ObjectRef ref : result) {
+      it = std::lower_bound(it, other.end(), ref);
+      if (it == other.end()) break;
+      if (*it == ref) next.push_back(ref);
+    }
+    result = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace ir2

@@ -1,0 +1,74 @@
+#include "text/ir_score.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ir2 {
+
+double IrScorer::Idf(uint64_t document_frequency) const {
+  return std::log(static_cast<double>(stats_.num_docs + 1) /
+                  static_cast<double>(document_frequency + 1));
+}
+
+double IrScorer::TfWeight(uint32_t tf) {
+  IR2_DCHECK(tf >= 1);
+  return 1.0 + std::log(1.0 + std::log(static_cast<double>(tf)));
+}
+
+double IrScorer::LengthNorm(double doc_len) const {
+  double avdl = stats_.avg_doc_len > 0 ? stats_.avg_doc_len : 1.0;
+  return (1.0 - slope_) + slope_ * doc_len / avdl;
+}
+
+double IrScorer::Score(const TermCounts& doc,
+                       std::span<const ScoredQueryTerm> terms) const {
+  double norm = LengthNorm(static_cast<double>(doc.total_tokens));
+  double score = 0.0;
+  for (const ScoredQueryTerm& term : terms) {
+    for (const auto& [word, tf] : doc.counts) {
+      if (word == term.word) {
+        score += TfWeight(tf) / norm * term.idf;
+        break;
+      }
+    }
+  }
+  return score;
+}
+
+double IrScorer::PerTermWeightBound(size_t min_doc_len) const {
+  if (min_doc_len >= bound_cache_.size()) {
+    bound_cache_.resize(min_doc_len + 1, -1.0);
+  }
+  if (bound_cache_[min_doc_len] >= 0.0) {
+    return bound_cache_[min_doc_len];
+  }
+  // TfWeight grows ~ln(ln(tf)) while LengthNorm grows linearly in tf once
+  // tf exceeds min_doc_len, so the ratio is eventually decreasing; scanning
+  // well past avdl finds the supremum. The 1.01 factor absorbs the integer
+  // step granularity.
+  const uint32_t limit = static_cast<uint32_t>(
+      std::max(1024.0, 8.0 * std::max(1.0, stats_.avg_doc_len)));
+  double best = 0.0;
+  for (uint32_t tf = 1; tf <= limit; ++tf) {
+    double dl = static_cast<double>(std::max<size_t>(min_doc_len, tf));
+    best = std::max(best, TfWeight(tf) / LengthNorm(dl));
+  }
+  best *= 1.01;
+  bound_cache_[min_doc_len] = best;
+  return best;
+}
+
+double IrScorer::UpperBound(std::span<const double> matched_idfs) const {
+  if (matched_idfs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double idf : matched_idfs) {
+    sum += idf;
+  }
+  return sum * PerTermWeightBound(matched_idfs.size());
+}
+
+}  // namespace ir2

@@ -1,0 +1,75 @@
+#ifndef IR2TREE_TEXT_IR_SCORE_H_
+#define IR2TREE_TEXT_IR_SCORE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace ir2 {
+
+// Corpus-level statistics needed by the scorer.
+struct CorpusStats {
+  uint64_t num_docs = 0;
+  double avg_doc_len = 1.0;  // Average document length in tokens.
+};
+
+// A query keyword with its precomputed idf.
+struct ScoredQueryTerm {
+  std::string word;      // Normalized.
+  uint64_t word_hash;    // HashWord(word); cached for signature probes.
+  double idf;
+};
+
+// Pivoted tf-idf document scorer [Sin01]: the IRscore(T.t, Q.t) of the
+// paper's general (non-Boolean) top-k spatial keyword queries.
+//
+//   score(D, Q) = sum over t in Q present in D of
+//       (1 + ln(1 + ln(tf_t))) / ((1 - s) + s * dl/avdl) * ln((N+1)/df_t)
+//
+// Monotone in tf and idf and decreasing in document length, which is what
+// the upper-bound machinery of the general IR2-Tree search relies on.
+class IrScorer {
+ public:
+  explicit IrScorer(CorpusStats stats, double slope = 0.2)
+      : stats_(stats), slope_(slope) {}
+
+  const CorpusStats& stats() const { return stats_; }
+
+  // ln((N+1)/(df+1)) (+1 guards unknown terms; idf >= 0 always).
+  double Idf(uint64_t document_frequency) const;
+
+  // Score of a document given its term counts.
+  double Score(const TermCounts& doc,
+               std::span<const ScoredQueryTerm> terms) const;
+
+  // Upper bound on the score of any object whose signature matches the
+  // given query terms — the paper's UpperBound_{T has signature v.S}
+  // (IRscore) from Section V-C. The paper bounds with an imaginary object
+  // holding each matched term exactly once (tf=1, dl = #terms); under
+  // pivoted normalization that is not quite a supremum (a slightly higher
+  // tf can outgrow the length penalty), so we compute the true per-term
+  // supremum sup_{tf>=1} TfWeight(tf) / LengthNorm(max(#terms, tf))
+  // numerically and multiply by the matched idf mass. `matched_idfs` are
+  // the idfs of query keywords whose signatures match the node's signature.
+  double UpperBound(std::span<const double> matched_idfs) const;
+
+ private:
+  // 1 + ln(1 + ln(tf)) for tf >= 1.
+  static double TfWeight(uint32_t tf);
+  // (1 - s) + s * dl / avdl.
+  double LengthNorm(double doc_len) const;
+  // sup_{tf >= 1} TfWeight(tf) / LengthNorm(max(min_doc_len, tf)); cached
+  // per min_doc_len (not thread-safe; confine a scorer to one thread).
+  double PerTermWeightBound(size_t min_doc_len) const;
+
+  CorpusStats stats_;
+  double slope_;
+  mutable std::vector<double> bound_cache_;  // Index = min_doc_len.
+};
+
+}  // namespace ir2
+
+#endif  // IR2TREE_TEXT_IR_SCORE_H_

@@ -1,0 +1,135 @@
+#include "text/signature.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace ir2 {
+
+uint32_t OptimalSignatureBits(double distinct_words,
+                              uint32_t hashes_per_word) {
+  IR2_CHECK_GT(hashes_per_word, 0u);
+  if (distinct_words <= 0) {
+    return 8;  // Minimum one byte.
+  }
+  double bits = hashes_per_word * distinct_words / std::log(2.0);
+  uint32_t rounded = static_cast<uint32_t>(std::ceil(bits));
+  // Round up to whole bytes so on-disk layouts stay byte aligned.
+  return ((rounded + 7) / 8) * 8;
+}
+
+double ExpectedFalsePositiveRate(double distinct_words, uint32_t bits,
+                                 uint32_t hashes_per_word) {
+  if (bits == 0) return 1.0;
+  double k = hashes_per_word;
+  double fill = 1.0 - std::exp(-k * distinct_words / bits);
+  return std::pow(fill, k);
+}
+
+void Signature::Reset(uint32_t num_bits) {
+  num_bits_ = num_bits;
+  bytes_.assign((num_bits + 7) / 8, 0);
+}
+
+void Signature::SetBit(uint32_t i) {
+  IR2_DCHECK(i < num_bits_);
+  bytes_[i >> 3] |= static_cast<uint8_t>(1u << (i & 7));
+}
+
+bool Signature::TestBit(uint32_t i) const {
+  IR2_DCHECK(i < num_bits_);
+  return (bytes_[i >> 3] >> (i & 7)) & 1u;
+}
+
+void Signature::Superimpose(const Signature& other) {
+  IR2_CHECK_EQ(num_bits_, other.num_bits_);
+  for (size_t i = 0; i < bytes_.size(); ++i) {
+    bytes_[i] |= other.bytes_[i];
+  }
+}
+
+bool Signature::ContainsAllOf(const Signature& query) const {
+  IR2_CHECK_EQ(num_bits_, query.num_bits_);
+  for (size_t i = 0; i < bytes_.size(); ++i) {
+    if ((bytes_[i] & query.bytes_[i]) != query.bytes_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint32_t Signature::CountOnes() const {
+  uint32_t count = 0;
+  for (uint8_t b : bytes_) {
+    count += std::popcount(b);
+  }
+  return count;
+}
+
+void Signature::ClearAllBits() {
+  std::fill(bytes_.begin(), bytes_.end(), uint8_t{0});
+}
+
+Signature Signature::FromBytes(std::span<const uint8_t> bytes,
+                               uint32_t num_bits) {
+  IR2_CHECK_EQ(bytes.size(), (num_bits + 7) / 8);
+  Signature sig;
+  sig.num_bits_ = num_bits;
+  sig.bytes_.assign(bytes.begin(), bytes.end());
+  return sig;
+}
+
+std::string Signature::ToBitString() const {
+  std::string out;
+  out.reserve(num_bits_);
+  for (uint32_t i = 0; i < num_bits_; ++i) {
+    out.push_back(TestBit(i) ? '1' : '0');
+  }
+  return out;
+}
+
+void AddWordHash(uint64_t word_hash, const SignatureConfig& config,
+                 Signature* sig) {
+  IR2_DCHECK(sig->num_bits() == config.bits);
+  for (uint32_t i = 0; i < config.hashes_per_word; ++i) {
+    sig->SetBit(static_cast<uint32_t>(NthHash(word_hash, i) % config.bits));
+  }
+}
+
+bool MayContainWordHash(const Signature& sig, uint64_t word_hash,
+                        const SignatureConfig& config) {
+  IR2_DCHECK(sig.num_bits() == config.bits);
+  for (uint32_t i = 0; i < config.hashes_per_word; ++i) {
+    if (!sig.TestBit(
+            static_cast<uint32_t>(NthHash(word_hash, i) % config.bits))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t HashWord(std::string_view normalized_word) {
+  return Fnv1a64(normalized_word);
+}
+
+Signature MakeSignatureFromHashes(std::span<const uint64_t> word_hashes,
+                                  const SignatureConfig& config) {
+  Signature sig(config.bits);
+  for (uint64_t hash : word_hashes) {
+    AddWordHash(hash, config, &sig);
+  }
+  return sig;
+}
+
+Signature MakeSignature(std::span<const std::string> words,
+                        const SignatureConfig& config) {
+  Signature sig(config.bits);
+  for (const std::string& word : words) {
+    AddWordHash(HashWord(word), config, &sig);
+  }
+  return sig;
+}
+
+}  // namespace ir2

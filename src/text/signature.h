@@ -1,0 +1,112 @@
+#ifndef IR2TREE_TEXT_SIGNATURE_H_
+#define IR2TREE_TEXT_SIGNATURE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ir2 {
+
+// Parameters of the superimposed-coding scheme [FC84]: each word sets
+// `hashes_per_word` bits (chosen by independent hashes) in a `bits`-wide bit
+// string; a document signature is the OR of its words' signatures.
+//
+// The paper's signature lengths fit k = 3: 189 bytes = 1512 bits for the
+// Hotels dataset's 349 avg words (3*349/ln2 = 1511) and 8 bytes = 64 bits
+// for the Restaurants' 14 avg words (3*14/ln2 = 61).
+struct SignatureConfig {
+  uint32_t bits = 64;
+  uint32_t hashes_per_word = 3;
+
+  uint32_t bytes() const { return (bits + 7) / 8; }
+
+  friend bool operator==(const SignatureConfig& a, const SignatureConfig& b) {
+    return a.bits == b.bits && a.hashes_per_word == b.hashes_per_word;
+  }
+};
+
+// Optimal signature length in bits for documents of `distinct_words` words
+// with k hash functions: F = k * D / ln 2, the false-positive-minimizing
+// weight (half the bits set in expectation) [MC94].
+uint32_t OptimalSignatureBits(double distinct_words, uint32_t hashes_per_word);
+
+// Expected false-positive probability of a single-word membership test
+// against a signature of `bits` bits holding `distinct_words` words:
+// (1 - e^{-kD/F})^k, the Bloom-filter bound.
+double ExpectedFalsePositiveRate(double distinct_words, uint32_t bits,
+                                 uint32_t hashes_per_word);
+
+// A fixed-width bit string. Width is set at construction (or by Reset) and
+// all binary operations require equal widths.
+class Signature {
+ public:
+  Signature() = default;
+  explicit Signature(uint32_t num_bits) { Reset(num_bits); }
+
+  // Reinitializes to `num_bits` zero bits.
+  void Reset(uint32_t num_bits);
+
+  uint32_t num_bits() const { return num_bits_; }
+  size_t num_bytes() const { return bytes_.size(); }
+  bool empty() const { return num_bits_ == 0; }
+
+  void SetBit(uint32_t i);
+  bool TestBit(uint32_t i) const;
+
+  // this |= other (superimposition).
+  void Superimpose(const Signature& other);
+
+  // True iff every bit set in `query` is also set here — the signature
+  // match test "S matches W" of the paper's IR2NearestNeighbor.
+  bool ContainsAllOf(const Signature& query) const;
+
+  // Number of set bits (the signature's weight).
+  uint32_t CountOnes() const;
+
+  void ClearAllBits();
+
+  std::span<const uint8_t> bytes() const { return bytes_; }
+  std::span<uint8_t> mutable_bytes() { return bytes_; }
+
+  // Deserializes from raw bytes previously produced by bytes().
+  static Signature FromBytes(std::span<const uint8_t> bytes,
+                             uint32_t num_bits);
+
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return a.num_bits_ == b.num_bits_ && a.bytes_ == b.bytes_;
+  }
+
+  // E.g. "0110..01" for small signatures (debugging).
+  std::string ToBitString() const;
+
+ private:
+  uint32_t num_bits_ = 0;
+  std::vector<uint8_t> bytes_;
+};
+
+// Computes the k = config.hashes_per_word bit positions of a word (given its
+// stable 64-bit hash, see Fnv1a64) and sets them in `sig`.
+void AddWordHash(uint64_t word_hash, const SignatureConfig& config,
+                 Signature* sig);
+
+// True iff all k bit positions of the word are set — a (possibly false
+// positive) single-word membership test.
+bool MayContainWordHash(const Signature& sig, uint64_t word_hash,
+                        const SignatureConfig& config);
+
+// Builds the signature of a document given its distinct words.
+Signature MakeSignature(std::span<const std::string> words,
+                        const SignatureConfig& config);
+
+// Builds a signature from pre-hashed words (one Fnv1a64 value per word).
+Signature MakeSignatureFromHashes(std::span<const uint64_t> word_hashes,
+                                  const SignatureConfig& config);
+
+// Stable hash of a (normalized) word used for all signature operations.
+uint64_t HashWord(std::string_view normalized_word);
+
+}  // namespace ir2
+
+#endif  // IR2TREE_TEXT_SIGNATURE_H_

@@ -1,0 +1,134 @@
+#include "text/signature_file.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "storage/serializer.h"
+
+namespace ir2 {
+namespace {
+
+constexpr uint64_t kMagic = 0x454c494647495353ULL;  // "SSIGFILE" (le).
+
+}  // namespace
+
+SignatureFileBuilder::SignatureFileBuilder(BlockDevice* device,
+                                           SignatureConfig config)
+    : device_(device), config_(config) {
+  IR2_CHECK(device != nullptr);
+  IR2_CHECK_EQ(device->NumBlocks(), 0u);
+  IR2_CHECK_GT(config.bits, 0u);
+}
+
+void SignatureFileBuilder::AddObject(ObjectRef ref,
+                                     std::span<const uint64_t> word_hashes) {
+  IR2_CHECK(!finished_);
+  Signature sig = MakeSignatureFromHashes(word_hashes, config_);
+  uint8_t ref_buf[4];
+  EncodeU32(ref, ref_buf);
+  payload_.insert(payload_.end(), ref_buf, ref_buf + 4);
+  payload_.insert(payload_.end(), sig.bytes().begin(), sig.bytes().end());
+  ++count_;
+}
+
+Status SignatureFileBuilder::Finish() {
+  if (finished_) {
+    return Status::Ok();
+  }
+  finished_ = true;
+  const size_t block_size = device_->block_size();
+
+  IR2_ASSIGN_OR_RETURN(BlockId super_id, device_->Allocate(1));
+  IR2_CHECK_EQ(super_id, 0u);
+
+  // Signature records, block-aligned at the end.
+  const uint64_t blocks =
+      (payload_.size() + block_size - 1) / block_size;
+  if (blocks > 0) {
+    IR2_ASSIGN_OR_RETURN(BlockId first,
+                         device_->Allocate(static_cast<uint32_t>(blocks)));
+    IR2_CHECK_EQ(first, 1u);
+    payload_.resize(blocks * block_size, 0);
+    for (uint64_t b = 0; b < blocks; ++b) {
+      IR2_RETURN_IF_ERROR(device_->Write(
+          first + b, std::span<const uint8_t>(
+                         payload_.data() + b * block_size, block_size)));
+    }
+  }
+
+  std::vector<uint8_t> super(block_size, 0);
+  BufferWriter writer(super);
+  writer.PutU64(kMagic);
+  writer.PutU64(count_);
+  writer.PutU32(config_.bits);
+  writer.PutU32(config_.hashes_per_word);
+  IR2_RETURN_IF_ERROR(device_->Write(super_id, super));
+  payload_.clear();
+  payload_.shrink_to_fit();
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<SignatureFile>> SignatureFile::Open(
+    BlockDevice* device) {
+  std::vector<uint8_t> super(device->block_size());
+  IR2_RETURN_IF_ERROR(device->Read(0, super));
+  BufferReader reader(super);
+  if (reader.GetU64() != kMagic) {
+    return Status::Corruption("Bad signature file magic");
+  }
+  uint64_t count = reader.GetU64();
+  SignatureConfig config;
+  config.bits = reader.GetU32();
+  config.hashes_per_word = reader.GetU32();
+  if (config.bits == 0 || config.hashes_per_word == 0) {
+    return Status::Corruption("Bad signature file config");
+  }
+  return std::unique_ptr<SignatureFile>(
+      new SignatureFile(device, count, config));
+}
+
+StatusOr<std::vector<ObjectRef>> SignatureFile::Candidates(
+    std::span<const uint64_t> keyword_hashes) const {
+  const Signature query =
+      MakeSignatureFromHashes(keyword_hashes, config_);
+  const size_t record_bytes = 4 + config_.bytes();
+  const size_t block_size = device_->block_size();
+
+  std::vector<ObjectRef> candidates;
+  std::vector<uint8_t> block(block_size);
+  std::vector<uint8_t> record(record_bytes);
+  size_t record_fill = 0;
+  uint64_t records_seen = 0;
+  const uint64_t total_blocks = device_->NumBlocks();
+  for (BlockId id = 1; id < total_blocks && records_seen < count_; ++id) {
+    IR2_RETURN_IF_ERROR(device_->Read(id, block));
+    size_t pos = 0;
+    while (pos < block_size && records_seen < count_) {
+      size_t take = std::min(record_bytes - record_fill, block_size - pos);
+      std::memcpy(record.data() + record_fill, block.data() + pos, take);
+      record_fill += take;
+      pos += take;
+      if (record_fill == record_bytes) {
+        record_fill = 0;
+        ++records_seen;
+        bool match = true;
+        std::span<const uint8_t> query_bytes = query.bytes();
+        for (size_t i = 0; i < query_bytes.size(); ++i) {
+          if ((record[4 + i] & query_bytes[i]) != query_bytes[i]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          candidates.push_back(DecodeU32(record.data()));
+        }
+      }
+    }
+  }
+  if (records_seen != count_) {
+    return Status::Corruption("Signature file truncated");
+  }
+  return candidates;
+}
+
+}  // namespace ir2

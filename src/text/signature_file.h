@@ -1,0 +1,74 @@
+#ifndef IR2TREE_TEXT_SIGNATURE_FILE_H_
+#define IR2TREE_TEXT_SIGNATURE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status_or.h"
+#include "storage/block_device.h"
+#include "storage/object_store.h"
+#include "text/signature.h"
+
+namespace ir2 {
+
+// The classic sequential signature file of Faloutsos and Christodoulakis
+// [FC84] — the structure the IR2-Tree superimposes onto the R-Tree. One
+// fixed-width signature per object, packed back to back on disk; a keyword
+// query scans the whole file (purely sequential I/O), collects the
+// signature-matching candidates, and verifies them against the objects.
+//
+// Included to make the signature-file substrate complete and to let the
+// benchmarks show the inverted-files-vs-signature-files trade-off [ZMR98]
+// that motivated the paper's design.
+//
+// On-disk layout:
+//   block 0   superblock (magic, count, signature config)
+//   blocks 1+ signatures: count * config.bytes(), packed contiguously,
+//             each preceded by its 4-byte ObjectRef
+class SignatureFile {
+ public:
+  static StatusOr<std::unique_ptr<SignatureFile>> Open(BlockDevice* device);
+
+  // ObjectRefs whose signature contains every keyword hash (superset of
+  // the true result set; callers verify). Scans the entire file: one
+  // random block access plus sequential ones.
+  StatusOr<std::vector<ObjectRef>> Candidates(
+      std::span<const uint64_t> keyword_hashes) const;
+
+  uint64_t num_objects() const { return count_; }
+  const SignatureConfig& config() const { return config_; }
+
+ private:
+  SignatureFile(BlockDevice* device, uint64_t count, SignatureConfig config)
+      : device_(device), count_(count), config_(config) {}
+
+  BlockDevice* device_;
+  uint64_t count_;
+  SignatureConfig config_;
+
+  friend class SignatureFileBuilder;
+};
+
+// One-shot builder; objects must be added in the order their refs will be
+// scanned (file order is typical).
+class SignatureFileBuilder {
+ public:
+  // `device` must be empty and outlive the built file.
+  SignatureFileBuilder(BlockDevice* device, SignatureConfig config);
+
+  void AddObject(ObjectRef ref, std::span<const uint64_t> word_hashes);
+
+  Status Finish();
+
+ private:
+  BlockDevice* device_;
+  SignatureConfig config_;
+  std::vector<uint8_t> payload_;  // ref/signature records, packed.
+  uint64_t count_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ir2
+
+#endif  // IR2TREE_TEXT_SIGNATURE_FILE_H_

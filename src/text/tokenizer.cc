@@ -1,0 +1,129 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+namespace ir2 {
+namespace {
+
+inline bool IsWordChar(unsigned char c) { return std::isalnum(c) != 0; }
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      if (!IsStopword(current)) {
+        tokens.push_back(std::move(current));
+      }
+      current.clear();
+    }
+  };
+  for (unsigned char c : text) {
+    if (IsWordChar(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::vector<std::string> Tokenizer::DistinctTokens(
+    std::string_view text) const {
+  std::vector<std::string> tokens = Tokenize(text);
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+std::string Tokenizer::Normalize(std::string_view word) {
+  std::string out;
+  out.reserve(word.size());
+  for (unsigned char c : word) {
+    if (IsWordChar(c)) {
+      out.push_back(static_cast<char>(std::tolower(c)));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Tokenizer::NormalizeKeywords(
+    const std::vector<std::string>& keywords) const {
+  std::vector<std::string> normalized;
+  normalized.reserve(keywords.size());
+  for (const std::string& keyword : keywords) {
+    std::string word = Normalize(keyword);
+    if (word.empty() || IsStopword(word)) {
+      continue;
+    }
+    if (std::find(normalized.begin(), normalized.end(), word) ==
+        normalized.end()) {
+      normalized.push_back(std::move(word));
+    }
+  }
+  return normalized;
+}
+
+std::unordered_set<std::string> EnglishStopwords() {
+  return {"a",    "an",   "and",  "are", "as",   "at",   "be",   "but",
+          "by",   "for",  "from", "has", "have", "he",   "her",  "his",
+          "if",   "in",   "is",   "it",  "its",  "no",   "not",  "of",
+          "on",   "or",   "our",  "she", "so",   "that", "the",  "their",
+          "them", "then", "they", "this", "to",  "was",  "we",   "were",
+          "will", "with", "you",  "your"};
+}
+
+TermCounts CountTerms(const Tokenizer& tokenizer, std::string_view text) {
+  TermCounts result;
+  std::unordered_map<std::string, uint32_t> counts;
+  for (std::string& token : tokenizer.Tokenize(text)) {
+    ++counts[std::move(token)];
+    ++result.total_tokens;
+  }
+  result.counts.assign(counts.begin(), counts.end());
+  return result;
+}
+
+bool ContainsAllKeywords(const Tokenizer& tokenizer, std::string_view text,
+                         const std::vector<std::string>& keywords) {
+  if (keywords.empty()) {
+    return true;
+  }
+  // Single pass over the text, matching tokens against the still-unfound
+  // keywords — this runs once per candidate object on the hot path of the
+  // R-Tree baseline, so it avoids materializing the token set.
+  std::vector<std::string> pending = tokenizer.NormalizeKeywords(keywords);
+  if (pending.empty()) {
+    return true;  // Only stopwords/empties were asked for.
+  }
+  std::string current;
+  auto match_current = [&]() {
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (pending[i] == current) {
+        pending[i] = std::move(pending.back());
+        pending.pop_back();
+        break;
+      }
+    }
+  };
+  for (unsigned char c : text) {
+    if (IsWordChar(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      match_current();
+      if (pending.empty()) return true;
+      current.clear();
+    }
+  }
+  if (!current.empty()) {
+    match_current();
+  }
+  return pending.empty();
+}
+
+}  // namespace ir2

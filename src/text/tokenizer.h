@@ -1,0 +1,74 @@
+#ifndef IR2TREE_TEXT_TOKENIZER_H_
+#define IR2TREE_TEXT_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace ir2 {
+
+// Splits text into case-folded alphanumeric words. "wireless Internet,
+// pool" -> {"wireless", "internet", "pool"}. The same tokenizer is used
+// when indexing and when parsing queries, so keyword matching is consistent
+// across every algorithm in the library.
+//
+// An optional stopword set drops high-frequency function words at indexing
+// time; the query side drops them symmetrically (NormalizeKeywords), so a
+// stopword keyword neither matches nor excludes anything.
+class Tokenizer {
+ public:
+  Tokenizer() = default;
+  explicit Tokenizer(std::unordered_set<std::string> stopwords)
+      : stopwords_(std::move(stopwords)) {}
+
+  // All non-stopword tokens in order of appearance (with duplicates).
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  // Distinct tokens (sorted). This is the word set used for signatures and
+  // for Boolean containment checks.
+  std::vector<std::string> DistinctTokens(std::string_view text) const;
+
+  // Lowercases a single keyword the same way Tokenize lowercases words.
+  static std::string Normalize(std::string_view word);
+
+  // True iff the (already normalized) word is a stopword.
+  bool IsStopword(const std::string& normalized) const {
+    return stopwords_.contains(normalized);
+  }
+
+  // Query-side preparation: normalizes each keyword, drops empties and
+  // stopwords, and deduplicates (order preserved). Every query algorithm
+  // funnels its keywords through this so their semantics agree.
+  std::vector<std::string> NormalizeKeywords(
+      const std::vector<std::string>& keywords) const;
+
+  bool has_stopwords() const { return !stopwords_.empty(); }
+
+ private:
+  std::unordered_set<std::string> stopwords_;
+};
+
+// A compact English stopword list (the usual suspects: articles,
+// conjunctions, pronouns, auxiliaries).
+std::unordered_set<std::string> EnglishStopwords();
+
+// Term frequencies of a document: distinct token -> occurrence count.
+// Used by the tf-idf scorer for general (non-Boolean) queries.
+struct TermCounts {
+  std::vector<std::pair<std::string, uint32_t>> counts;
+  uint32_t total_tokens = 0;
+};
+
+TermCounts CountTerms(const Tokenizer& tokenizer, std::string_view text);
+
+// True iff every keyword in NormalizeKeywords(keywords) occurs in `text`
+// (the Boolean keyword filter of distance-first queries, applied to
+// candidate objects to remove signature false positives).
+bool ContainsAllKeywords(const Tokenizer& tokenizer, std::string_view text,
+                         const std::vector<std::string>& keywords);
+
+}  // namespace ir2
+
+#endif  // IR2TREE_TEXT_TOKENIZER_H_

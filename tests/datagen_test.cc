@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "datagen/synthetic.h"
+#include "datagen/workload.h"
+#include "datagen/zipf.h"
+#include "text/tokenizer.h"
+
+namespace ir2 {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOneAndDecay) {
+  ZipfSampler zipf(100, 1.0);
+  double sum = 0;
+  for (uint64_t r = 0; r < 100; ++r) {
+    sum += zipf.Probability(r);
+    if (r > 0) {
+      EXPECT_LE(zipf.Probability(r), zipf.Probability(r - 1) + 1e-12);
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Rank 0 is ~1/H_100 of the mass.
+  EXPECT_NEAR(zipf.Probability(0), 1.0 / 5.187, 0.01);
+}
+
+TEST(ZipfTest, SamplingMatchesDistribution) {
+  ZipfSampler zipf(50, 1.0);
+  Rng rng(1);
+  std::vector<int> counts(50, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  EXPECT_NEAR(counts[0] / double(n), zipf.Probability(0), 0.01);
+  EXPECT_NEAR(counts[1] / double(n), zipf.Probability(1), 0.01);
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[49]);
+}
+
+TEST(ZipfTest, SkewZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (uint64_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(zipf.Probability(r), 0.1, 1e-9);
+  }
+}
+
+TEST(VocabularyWordTest, DistinctAndAlphanumeric) {
+  std::set<std::string> words;
+  for (uint32_t i = 0; i < 5000; ++i) {
+    std::string word = VocabularyWord(42, i);
+    EXPECT_FALSE(word.empty());
+    for (char c : word) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << word;
+    }
+    words.insert(word);
+  }
+  EXPECT_EQ(words.size(), 5000u);
+}
+
+TEST(VocabularyWordTest, TokenizerPreservesGeneratedWords) {
+  // Generated words must survive tokenization unchanged, or dataset stats
+  // would drift from the config.
+  Tokenizer tokenizer;
+  for (uint32_t i = 0; i < 200; ++i) {
+    std::string word = VocabularyWord(7, i);
+    std::vector<std::string> tokens = tokenizer.Tokenize(word);
+    ASSERT_EQ(tokens.size(), 1u);
+    EXPECT_EQ(tokens[0], word);
+  }
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticConfig config;
+  config.num_objects = 50;
+  std::vector<StoredObject> a = GenerateDataset(config);
+  std::vector<StoredObject> b = GenerateDataset(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].text, b[i].text);
+    EXPECT_EQ(a[i].coords, b[i].coords);
+  }
+}
+
+TEST(SyntheticTest, MatchesConfiguredShape) {
+  SyntheticConfig config;
+  config.num_objects = 2000;
+  config.vocabulary_size = 5000;
+  config.avg_distinct_words = 20.0;
+  std::vector<StoredObject> objects = GenerateDataset(config);
+  ASSERT_EQ(objects.size(), 2000u);
+
+  Tokenizer tokenizer;
+  uint64_t total_distinct = 0;
+  std::unordered_set<std::string> vocabulary;
+  for (const StoredObject& object : objects) {
+    EXPECT_EQ(object.coords.size(), 2u);
+    EXPECT_GE(object.coords[0], config.world_min);
+    EXPECT_LE(object.coords[0], config.world_max);
+    std::vector<std::string> words = tokenizer.DistinctTokens(object.text);
+    total_distinct += words.size();
+    vocabulary.insert(words.begin(), words.end());
+  }
+  // Average distinct words ~= configured (name token adds ~1).
+  double avg = double(total_distinct) / objects.size();
+  EXPECT_NEAR(avg, 21.0, 2.0);
+  // Vocabulary bounded by config + name tokens.
+  EXPECT_LE(vocabulary.size(), 5000u + 2000u);
+  EXPECT_GT(vocabulary.size(), 1000u);
+}
+
+TEST(SyntheticTest, ZipfMakesTopWordsCommon) {
+  SyntheticConfig config;
+  config.num_objects = 1000;
+  config.vocabulary_size = 2000;
+  config.avg_distinct_words = 15.0;
+  std::vector<StoredObject> objects = GenerateDataset(config);
+  // The rank-0 word should appear in a large share of objects.
+  std::string top_word = VocabularyWord(config.seed, 0);
+  Tokenizer tokenizer;
+  int with_top = 0;
+  for (const StoredObject& object : objects) {
+    if (ContainsAllKeywords(tokenizer, object.text, {top_word})) ++with_top;
+  }
+  EXPECT_GT(with_top, 500);  // Far above the uniform 15/2000.
+}
+
+TEST(SyntheticTest, PaperConfigsScale) {
+  SyntheticConfig hotels = HotelsLikeConfig(0.01);
+  EXPECT_EQ(hotels.num_objects, 1293u);
+  EXPECT_EQ(hotels.vocabulary_size, 53906u);
+  EXPECT_DOUBLE_EQ(hotels.avg_distinct_words, 349.0);
+
+  SyntheticConfig restaurants = RestaurantsLikeConfig(0.01);
+  EXPECT_EQ(restaurants.num_objects, 4562u);
+  EXPECT_DOUBLE_EQ(restaurants.avg_distinct_words, 14.0);
+}
+
+TEST(SyntheticTest, DatasetScaleEnvOverride) {
+  ::unsetenv("IR2_SCALE");
+  EXPECT_DOUBLE_EQ(DatasetScale(0.25), 0.25);
+  ::setenv("IR2_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(DatasetScale(0.25), 0.5);
+  ::setenv("IR2_SCALE", "bogus", 1);
+  EXPECT_DOUBLE_EQ(DatasetScale(0.25), 0.25);
+  ::unsetenv("IR2_SCALE");
+}
+
+TEST(WorkloadTest, FromObjectKeywordsAreSatisfiable) {
+  SyntheticConfig config;
+  config.num_objects = 500;
+  config.vocabulary_size = 800;
+  config.avg_distinct_words = 12.0;
+  std::vector<StoredObject> objects = GenerateDataset(config);
+  Tokenizer tokenizer;
+
+  WorkloadConfig wconfig;
+  wconfig.num_queries = 30;
+  wconfig.num_keywords = 3;
+  std::vector<DistanceFirstQuery> queries =
+      GenerateWorkload(objects, tokenizer, wconfig);
+  ASSERT_EQ(queries.size(), 30u);
+  for (const DistanceFirstQuery& query : queries) {
+    EXPECT_EQ(query.keywords.size(), 3u);
+    EXPECT_EQ(query.k, wconfig.k);
+    // Satisfiable: at least one object contains all keywords.
+    bool satisfiable = false;
+    for (const StoredObject& object : objects) {
+      if (ContainsAllKeywords(tokenizer, object.text, query.keywords)) {
+        satisfiable = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(satisfiable);
+  }
+}
+
+TEST(WorkloadTest, DeterministicAndInBounds) {
+  std::vector<StoredObject> objects = GenerateDataset(SyntheticConfig{});
+  Tokenizer tokenizer;
+  WorkloadConfig config;
+  config.num_queries = 10;
+  auto a = GenerateWorkload(objects, tokenizer, config);
+  auto b = GenerateWorkload(objects, tokenizer, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].keywords, b[i].keywords);
+    EXPECT_EQ(a[i].point, b[i].point);
+    EXPECT_GE(a[i].point[0], 0.0);
+    EXPECT_LE(a[i].point[0], 1000.0);
+  }
+}
+
+TEST(WorkloadTest, IndependentSourceProducesKeywords) {
+  std::vector<StoredObject> objects = GenerateDataset(SyntheticConfig{});
+  Tokenizer tokenizer;
+  WorkloadConfig config;
+  config.num_queries = 10;
+  config.num_keywords = 2;
+  config.source = WorkloadConfig::KeywordSource::kIndependent;
+  auto queries = GenerateWorkload(objects, tokenizer, config);
+  ASSERT_EQ(queries.size(), 10u);
+  for (const auto& query : queries) {
+    EXPECT_EQ(query.keywords.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace ir2

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/database.h"
+#include "core/general_search.h"
+#include "tests/test_util.h"
+
+namespace ir2 {
+namespace {
+
+using testing_util::RandomObjects;
+using testing_util::ResultIds;
+
+class GeneralCursorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    objects_ = RandomObjects(71, 250, 30, 5);
+    DatabaseOptions options;
+    options.tree_options.capacity_override = 6;
+    options.ir2_signature = SignatureConfig{128, 3};
+    db_ = SpatialKeywordDatabase::Build(objects_, options).value();
+  }
+
+  GeneralIr2TopKCursor MakeCursor(const GeneralQuery& query) {
+    std::vector<ScoredQueryTerm> terms = BuildQueryTerms(
+        *db_->inverted_index(), db_->scorer(), db_->tokenizer(),
+        query.keywords);
+    return GeneralIr2TopKCursor(db_->ir2_tree(), &db_->object_store(),
+                                &db_->tokenizer(), &db_->scorer(),
+                                std::move(terms), query);
+  }
+
+  std::vector<StoredObject> objects_;
+  std::unique_ptr<SpatialKeywordDatabase> db_;
+};
+
+TEST_F(GeneralCursorTest, PaginationMatchesOneShot) {
+  GeneralQuery query;
+  query.point = Point(500, 500);
+  query.keywords = {"w3", "w7"};
+  query.k = 15;
+  query.ir_weight = 10.0;
+  query.distance_weight = 0.1;
+  std::vector<QueryResult> one_shot = db_->QueryGeneral(query).value();
+
+  GeneralIr2TopKCursor cursor = MakeCursor(query);
+  std::vector<QueryResult> paged;
+  while (paged.size() < 15) {
+    auto next = cursor.Next().value();
+    if (!next.has_value()) break;
+    paged.push_back(*next);
+  }
+  ASSERT_EQ(paged.size(), one_shot.size());
+  for (size_t i = 0; i < paged.size(); ++i) {
+    EXPECT_EQ(paged[i].object_id, one_shot[i].object_id) << i;
+    EXPECT_DOUBLE_EQ(paged[i].score, one_shot[i].score);
+  }
+}
+
+TEST_F(GeneralCursorTest, ScoresNonIncreasingUntilExhaustion) {
+  GeneralQuery query;
+  query.point = Point(100, 900);
+  query.keywords = {"w1"};
+  query.ir_weight = 5.0;
+  query.distance_weight = 0.05;
+  GeneralIr2TopKCursor cursor = MakeCursor(query);
+  double last = std::numeric_limits<double>::infinity();
+  int count = 0;
+  while (true) {
+    auto next = cursor.Next().value();
+    if (!next.has_value()) break;
+    EXPECT_LE(next->score, last + 1e-12);
+    last = next->score;
+    ++count;
+  }
+  EXPECT_GT(count, 0);
+  // Exhausted cursor keeps returning nullopt.
+  EXPECT_FALSE(cursor.Next().value().has_value());
+  EXPECT_GT(cursor.stats().objects_loaded, 0u);
+}
+
+TEST_F(GeneralCursorTest, ExhaustionEnumeratesAllPositiveScorers) {
+  GeneralQuery query;
+  query.point = Point(500, 500);
+  query.keywords = {"w9"};
+  GeneralIr2TopKCursor cursor = MakeCursor(query);
+  std::set<uint32_t> found;
+  while (true) {
+    auto next = cursor.Next().value();
+    if (!next.has_value()) break;
+    EXPECT_GT(next->ir_score, 0.0);
+    found.insert(next->object_id);
+  }
+  // Reference: every object containing w9 scores > 0.
+  Tokenizer tokenizer;
+  std::set<uint32_t> expected;
+  for (const StoredObject& object : objects_) {
+    if (ContainsAllKeywords(tokenizer, object.text, {"w9"})) {
+      expected.insert(object.id);
+    }
+  }
+  EXPECT_EQ(found, expected);
+}
+
+}  // namespace
+}  // namespace ir2

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "text/signature.h"
+
+namespace ir2 {
+namespace {
+
+TEST(SignatureTest, BitOps) {
+  Signature sig(16);
+  EXPECT_EQ(sig.num_bits(), 16u);
+  EXPECT_EQ(sig.num_bytes(), 2u);
+  EXPECT_EQ(sig.CountOnes(), 0u);
+  sig.SetBit(0);
+  sig.SetBit(7);
+  sig.SetBit(15);
+  EXPECT_TRUE(sig.TestBit(0));
+  EXPECT_TRUE(sig.TestBit(7));
+  EXPECT_TRUE(sig.TestBit(15));
+  EXPECT_FALSE(sig.TestBit(8));
+  EXPECT_EQ(sig.CountOnes(), 3u);
+  sig.ClearAllBits();
+  EXPECT_EQ(sig.CountOnes(), 0u);
+}
+
+TEST(SignatureTest, SuperimposeIsBitwiseOr) {
+  Signature a(24), b(24);
+  a.SetBit(1);
+  a.SetBit(20);
+  b.SetBit(2);
+  b.SetBit(20);
+  a.Superimpose(b);
+  EXPECT_TRUE(a.TestBit(1));
+  EXPECT_TRUE(a.TestBit(2));
+  EXPECT_TRUE(a.TestBit(20));
+  EXPECT_EQ(a.CountOnes(), 3u);
+}
+
+TEST(SignatureTest, ContainsAllOf) {
+  Signature node(32), query(32);
+  node.SetBit(3);
+  node.SetBit(9);
+  node.SetBit(30);
+  query.SetBit(3);
+  query.SetBit(9);
+  EXPECT_TRUE(node.ContainsAllOf(query));
+  query.SetBit(10);
+  EXPECT_FALSE(node.ContainsAllOf(query));
+  // Empty query matches anything.
+  EXPECT_TRUE(node.ContainsAllOf(Signature(32)));
+}
+
+TEST(SignatureTest, FromBytesRoundTrip) {
+  Signature sig(20);
+  sig.SetBit(0);
+  sig.SetBit(19);
+  Signature copy = Signature::FromBytes(sig.bytes(), 20);
+  EXPECT_EQ(copy, sig);
+  EXPECT_EQ(copy.ToBitString(), sig.ToBitString());
+}
+
+TEST(SignatureTest, OptimalLengthFormula) {
+  // F = k * D / ln 2, rounded up to bytes. The paper's configurations:
+  // k=3, D=349 -> 1511 bits -> 189 bytes; k=3, D=14 -> 61 bits -> 8 bytes.
+  EXPECT_EQ(OptimalSignatureBits(349, 3) / 8, 189u);
+  EXPECT_EQ(OptimalSignatureBits(14, 3) / 8, 8u);
+  // Monotone in both arguments.
+  EXPECT_GT(OptimalSignatureBits(100, 3), OptimalSignatureBits(50, 3));
+  EXPECT_GT(OptimalSignatureBits(100, 5), OptimalSignatureBits(100, 3));
+}
+
+TEST(SignatureTest, ExpectedFalsePositiveRate) {
+  // At the optimal length, fill ~= 0.5 and fp ~= 0.5^k.
+  uint32_t bits = OptimalSignatureBits(100, 3);
+  double fp = ExpectedFalsePositiveRate(100, bits, 3);
+  EXPECT_NEAR(fp, std::pow(0.5, 3), 0.02);
+  // Longer signature, lower fp.
+  EXPECT_LT(ExpectedFalsePositiveRate(100, 2 * bits, 3), fp);
+}
+
+TEST(SignatureTest, MembershipHasNoFalseNegatives) {
+  SignatureConfig config{256, 3};
+  std::vector<std::string> words = {"internet", "pool", "spa", "sauna",
+                                    "golf"};
+  Signature sig = MakeSignature(words, config);
+  for (const std::string& word : words) {
+    EXPECT_TRUE(MayContainWordHash(sig, HashWord(word), config)) << word;
+  }
+}
+
+TEST(SignatureTest, DocumentContainmentHasNoFalseNegatives) {
+  // Query signature of a subset of a document's words is always contained
+  // in the document signature — the invariant conjunctive pruning needs.
+  Rng rng(77);
+  SignatureConfig config{512, 3};
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<uint64_t> words;
+    uint64_t n = 1 + rng.NextUint64(50);
+    for (uint64_t i = 0; i < n; ++i) {
+      words.push_back(rng.NextUint64());
+    }
+    Signature doc = MakeSignatureFromHashes(words, config);
+    // Any subset.
+    std::vector<uint64_t> subset;
+    for (uint64_t w : words) {
+      if (rng.NextBool(0.3)) subset.push_back(w);
+    }
+    Signature query = MakeSignatureFromHashes(subset, config);
+    EXPECT_TRUE(doc.ContainsAllOf(query));
+  }
+}
+
+TEST(SignatureTest, FalsePositiveRateNearPrediction) {
+  // Empirical single-word fp rate across random signatures should be close
+  // to the analytic (1 - e^{-kD/F})^k.
+  Rng rng(123);
+  SignatureConfig config{OptimalSignatureBits(40, 3), 3};
+  int false_positives = 0, trials = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<uint64_t> words;
+    for (int i = 0; i < 40; ++i) words.push_back(rng.NextUint64());
+    Signature doc = MakeSignatureFromHashes(words, config);
+    for (int probe = 0; probe < 20; ++probe) {
+      uint64_t absent = rng.NextUint64();
+      ++trials;
+      if (MayContainWordHash(doc, absent, config)) ++false_positives;
+    }
+  }
+  double rate = static_cast<double>(false_positives) / trials;
+  double predicted = ExpectedFalsePositiveRate(40, config.bits, 3);
+  EXPECT_NEAR(rate, predicted, 0.05);
+}
+
+TEST(SignatureTest, SuperimposedCodingMatchesUnion) {
+  // Signature(doc A) | Signature(doc B) == Signature(words A union B).
+  SignatureConfig config{128, 3};
+  std::vector<uint64_t> a = {1, 2, 3}, b = {3, 4, 5};
+  Signature sa = MakeSignatureFromHashes(a, config);
+  Signature sb = MakeSignatureFromHashes(b, config);
+  sa.Superimpose(sb);
+  std::vector<uint64_t> both = {1, 2, 3, 4, 5};
+  EXPECT_EQ(sa, MakeSignatureFromHashes(both, config));
+}
+
+TEST(SignatureTest, DifferentWidthsGiveDifferentBitPositions) {
+  // The same word maps consistently within one width.
+  SignatureConfig narrow{64, 3}, wide{1024, 3};
+  uint64_t hash = HashWord("internet");
+  Signature n1(64), n2(64);
+  AddWordHash(hash, narrow, &n1);
+  AddWordHash(hash, narrow, &n2);
+  EXPECT_EQ(n1, n2);
+  Signature w(1024);
+  AddWordHash(hash, wide, &w);
+  // k hashes set at most k (fewer on collision) bits, at least one.
+  EXPECT_GE(w.CountOnes(), 1u);
+  EXPECT_LE(w.CountOnes(), 3u);
+  EXPECT_GE(n1.CountOnes(), 1u);
+  EXPECT_LE(n1.CountOnes(), 3u);
+}
+
+class SignatureWidthSweep : public ::testing::TestWithParam<uint32_t> {};
+
+// Property sweep across widths: no false negatives, byte round-trip.
+TEST_P(SignatureWidthSweep, NoFalseNegativesAtAnyWidth) {
+  const uint32_t bits = GetParam();
+  SignatureConfig config{bits, 3};
+  Rng rng(bits);
+  std::vector<uint64_t> words;
+  for (int i = 0; i < 30; ++i) words.push_back(rng.NextUint64());
+  Signature doc = MakeSignatureFromHashes(words, config);
+  for (uint64_t word : words) {
+    EXPECT_TRUE(MayContainWordHash(doc, word, config));
+  }
+  Signature restored = Signature::FromBytes(doc.bytes(), bits);
+  EXPECT_EQ(restored, doc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SignatureWidthSweep,
+                         ::testing::Values(8u, 16u, 64u, 100u, 512u, 1512u,
+                                           4096u));
+
+}  // namespace
+}  // namespace ir2

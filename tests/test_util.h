@@ -1,0 +1,113 @@
+#ifndef IR2TREE_TESTS_TEST_UTIL_H_
+#define IR2TREE_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/query.h"
+#include "geo/point.h"
+#include "storage/object_store.h"
+#include "text/tokenizer.h"
+
+namespace ir2 {
+namespace testing_util {
+
+// The paper's Figure 1 dataset of eight fictitious hotels. The worked
+// examples (Example 1: NN order; Examples 2 and 3: top-2 {internet, pool}
+// from [30.5, 100.0] = H7, H2) provide exact expected outputs.
+inline std::vector<StoredObject> Figure1Hotels() {
+  std::vector<StoredObject> hotels;
+  auto add = [&hotels](uint32_t id, const char* name, double lat, double lon,
+                       const char* amenities) {
+    StoredObject object;
+    object.id = id;
+    object.coords = {lat, lon};
+    object.text = std::string(name) + " " + amenities;
+    hotels.push_back(std::move(object));
+  };
+  add(1, "Hotel A", 25.4, -80.1, "tennis court, gift shop, spa, Internet");
+  add(2, "Hotel B", 47.3, -122.2, "wireless Internet, pool, golf course");
+  add(3, "Hotel C", 35.5, 139.4, "spa, continental suites, pool");
+  add(4, "Hotel D", 39.5, 116.2, "sauna, pool, conference rooms");
+  add(5, "Hotel E", 51.3, -0.5, "dry cleaning, free lunch, pets");
+  add(6, "Hotel F", 40.4, -73.5, "safe box, concierge, internet, pets");
+  add(7, "Hotel G", -33.2, -70.4, "Internet, airport transportation, pool");
+  add(8, "Hotel H", -41.1, 174.4, "wake up service, no pets, pool");
+  return hotels;
+}
+
+// The paper's running query point.
+inline Point Figure1QueryPoint() { return Point(30.5, 100.0); }
+
+// Small random dataset for property tests: `n` objects with 2-d uniform
+// positions in [0, 1000)^2 and `words_per_object` words from a vocabulary
+// {w0 .. w<vocab-1>} (uniformly drawn, so keyword selectivity ~= 1/vocab *
+// words_per_object).
+inline std::vector<StoredObject> RandomObjects(uint64_t seed, uint32_t n,
+                                               uint32_t vocab,
+                                               uint32_t words_per_object) {
+  Rng rng(seed);
+  std::vector<StoredObject> objects;
+  objects.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    StoredObject object;
+    object.id = i;
+    object.coords = {rng.NextDouble(0, 1000), rng.NextDouble(0, 1000)};
+    object.text = "o" + std::to_string(i);
+    for (uint32_t w = 0; w < words_per_object; ++w) {
+      object.text += " w" + std::to_string(rng.NextUint64(vocab));
+    }
+    objects.push_back(std::move(object));
+  }
+  return objects;
+}
+
+// Reference implementation of the distance-first top-k spatial keyword
+// query: scan everything, filter by Boolean keyword containment, order by
+// distance (ties by id for determinism).
+inline std::vector<uint32_t> BruteForceDistanceFirst(
+    const std::vector<StoredObject>& objects, const Point& point,
+    const std::vector<std::string>& keywords, uint32_t k) {
+  Tokenizer tokenizer;
+  struct Hit {
+    double distance;
+    uint32_t id;
+  };
+  std::vector<Hit> hits;
+  for (const StoredObject& object : objects) {
+    if (!ContainsAllKeywords(tokenizer, object.text, keywords)) continue;
+    hits.push_back(Hit{Distance(Point(object.coords), point), object.id});
+  }
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  });
+  std::vector<uint32_t> ids;
+  for (const Hit& hit : hits) {
+    if (ids.size() == k) break;
+    ids.push_back(hit.id);
+  }
+  return ids;
+}
+
+inline std::vector<uint32_t> ResultIds(const std::vector<QueryResult>& rs) {
+  std::vector<uint32_t> ids;
+  ids.reserve(rs.size());
+  for (const QueryResult& r : rs) ids.push_back(r.object_id);
+  return ids;
+}
+
+// Distances within a result list must be non-decreasing.
+inline bool DistancesSorted(const std::vector<QueryResult>& rs) {
+  for (size_t i = 1; i < rs.size(); ++i) {
+    if (rs[i].distance < rs[i - 1].distance) return false;
+  }
+  return true;
+}
+
+}  // namespace testing_util
+}  // namespace ir2
+
+#endif  // IR2TREE_TESTS_TEST_UTIL_H_
