@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig10_hotels_vary_keywords.
+# This may be replaced when dependencies are built.

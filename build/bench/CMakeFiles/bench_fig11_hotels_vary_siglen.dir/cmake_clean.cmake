@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_hotels_vary_siglen.dir/bench_fig11_hotels_vary_siglen.cc.o"
+  "CMakeFiles/bench_fig11_hotels_vary_siglen.dir/bench_fig11_hotels_vary_siglen.cc.o.d"
+  "bench_fig11_hotels_vary_siglen"
+  "bench_fig11_hotels_vary_siglen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_hotels_vary_siglen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

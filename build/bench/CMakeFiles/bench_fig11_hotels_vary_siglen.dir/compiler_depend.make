@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig11_hotels_vary_siglen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_hybrid.dir/bench_related_hybrid.cc.o"
+  "CMakeFiles/bench_related_hybrid.dir/bench_related_hybrid.cc.o.d"
+  "bench_related_hybrid"
+  "bench_related_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_sigfile.dir/bench_related_sigfile.cc.o"
+  "CMakeFiles/bench_related_sigfile.dir/bench_related_sigfile.cc.o.d"
+  "bench_related_sigfile"
+  "bench_related_sigfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_sigfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir2_shell.dir/ir2_shell.cpp.o"
+  "CMakeFiles/ir2_shell.dir/ir2_shell.cpp.o.d"
+  "ir2_shell"
+  "ir2_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir2_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updates.dir/updates.cpp.o"
+  "CMakeFiles/updates.dir/updates.cpp.o.d"
+  "updates"
+  "updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

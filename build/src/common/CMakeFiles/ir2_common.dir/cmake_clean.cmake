@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir2_common.dir/hash.cc.o"
+  "CMakeFiles/ir2_common.dir/hash.cc.o.d"
+  "CMakeFiles/ir2_common.dir/random.cc.o"
+  "CMakeFiles/ir2_common.dir/random.cc.o.d"
+  "CMakeFiles/ir2_common.dir/status.cc.o"
+  "CMakeFiles/ir2_common.dir/status.cc.o.d"
+  "libir2_common.a"
+  "libir2_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir2_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

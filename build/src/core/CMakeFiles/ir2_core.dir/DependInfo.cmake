@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/database.cc" "src/core/CMakeFiles/ir2_core.dir/database.cc.o" "gcc" "src/core/CMakeFiles/ir2_core.dir/database.cc.o.d"
+  "/root/repo/src/core/general_search.cc" "src/core/CMakeFiles/ir2_core.dir/general_search.cc.o" "gcc" "src/core/CMakeFiles/ir2_core.dir/general_search.cc.o.d"
+  "/root/repo/src/core/hybrid_index.cc" "src/core/CMakeFiles/ir2_core.dir/hybrid_index.cc.o" "gcc" "src/core/CMakeFiles/ir2_core.dir/hybrid_index.cc.o.d"
+  "/root/repo/src/core/iio.cc" "src/core/CMakeFiles/ir2_core.dir/iio.cc.o" "gcc" "src/core/CMakeFiles/ir2_core.dir/iio.cc.o.d"
+  "/root/repo/src/core/ir2_search.cc" "src/core/CMakeFiles/ir2_core.dir/ir2_search.cc.o" "gcc" "src/core/CMakeFiles/ir2_core.dir/ir2_search.cc.o.d"
+  "/root/repo/src/core/ir2_tree.cc" "src/core/CMakeFiles/ir2_core.dir/ir2_tree.cc.o" "gcc" "src/core/CMakeFiles/ir2_core.dir/ir2_tree.cc.o.d"
+  "/root/repo/src/core/mir2_tree.cc" "src/core/CMakeFiles/ir2_core.dir/mir2_tree.cc.o" "gcc" "src/core/CMakeFiles/ir2_core.dir/mir2_tree.cc.o.d"
+  "/root/repo/src/core/rtree_baseline.cc" "src/core/CMakeFiles/ir2_core.dir/rtree_baseline.cc.o" "gcc" "src/core/CMakeFiles/ir2_core.dir/rtree_baseline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ir2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ir2_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/ir2_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ir2_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ir2_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir2_core.dir/database.cc.o"
+  "CMakeFiles/ir2_core.dir/database.cc.o.d"
+  "CMakeFiles/ir2_core.dir/general_search.cc.o"
+  "CMakeFiles/ir2_core.dir/general_search.cc.o.d"
+  "CMakeFiles/ir2_core.dir/hybrid_index.cc.o"
+  "CMakeFiles/ir2_core.dir/hybrid_index.cc.o.d"
+  "CMakeFiles/ir2_core.dir/iio.cc.o"
+  "CMakeFiles/ir2_core.dir/iio.cc.o.d"
+  "CMakeFiles/ir2_core.dir/ir2_search.cc.o"
+  "CMakeFiles/ir2_core.dir/ir2_search.cc.o.d"
+  "CMakeFiles/ir2_core.dir/ir2_tree.cc.o"
+  "CMakeFiles/ir2_core.dir/ir2_tree.cc.o.d"
+  "CMakeFiles/ir2_core.dir/mir2_tree.cc.o"
+  "CMakeFiles/ir2_core.dir/mir2_tree.cc.o.d"
+  "CMakeFiles/ir2_core.dir/rtree_baseline.cc.o"
+  "CMakeFiles/ir2_core.dir/rtree_baseline.cc.o.d"
+  "libir2_core.a"
+  "libir2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir2_datagen.dir/synthetic.cc.o"
+  "CMakeFiles/ir2_datagen.dir/synthetic.cc.o.d"
+  "CMakeFiles/ir2_datagen.dir/workload.cc.o"
+  "CMakeFiles/ir2_datagen.dir/workload.cc.o.d"
+  "CMakeFiles/ir2_datagen.dir/zipf.cc.o"
+  "CMakeFiles/ir2_datagen.dir/zipf.cc.o.d"
+  "libir2_datagen.a"
+  "libir2_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir2_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir2_geo.dir/point.cc.o"
+  "CMakeFiles/ir2_geo.dir/point.cc.o.d"
+  "CMakeFiles/ir2_geo.dir/rect.cc.o"
+  "CMakeFiles/ir2_geo.dir/rect.cc.o.d"
+  "libir2_geo.a"
+  "libir2_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir2_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtree/bulk_load.cc" "src/rtree/CMakeFiles/ir2_rtree.dir/bulk_load.cc.o" "gcc" "src/rtree/CMakeFiles/ir2_rtree.dir/bulk_load.cc.o.d"
+  "/root/repo/src/rtree/incremental_nn.cc" "src/rtree/CMakeFiles/ir2_rtree.dir/incremental_nn.cc.o" "gcc" "src/rtree/CMakeFiles/ir2_rtree.dir/incremental_nn.cc.o.d"
+  "/root/repo/src/rtree/knn.cc" "src/rtree/CMakeFiles/ir2_rtree.dir/knn.cc.o" "gcc" "src/rtree/CMakeFiles/ir2_rtree.dir/knn.cc.o.d"
+  "/root/repo/src/rtree/rtree_base.cc" "src/rtree/CMakeFiles/ir2_rtree.dir/rtree_base.cc.o" "gcc" "src/rtree/CMakeFiles/ir2_rtree.dir/rtree_base.cc.o.d"
+  "/root/repo/src/rtree/search.cc" "src/rtree/CMakeFiles/ir2_rtree.dir/search.cc.o" "gcc" "src/rtree/CMakeFiles/ir2_rtree.dir/search.cc.o.d"
+  "/root/repo/src/rtree/tree_stats.cc" "src/rtree/CMakeFiles/ir2_rtree.dir/tree_stats.cc.o" "gcc" "src/rtree/CMakeFiles/ir2_rtree.dir/tree_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ir2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ir2_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ir2_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir2_rtree.dir/bulk_load.cc.o"
+  "CMakeFiles/ir2_rtree.dir/bulk_load.cc.o.d"
+  "CMakeFiles/ir2_rtree.dir/incremental_nn.cc.o"
+  "CMakeFiles/ir2_rtree.dir/incremental_nn.cc.o.d"
+  "CMakeFiles/ir2_rtree.dir/knn.cc.o"
+  "CMakeFiles/ir2_rtree.dir/knn.cc.o.d"
+  "CMakeFiles/ir2_rtree.dir/rtree_base.cc.o"
+  "CMakeFiles/ir2_rtree.dir/rtree_base.cc.o.d"
+  "CMakeFiles/ir2_rtree.dir/search.cc.o"
+  "CMakeFiles/ir2_rtree.dir/search.cc.o.d"
+  "CMakeFiles/ir2_rtree.dir/tree_stats.cc.o"
+  "CMakeFiles/ir2_rtree.dir/tree_stats.cc.o.d"
+  "libir2_rtree.a"
+  "libir2_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir2_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir2_storage.dir/block_device.cc.o"
+  "CMakeFiles/ir2_storage.dir/block_device.cc.o.d"
+  "CMakeFiles/ir2_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/ir2_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/ir2_storage.dir/object_store.cc.o"
+  "CMakeFiles/ir2_storage.dir/object_store.cc.o.d"
+  "libir2_storage.a"
+  "libir2_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir2_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

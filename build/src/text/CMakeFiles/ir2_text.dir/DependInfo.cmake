@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/inverted_index.cc" "src/text/CMakeFiles/ir2_text.dir/inverted_index.cc.o" "gcc" "src/text/CMakeFiles/ir2_text.dir/inverted_index.cc.o.d"
+  "/root/repo/src/text/ir_score.cc" "src/text/CMakeFiles/ir2_text.dir/ir_score.cc.o" "gcc" "src/text/CMakeFiles/ir2_text.dir/ir_score.cc.o.d"
+  "/root/repo/src/text/signature.cc" "src/text/CMakeFiles/ir2_text.dir/signature.cc.o" "gcc" "src/text/CMakeFiles/ir2_text.dir/signature.cc.o.d"
+  "/root/repo/src/text/signature_file.cc" "src/text/CMakeFiles/ir2_text.dir/signature_file.cc.o" "gcc" "src/text/CMakeFiles/ir2_text.dir/signature_file.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/ir2_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/ir2_text.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ir2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ir2_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

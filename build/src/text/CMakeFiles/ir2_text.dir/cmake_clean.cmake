@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir2_text.dir/inverted_index.cc.o"
+  "CMakeFiles/ir2_text.dir/inverted_index.cc.o.d"
+  "CMakeFiles/ir2_text.dir/ir_score.cc.o"
+  "CMakeFiles/ir2_text.dir/ir_score.cc.o.d"
+  "CMakeFiles/ir2_text.dir/signature.cc.o"
+  "CMakeFiles/ir2_text.dir/signature.cc.o.d"
+  "CMakeFiles/ir2_text.dir/signature_file.cc.o"
+  "CMakeFiles/ir2_text.dir/signature_file.cc.o.d"
+  "CMakeFiles/ir2_text.dir/tokenizer.cc.o"
+  "CMakeFiles/ir2_text.dir/tokenizer.cc.o.d"
+  "libir2_text.a"
+  "libir2_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir2_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

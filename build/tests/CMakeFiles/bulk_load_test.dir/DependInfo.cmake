@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bulk_load_test.cc" "tests/CMakeFiles/bulk_load_test.dir/bulk_load_test.cc.o" "gcc" "tests/CMakeFiles/bulk_load_test.dir/bulk_load_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ir2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/ir2_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/ir2_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ir2_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ir2_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ir2_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ir2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/general_cursor_test.dir/general_cursor_test.cc.o"
+  "CMakeFiles/general_cursor_test.dir/general_cursor_test.cc.o.d"
+  "general_cursor_test"
+  "general_cursor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/general_cursor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

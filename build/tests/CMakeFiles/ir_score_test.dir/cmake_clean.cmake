@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_score_test.dir/ir_score_test.cc.o"
+  "CMakeFiles/ir_score_test.dir/ir_score_test.cc.o.d"
+  "ir_score_test"
+  "ir_score_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_score_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

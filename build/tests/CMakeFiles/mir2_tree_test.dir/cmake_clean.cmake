@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mir2_tree_test.dir/mir2_tree_test.cc.o"
+  "CMakeFiles/mir2_tree_test.dir/mir2_tree_test.cc.o.d"
+  "mir2_tree_test"
+  "mir2_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mir2_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mir2_tree_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signature_file_test.dir/signature_file_test.cc.o"
+  "CMakeFiles/signature_file_test.dir/signature_file_test.cc.o.d"
+  "signature_file_test"
+  "signature_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signature_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
