@@ -1,0 +1,185 @@
+// Concurrent query throughput (queries/second) of the BatchExecutor over
+// one shared read-only IR2-/MIR2-Tree, at 1, 2, 4 and 8 worker threads.
+//
+// Two properties are measured:
+//   1. Scaling — batch wall-clock time and q/s per thread count. Workers
+//      share nothing but the immutable tree and the thread-safe device, so
+//      throughput should track physical core count.
+//   2. Determinism — every per-query disk-access profile (random/sequential
+//      reads, objects loaded, nodes visited) must be identical at every
+//      thread count; the run aborts the figure with a mismatch count
+//      otherwise.
+//
+// Results are printed as a figure table and written to
+// BENCH_throughput.json in the working directory.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/batch_executor.h"
+
+namespace ir2 {
+namespace bench {
+namespace {
+
+struct ThroughputPoint {
+  size_t threads = 0;
+  double seconds = 0;
+  double qps = 0;
+  double speedup = 1.0;
+};
+
+struct TreeSeries {
+  const char* tree = nullptr;
+  std::vector<ThroughputPoint> points;
+  size_t profile_mismatches = 0;
+  double serial_mean_ms = 0;      // db.QueryXxx loop, the seed's code path.
+  double batch1_mean_ms = 0;      // BatchExecutor at one thread.
+};
+
+bool SameProfile(const QueryStats& a, const QueryStats& b) {
+  return a.objects_loaded == b.objects_loaded &&
+         a.false_positives == b.false_positives &&
+         a.nodes_visited == b.nodes_visited &&
+         a.entries_pruned == b.entries_pruned && a.io == b.io;
+}
+
+TreeSeries RunTree(SpatialKeywordDatabase& db, Algo algo,
+                   const std::vector<DistanceFirstQuery>& queries) {
+  TreeSeries series;
+  series.tree = AlgoName(algo);
+  const Ir2Tree* tree =
+      algo == Algo::kMir2 ? db.mir2_tree() : db.ir2_tree();
+
+  // Serial reference on the database's own (shared-pool) path, so the
+  // refactor's single-thread latency is visible next to the batch numbers.
+  AlgoResult serial = RunWorkload(db, algo, queries);
+  series.serial_mean_ms = serial.ms;
+
+  BatchExecutorOptions options;
+  std::vector<QueryStats> reference;
+  for (size_t threads : {1, 2, 4, 8}) {
+    options.num_threads = threads;
+    BatchExecutor executor(tree, &db.object_store(), &db.tokenizer(),
+                           options);
+    Stopwatch watch;
+    StatusOr<BatchResults> batch = executor.Run(queries);
+    const double elapsed = watch.ElapsedSeconds();
+    IR2_CHECK(batch.ok()) << batch.status().ToString();
+
+    ThroughputPoint point;
+    point.threads = threads;
+    point.seconds = elapsed;
+    point.qps = static_cast<double>(queries.size()) / elapsed;
+    if (threads == 1) {
+      reference = batch->per_query;
+      series.batch1_mean_ms =
+          batch->Aggregate().seconds * 1000.0 / queries.size();
+    } else {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        if (!SameProfile(reference[i], batch->per_query[i])) {
+          ++series.profile_mismatches;
+        }
+      }
+    }
+    point.speedup = series.points.empty()
+                        ? 1.0
+                        : series.points.front().seconds / elapsed;
+    series.points.push_back(point);
+  }
+  return series;
+}
+
+void WriteJson(const char* path, const BenchDataset& dataset,
+               size_t num_queries, const std::vector<TreeSeries>& trees) {
+  std::FILE* f = std::fopen(path, "w");
+  IR2_CHECK(f != nullptr) << "cannot write " << path;
+  std::fprintf(f, "{\n  \"bench\": \"throughput\",\n");
+  std::fprintf(f, "  \"dataset\": \"%s\",\n", dataset.name.c_str());
+  std::fprintf(f, "  \"num_objects\": %zu,\n", dataset.objects.size());
+  std::fprintf(f, "  \"num_queries\": %zu,\n", num_queries);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"trees\": [\n");
+  for (size_t t = 0; t < trees.size(); ++t) {
+    const TreeSeries& series = trees[t];
+    std::fprintf(f, "    {\n      \"tree\": \"%s\",\n", series.tree);
+    std::fprintf(f, "      \"serial_mean_ms\": %.4f,\n",
+                 series.serial_mean_ms);
+    std::fprintf(f, "      \"batch1_mean_ms\": %.4f,\n",
+                 series.batch1_mean_ms);
+    std::fprintf(f, "      \"profile_mismatches\": %zu,\n",
+                 series.profile_mismatches);
+    std::fprintf(f, "      \"series\": [\n");
+    for (size_t p = 0; p < series.points.size(); ++p) {
+      const ThroughputPoint& point = series.points[p];
+      std::fprintf(f,
+                   "        {\"threads\": %zu, \"seconds\": %.4f, "
+                   "\"qps\": %.1f, \"speedup\": %.2f}%s\n",
+                   point.threads, point.seconds, point.qps, point.speedup,
+                   p + 1 < series.points.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }%s\n",
+                 t + 1 < trees.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+void Main() {
+  BenchDataset dataset = BuildRestaurants();
+
+  WorkloadConfig config;
+  config.seed = 17;
+  config.num_queries = 200;
+  config.num_keywords = 2;
+  config.k = 10;
+  std::vector<DistanceFirstQuery> queries =
+      GenerateWorkload(dataset.objects, dataset.db->tokenizer(), config);
+
+  std::vector<TreeSeries> trees;
+  trees.push_back(RunTree(*dataset.db, Algo::kIr2, queries));
+  trees.push_back(RunTree(*dataset.db, Algo::kMir2, queries));
+
+  std::vector<std::string> x_names = {"1", "2", "4", "8"};
+  FigurePrinter qps_figure("Batch throughput (queries/s)", "threads",
+                           x_names);
+  FigurePrinter speedup_figure("Batch speedup vs 1 thread", "threads",
+                               x_names);
+  for (const TreeSeries& series : trees) {
+    std::vector<double> qps, speedup;
+    for (const ThroughputPoint& point : series.points) {
+      qps.push_back(point.qps);
+      speedup.push_back(point.speedup);
+    }
+    qps_figure.AddRow(series.tree, qps, "%12.1f");
+    speedup_figure.AddRow(series.tree, speedup, "%12.2f");
+  }
+  qps_figure.Print();
+  speedup_figure.Print();
+
+  std::printf("\nSingle-thread latency (ms/query): ");
+  for (const TreeSeries& series : trees) {
+    std::printf("%s serial=%.3f batch(1)=%.3f  ", series.tree,
+                series.serial_mean_ms, series.batch1_mean_ms);
+  }
+  std::printf("\nhardware_concurrency=%u",
+              std::thread::hardware_concurrency());
+  size_t mismatches = 0;
+  for (const TreeSeries& series : trees) {
+    mismatches += series.profile_mismatches;
+  }
+  std::printf("  per-query profile mismatches across thread counts: %zu%s\n",
+              mismatches, mismatches == 0 ? " (deterministic)" : " (BUG)");
+
+  WriteJson("BENCH_throughput.json", dataset, queries.size(), trees);
+  std::printf("wrote BENCH_throughput.json\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ir2
+
+int main() { ir2::bench::Main(); }

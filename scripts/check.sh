@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI-style gate: build + test in Release, then rebuild the concurrency-
+# sensitive suites under ThreadSanitizer and run them. Both configurations
+# must pass for the tree to be considered healthy.
+#
+#   scripts/check.sh          # Release ctest + TSan concurrency suites
+#   IR2_CHECK_FULL=1 scripts/check.sh   # run the WHOLE suite under TSan too
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "== Release build + full test suite =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure
+
+echo
+echo "== ThreadSanitizer build =="
+cmake -B build-tsan -S . -DIR2_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+if [ "${IR2_CHECK_FULL:-0}" = "1" ]; then
+  cmake --build build-tsan -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure
+else
+  # The suites that exercise the concurrent machinery (sharded pool,
+  # per-thread I/O accounting, BatchExecutor) — the rest of the suite is
+  # single-threaded and covered by the Release run.
+  cmake --build build-tsan -j "$jobs" --target \
+    concurrency_test batch_executor_test storage_test
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'concurrency_test|batch_executor_test|storage_test'
+fi
+
+echo
+echo "check.sh: all green"

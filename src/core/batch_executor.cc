@@ -1,0 +1,133 @@
+#include "core/batch_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "rtree/rtree_base.h"
+#include "storage/buffer_pool.h"
+
+namespace ir2 {
+
+QueryStats BatchResults::Aggregate() const {
+  QueryStats total;
+  for (const QueryStats& stats : per_query) {
+    total += stats;
+  }
+  return total;
+}
+
+BatchExecutor::BatchExecutor(const Ir2Tree* tree, const ObjectStore* objects,
+                             const Tokenizer* tokenizer,
+                             BatchExecutorOptions options)
+    : tree_(tree),
+      objects_(objects),
+      tokenizer_(tokenizer),
+      options_(options) {
+  IR2_CHECK(tree != nullptr);
+  IR2_CHECK(objects != nullptr);
+  IR2_CHECK(tokenizer != nullptr);
+}
+
+StatusOr<BatchResults> BatchExecutor::Run(
+    std::span<const DistanceFirstQuery> queries) const {
+  BatchResults out;
+  out.results.resize(queries.size());
+  out.per_query.resize(queries.size());
+  if (queries.empty()) {
+    return out;
+  }
+
+  size_t num_threads = options_.num_threads;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, queries.size());
+
+  BlockDevice* tree_device = tree_->pool()->device();
+  BlockDevice* object_device = objects_->device();
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  Status first_error = Status::Ok();
+
+  auto thread_io = [&]() {
+    // The tree and object file usually live on distinct devices (the
+    // database gives every structure its own); when they share one, count
+    // it once.
+    IoStats io = tree_device->thread_stats();
+    if (object_device != tree_device) {
+      io += object_device->thread_stats();
+    }
+    return io;
+  };
+
+  auto run_one = [&](BufferPool* local_pool, const DistanceFirstQuery& query,
+                     std::vector<QueryResult>* results,
+                     QueryStats* stats) -> Status {
+    if (options_.cold_queries) {
+      IR2_RETURN_IF_ERROR(local_pool->Clear());
+      tree_device->ResetThreadCursor();
+      if (object_device != tree_device) {
+        object_device->ResetThreadCursor();
+      }
+    }
+    const IoStats before = thread_io();
+    Stopwatch watch;
+    QueryStats local;
+    IR2_ASSIGN_OR_RETURN(*results,
+                         Ir2TopK(*tree_, *objects_, *tokenizer_, query,
+                                 &local));
+    local.seconds = watch.ElapsedSeconds();
+    local.io = thread_io() - before;
+    *stats = local;
+    return Status::Ok();
+  };
+
+  auto worker = [&]() {
+    // Private node cache over the shared device for the life of the worker;
+    // every LoadNode this thread issues against the tree reads through it.
+    BufferPool local_pool(tree_device, options_.pool_blocks);
+    ScopedReadPool scope(tree_, &local_pool);
+    while (!failed.load(std::memory_order_relaxed)) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= queries.size()) {
+        break;
+      }
+      Status status =
+          run_one(&local_pool, queries[i], &out.results[i], &out.per_query[i]);
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) {
+          first_error = std::move(status);
+        }
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+  };
+
+  if (num_threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (size_t t = 0; t < num_threads; ++t) {
+      threads.emplace_back(worker);
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+
+  if (!first_error.ok()) {
+    return first_error;
+  }
+  return out;
+}
+
+}  // namespace ir2

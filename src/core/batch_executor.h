@@ -1,0 +1,79 @@
+#ifndef IR2TREE_CORE_BATCH_EXECUTOR_H_
+#define IR2TREE_CORE_BATCH_EXECUTOR_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/status_or.h"
+#include "core/ir2_tree.h"
+#include "core/ir2_search.h"
+#include "core/query.h"
+#include "storage/object_store.h"
+#include "text/tokenizer.h"
+
+namespace ir2 {
+
+struct BatchExecutorOptions {
+  // Worker threads; 0 picks std::thread::hardware_concurrency(). Capped at
+  // the number of queries.
+  size_t num_threads = 1;
+
+  // Clear the worker's private pool and reset its device cursors before
+  // every query, so each query is measured from a cold disk — the same
+  // regime as DatabaseOptions::cold_queries. With this set, a query's
+  // QueryStats (including its IoStats) are a pure function of the query and
+  // the index, independent of batch order and thread count.
+  bool cold_queries = true;
+
+  // Capacity (blocks) of each worker's private node cache. Matches
+  // DatabaseOptions::pool_blocks so batch and serial runs cache alike.
+  size_t pool_blocks = 1 << 16;
+};
+
+// Everything a Run produces: results[i] and per_query[i] answer queries[i],
+// in the order the queries were given, whatever order they executed in.
+struct BatchResults {
+  std::vector<std::vector<QueryResult>> results;
+  std::vector<QueryStats> per_query;
+
+  // Sum over per_query. `seconds` is summed per-query work time (CPU-side
+  // wall clock of each query), not batch elapsed time.
+  QueryStats Aggregate() const;
+};
+
+// Runs a batch of distance-first queries against one IR2-Tree (or
+// MIR2-Tree) with a fixed pool of worker threads.
+//
+// The tree, object store and tokenizer are shared read-only. Each worker
+// opens a *private* BufferPool on the tree's device and routes its node
+// reads through it with a ScopedReadPool, so workers never contend on a
+// shared cache and — with cold_queries — every query sees exactly the cache
+// state a serial cold run would give it. Per-query I/O is attributed
+// through the devices' per-thread counters (BlockDevice::thread_stats), so
+// concurrent workers never bleed into each other's IoStats.
+//
+// Queries are claimed from a shared atomic index (dynamic load balancing);
+// results land at the query's original position. The first query error
+// aborts the batch and is returned.
+class BatchExecutor {
+ public:
+  // All pointees must outlive the executor. Pass a Mir2Tree as `tree` to
+  // batch over the multilevel variant (Ir2TopK is polymorphic over both).
+  BatchExecutor(const Ir2Tree* tree, const ObjectStore* objects,
+                const Tokenizer* tokenizer, BatchExecutorOptions options = {});
+
+  StatusOr<BatchResults> Run(std::span<const DistanceFirstQuery> queries) const;
+
+  const BatchExecutorOptions& options() const { return options_; }
+
+ private:
+  const Ir2Tree* tree_;
+  const ObjectStore* objects_;
+  const Tokenizer* tokenizer_;
+  BatchExecutorOptions options_;
+};
+
+}  // namespace ir2
+
+#endif  // IR2TREE_CORE_BATCH_EXECUTOR_H_

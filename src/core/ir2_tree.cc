@@ -13,13 +13,7 @@ bool PayloadContainsSignature(std::span<const uint8_t> payload,
     // (the candidate text check rejects false positives downstream).
     return true;
   }
-  std::span<const uint8_t> query_bytes = query.bytes();
-  for (size_t i = 0; i < payload.size(); ++i) {
-    if ((payload[i] & query_bytes[i]) != query_bytes[i]) {
-      return false;
-    }
-  }
-  return true;
+  return BytesContainSignature(payload, query);
 }
 
 void SignaturePayloadSource::FillPayload(uint32_t level,

@@ -25,7 +25,40 @@ Rect BoundingRectOf(const std::vector<Entry>& entries) {
   return bound;
 }
 
+// Per-thread stack of active ScopedReadPool overrides (a thread rarely has
+// more than one, but nesting is legal). Thread-local, so no locking and no
+// cross-thread visibility by construction.
+struct ReadPoolOverride {
+  const RTreeBase* tree;
+  BufferPool* pool;
+};
+thread_local std::vector<ReadPoolOverride> t_read_pool_overrides;
+
 }  // namespace
+
+ScopedReadPool::ScopedReadPool(const RTreeBase* tree, BufferPool* pool)
+    : tree_(tree) {
+  IR2_CHECK(tree != nullptr);
+  IR2_CHECK(pool != nullptr);
+  IR2_CHECK_EQ(pool->block_size(), tree->pool()->block_size());
+  t_read_pool_overrides.push_back(ReadPoolOverride{tree, pool});
+}
+
+ScopedReadPool::~ScopedReadPool() {
+  IR2_CHECK(!t_read_pool_overrides.empty());
+  IR2_CHECK(t_read_pool_overrides.back().tree == tree_);
+  t_read_pool_overrides.pop_back();
+}
+
+BufferPool* RTreeBase::read_pool() const {
+  for (auto it = t_read_pool_overrides.rbegin();
+       it != t_read_pool_overrides.rend(); ++it) {
+    if (it->tree == this) {
+      return it->pool;
+    }
+  }
+  return pool_;
+}
 
 Rect Node::BoundingRect() const { return BoundingRectOf(entries); }
 
@@ -189,16 +222,17 @@ Status RTreeBase::StoreNode(const Node& node) {
 }
 
 StatusOr<Node> RTreeBase::LoadNode(BlockId id) const {
-  const size_t block_size = pool_->block_size();
+  BufferPool* pool = read_pool();
+  const size_t block_size = pool->block_size();
   std::vector<uint8_t> buffer(block_size);
-  IR2_RETURN_IF_ERROR(pool_->Read(id, buffer));
+  IR2_RETURN_IF_ERROR(pool->Read(id, buffer));
   const uint32_t level = buffer[0];
   const uint32_t count = DecodeU16(buffer.data() + 2);
   const uint32_t nblocks = BlocksUsed(level, count);
   if (nblocks > 1) {
     buffer.resize(static_cast<size_t>(nblocks) * block_size);
     for (uint32_t b = 1; b < nblocks; ++b) {
-      IR2_RETURN_IF_ERROR(pool_->Read(
+      IR2_RETURN_IF_ERROR(pool->Read(
           id + b,
           std::span<uint8_t>(buffer.data() + b * block_size, block_size)));
     }

@@ -97,6 +97,13 @@ struct RTreeOptions {
 // The tree persists through a BufferPool onto a BlockDevice; node reads and
 // writes therefore show up in the device's IoStats with the multi-block
 // first-random-then-sequential pattern the paper measures.
+//
+// Thread-safety: a fully built tree is immutable, so any number of threads
+// may run searches (LoadNode and everything built on it) concurrently —
+// provided each worker routes its reads through a private BufferPool via
+// ScopedReadPool below, which both removes pool contention and keeps each
+// worker's cache state (and therefore its per-query disk-access counts)
+// independent of the other workers. Mutations are single-threaded.
 class RTreeBase {
  public:
   virtual ~RTreeBase() = default;
@@ -180,6 +187,10 @@ class RTreeBase {
   Status Validate() const;
 
   BufferPool* pool() const { return pool_; }
+
+  // The pool LoadNode reads through on the calling thread: the innermost
+  // ScopedReadPool override for this tree if one is active, else pool().
+  BufferPool* read_pool() const;
 
  protected:
   RTreeBase(BufferPool* pool, RTreeOptions options);
@@ -282,6 +293,29 @@ class RTreeBase {
   uint64_t reinserted_levels_ = 0;
   // Depth guard: reinsertion recursion beyond this falls back to splits.
   int reinsert_depth_ = 0;
+};
+
+// While in scope, LoadNode reads that the *calling thread* issues against
+// `tree` go through `pool` instead of tree->pool(). Writes are unaffected.
+//
+// This is how BatchExecutor workers share one read-only tree over one
+// device: each worker opens a private pool on the tree's device and wraps
+// its query loop in a ScopedReadPool, so node caching is per worker and a
+// query's disk-access profile is a pure function of the query — identical
+// to a serial cold run regardless of what other workers do.
+//
+// Scopes nest LIFO per thread; the innermost override for a given tree
+// wins. The override never leaks to other threads.
+class ScopedReadPool {
+ public:
+  ScopedReadPool(const RTreeBase* tree, BufferPool* pool);
+  ~ScopedReadPool();
+
+  ScopedReadPool(const ScopedReadPool&) = delete;
+  ScopedReadPool& operator=(const ScopedReadPool&) = delete;
+
+ private:
+  const RTreeBase* tree_;
 };
 
 }  // namespace ir2

@@ -11,6 +11,26 @@
 
 namespace ir2 {
 
+namespace {
+
+// One cached (device_id -> ThreadIo*) mapping. Device ids are process-unique
+// and never reused, so an entry left behind by a destroyed device can never
+// be mistaken for a live one — it is simply dead weight until evicted.
+struct TlsIoSlot {
+  uint64_t device_id = 0;
+  void* io = nullptr;
+};
+
+// Small move-to-front cache in front of the device's registry lookup. Sized
+// so a thread juggling the usual handful of devices (object file + four
+// index devices) always hits the first few entries.
+constexpr size_t kTlsIoCacheSize = 16;
+thread_local TlsIoSlot t_io_cache[kTlsIoCacheSize];
+
+std::atomic<uint64_t> g_next_device_id{1};
+
+}  // namespace
+
 std::string IoStats::ToString() const {
   std::ostringstream os;
   os << "reads(random=" << random_reads << ", seq=" << sequential_reads
@@ -41,6 +61,78 @@ Status CopyBlocks(BlockDevice* src, BlockDevice* dst) {
   return Status::Ok();
 }
 
+BlockDevice::BlockDevice(size_t block_size)
+    : block_size_(block_size),
+      device_id_(g_next_device_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+BlockDevice::~BlockDevice() = default;
+
+IoStats BlockDevice::ThreadIo::Snapshot() const {
+  IoStats s;
+  s.random_reads = random_reads.load(std::memory_order_relaxed);
+  s.sequential_reads = sequential_reads.load(std::memory_order_relaxed);
+  s.random_writes = random_writes.load(std::memory_order_relaxed);
+  s.sequential_writes = sequential_writes.load(std::memory_order_relaxed);
+  return s;
+}
+
+BlockDevice::ThreadIo& BlockDevice::LocalIo() const {
+  for (size_t i = 0; i < kTlsIoCacheSize; ++i) {
+    if (t_io_cache[i].device_id == device_id_) {
+      TlsIoSlot hit = t_io_cache[i];
+      // Move to front so the handful of live devices stay cheap to find.
+      for (size_t j = i; j > 0; --j) t_io_cache[j] = t_io_cache[j - 1];
+      t_io_cache[0] = hit;
+      return *static_cast<ThreadIo*>(hit.io);
+    }
+  }
+  ThreadIo* io;
+  {
+    std::lock_guard<std::mutex> lock(io_registry_mu_);
+    std::unique_ptr<ThreadIo>& slot = io_registry_[std::this_thread::get_id()];
+    if (slot == nullptr) {
+      slot = std::make_unique<ThreadIo>();
+    }
+    io = slot.get();
+  }
+  for (size_t j = kTlsIoCacheSize - 1; j > 0; --j) {
+    t_io_cache[j] = t_io_cache[j - 1];
+  }
+  t_io_cache[0] = TlsIoSlot{device_id_, io};
+  return *io;
+}
+
+IoStats BlockDevice::stats() const {
+  IoStats total;
+  std::lock_guard<std::mutex> lock(io_registry_mu_);
+  for (const auto& [tid, io] : io_registry_) {
+    total += io->Snapshot();
+  }
+  return total;
+}
+
+IoStats BlockDevice::thread_stats() const { return LocalIo().Snapshot(); }
+
+void BlockDevice::ResetThreadCursor() {
+  ThreadIo& io = LocalIo();
+  io.last_read.store(kInvalidBlockId, std::memory_order_relaxed);
+  io.last_write.store(kInvalidBlockId, std::memory_order_relaxed);
+}
+
+void BlockDevice::ResetStats() {
+  std::lock_guard<std::mutex> lock(io_registry_mu_);
+  for (auto& [tid, io] : io_registry_) {
+    io->random_reads.store(0, std::memory_order_relaxed);
+    io->sequential_reads.store(0, std::memory_order_relaxed);
+    io->random_writes.store(0, std::memory_order_relaxed);
+    io->sequential_writes.store(0, std::memory_order_relaxed);
+    // Also forget the cursors so the first access after a reset is counted
+    // as random, the state a cold query starts from.
+    io->last_read.store(kInvalidBlockId, std::memory_order_relaxed);
+    io->last_write.store(kInvalidBlockId, std::memory_order_relaxed);
+  }
+}
+
 Status BlockDevice::Read(BlockId id, std::span<uint8_t> out) {
   if (out.size() != block_size_) {
     return Status::InvalidArgument("Read buffer size != block size");
@@ -48,12 +140,14 @@ Status BlockDevice::Read(BlockId id, std::span<uint8_t> out) {
   if (id >= NumBlocks()) {
     return Status::OutOfRange("Read past end of device");
   }
-  if (last_read_block_ != kInvalidBlockId && id == last_read_block_ + 1) {
-    ++stats_.sequential_reads;
+  ThreadIo& io = LocalIo();
+  const BlockId last = io.last_read.load(std::memory_order_relaxed);
+  if (last != kInvalidBlockId && id == last + 1) {
+    io.sequential_reads.fetch_add(1, std::memory_order_relaxed);
   } else {
-    ++stats_.random_reads;
+    io.random_reads.fetch_add(1, std::memory_order_relaxed);
   }
-  last_read_block_ = id;
+  io.last_read.store(id, std::memory_order_relaxed);
   return ReadImpl(id, out);
 }
 
@@ -64,24 +158,30 @@ Status BlockDevice::Write(BlockId id, std::span<const uint8_t> data) {
   if (id >= NumBlocks()) {
     return Status::OutOfRange("Write past end of device");
   }
-  if (last_write_block_ != kInvalidBlockId && id == last_write_block_ + 1) {
-    ++stats_.sequential_writes;
+  ThreadIo& io = LocalIo();
+  const BlockId last = io.last_write.load(std::memory_order_relaxed);
+  if (last != kInvalidBlockId && id == last + 1) {
+    io.sequential_writes.fetch_add(1, std::memory_order_relaxed);
   } else {
-    ++stats_.random_writes;
+    io.random_writes.fetch_add(1, std::memory_order_relaxed);
   }
-  last_write_block_ = id;
+  io.last_write.store(id, std::memory_order_relaxed);
   return WriteImpl(id, data);
 }
 
 MemoryBlockDevice::MemoryBlockDevice(size_t block_size)
     : BlockDevice(block_size) {}
 
-uint64_t MemoryBlockDevice::NumBlocks() const { return blocks_.size(); }
+uint64_t MemoryBlockDevice::NumBlocks() const {
+  std::shared_lock<std::shared_mutex> lock(blocks_mu_);
+  return blocks_.size();
+}
 
 StatusOr<BlockId> MemoryBlockDevice::Allocate(uint32_t count) {
   if (count == 0) {
     return Status::InvalidArgument("Allocate count must be > 0");
   }
+  std::unique_lock<std::shared_mutex> lock(blocks_mu_);
   BlockId first = blocks_.size();
   for (uint32_t i = 0; i < count; ++i) {
     blocks_.emplace_back(block_size(), uint8_t{0});
@@ -90,12 +190,16 @@ StatusOr<BlockId> MemoryBlockDevice::Allocate(uint32_t count) {
 }
 
 Status MemoryBlockDevice::ReadImpl(BlockId id, std::span<uint8_t> out) {
+  std::shared_lock<std::shared_mutex> lock(blocks_mu_);
   std::memcpy(out.data(), blocks_[id].data(), block_size());
   return Status::Ok();
 }
 
 Status MemoryBlockDevice::WriteImpl(BlockId id,
                                     std::span<const uint8_t> data) {
+  // Shared lock: the block directory must not move, but distinct blocks are
+  // independent buffers. Same-block write races are the caller's to prevent.
+  std::shared_lock<std::shared_mutex> lock(blocks_mu_);
   std::memcpy(blocks_[id].data(), data.data(), block_size());
   return Status::Ok();
 }
@@ -140,18 +244,21 @@ StatusOr<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
       fd, block_size, static_cast<uint64_t>(size) / block_size));
 }
 
-uint64_t FileBlockDevice::NumBlocks() const { return num_blocks_; }
+uint64_t FileBlockDevice::NumBlocks() const {
+  return num_blocks_.load(std::memory_order_acquire);
+}
 
 StatusOr<BlockId> FileBlockDevice::Allocate(uint32_t count) {
   if (count == 0) {
     return Status::InvalidArgument("Allocate count must be > 0");
   }
-  BlockId first = num_blocks_;
-  uint64_t new_size = (num_blocks_ + count) * block_size();
+  std::lock_guard<std::mutex> lock(allocate_mu_);
+  BlockId first = num_blocks_.load(std::memory_order_relaxed);
+  uint64_t new_size = (first + count) * block_size();
   if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
     return Status::IoError(std::string("ftruncate: ") + std::strerror(errno));
   }
-  num_blocks_ += count;
+  num_blocks_.store(first + count, std::memory_order_release);
   return first;
 }
 

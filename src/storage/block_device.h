@@ -1,10 +1,15 @@
 #ifndef IR2TREE_STORAGE_BLOCK_DEVICE_H_
 #define IR2TREE_STORAGE_BLOCK_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -54,6 +59,13 @@ struct IoStats {
     return d;
   }
 
+  friend bool operator==(const IoStats& a, const IoStats& b) {
+    return a.random_reads == b.random_reads &&
+           a.sequential_reads == b.sequential_reads &&
+           a.random_writes == b.random_writes &&
+           a.sequential_writes == b.sequential_writes;
+  }
+
   std::string ToString() const;
 };
 
@@ -63,12 +75,19 @@ struct IoStats {
 // index, object file) are written through this interface, so the benchmark
 // harness can report the exact disk-access profile of each algorithm.
 //
-// Thread-compatibility: instances are not thread-safe; confine each device
-// to one thread or synchronize externally.
+// Thread-safety: I/O accounting is kept per calling thread — each thread
+// owns its own counters and its own sequential-access cursor, so concurrent
+// queries on different threads report exact, independent disk-access
+// profiles (thread_stats() / ResetThreadCursor()), and stats() aggregates
+// across threads. The data path (ReadImpl/WriteImpl/Allocate) of the
+// provided devices tolerates concurrent accesses to *distinct* blocks;
+// racing writes to the same block are the caller's responsibility to
+// serialize (the sharded BufferPool does so for all traffic routed through
+// it).
 class BlockDevice {
  public:
-  explicit BlockDevice(size_t block_size) : block_size_(block_size) {}
-  virtual ~BlockDevice() = default;
+  explicit BlockDevice(size_t block_size);
+  virtual ~BlockDevice();
 
   BlockDevice(const BlockDevice&) = delete;
   BlockDevice& operator=(const BlockDevice&) = delete;
@@ -89,14 +108,25 @@ class BlockDevice {
   // Writes one full block from `data` (must be exactly block_size() bytes).
   Status Write(BlockId id, std::span<const uint8_t> data);
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() {
-    stats_ = IoStats();
-    // Also forget the cursor so the first access after a reset is counted as
-    // random, the state a cold query starts from.
-    last_read_block_ = kInvalidBlockId;
-    last_write_block_ = kInvalidBlockId;
-  }
+  // Snapshot of the I/O counters summed over every thread that has touched
+  // this device. Exact when no I/O is concurrently in flight; otherwise a
+  // consistent-enough snapshot (each counter is atomically read).
+  IoStats stats() const;
+
+  // Snapshot of the calling thread's own accumulated I/O on this device.
+  // Because counters are attributed to the thread that issued the access,
+  // the delta of two thread_stats() calls brackets exactly the I/O this
+  // thread performed in between — the basis of per-query accounting in
+  // concurrent batch runs.
+  IoStats thread_stats() const;
+
+  // Forgets the calling thread's sequential-access cursor so its next
+  // access counts as random — the state a cold query starts from.
+  void ResetThreadCursor();
+
+  // Zeroes every thread's counters and cursors. Call only while no I/O is
+  // in flight (between build and measurement phases).
+  void ResetStats();
 
   uint64_t SizeBytes() const { return NumBlocks() * block_size_; }
 
@@ -105,15 +135,39 @@ class BlockDevice {
   virtual Status WriteImpl(BlockId id, std::span<const uint8_t> data) = 0;
 
  private:
+  // Per-thread accounting context. Counters are written only by the owning
+  // thread and read (relaxed) by aggregating threads; the cursors are also
+  // stored atomically so ResetStats() can clear them from another thread.
+  struct ThreadIo {
+    std::atomic<uint64_t> random_reads{0};
+    std::atomic<uint64_t> sequential_reads{0};
+    std::atomic<uint64_t> random_writes{0};
+    std::atomic<uint64_t> sequential_writes{0};
+    std::atomic<BlockId> last_read{kInvalidBlockId};
+    std::atomic<BlockId> last_write{kInvalidBlockId};
+
+    IoStats Snapshot() const;
+  };
+
+  // Finds (or lazily creates) the calling thread's context.
+  ThreadIo& LocalIo() const;
+
   size_t block_size_;
-  IoStats stats_;
-  BlockId last_read_block_ = kInvalidBlockId;
-  BlockId last_write_block_ = kInvalidBlockId;
+  // Process-unique id used to key the thread-local context cache; never
+  // reused, so stale cache entries of destroyed devices cannot alias.
+  uint64_t device_id_;
+
+  mutable std::mutex io_registry_mu_;
+  mutable std::unordered_map<std::thread::id, std::unique_ptr<ThreadIo>>
+      io_registry_;
 };
 
 // In-memory device. The default for tests and benchmarks: it makes disk
 // *accounting* exact and deterministic while keeping runs fast, which is the
 // substitution DESIGN.md documents for the paper's physical hard drive.
+//
+// Concurrent reads and writes of distinct blocks are safe; Allocate takes an
+// exclusive lock so the block directory never moves under a reader.
 class MemoryBlockDevice final : public BlockDevice {
  public:
   explicit MemoryBlockDevice(size_t block_size = kDefaultBlockSize);
@@ -128,6 +182,7 @@ class MemoryBlockDevice final : public BlockDevice {
  private:
   // One flat buffer per block keeps Allocate O(count) and avoids large
   // reallocation spikes.
+  mutable std::shared_mutex blocks_mu_;
   std::vector<std::vector<uint8_t>> blocks_;
 };
 
@@ -136,7 +191,8 @@ class MemoryBlockDevice final : public BlockDevice {
 Status CopyBlocks(BlockDevice* src, BlockDevice* dst);
 
 // File-backed device using pread/pwrite, for runs whose datasets exceed RAM
-// or to demonstrate persistence (see examples/updates.cc).
+// or to demonstrate persistence (see examples/updates.cc). pread/pwrite are
+// inherently positional, so concurrent accesses to distinct blocks are safe.
 class FileBlockDevice final : public BlockDevice {
  public:
   // Creates (truncating) or opens the file at `path`.
@@ -158,7 +214,8 @@ class FileBlockDevice final : public BlockDevice {
   FileBlockDevice(int fd, size_t block_size, uint64_t num_blocks);
 
   int fd_;
-  uint64_t num_blocks_;
+  std::mutex allocate_mu_;
+  std::atomic<uint64_t> num_blocks_;
 };
 
 }  // namespace ir2

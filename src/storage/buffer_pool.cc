@@ -3,13 +3,44 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace ir2 {
 
-BufferPool::BufferPool(BlockDevice* device, size_t capacity_blocks)
+namespace {
+
+// One shard per this many blocks of capacity when auto-sharding, so small
+// deterministic pools stay a single LRU.
+constexpr size_t kBlocksPerAutoShard = 64;
+constexpr size_t kMaxAutoShards = 16;
+
+size_t PickShardCount(size_t capacity_blocks, size_t requested) {
+  if (capacity_blocks == 0) {
+    return 0;  // Bypass mode keeps no shards at all.
+  }
+  size_t shards = requested;
+  if (shards == 0) {
+    shards = std::min(kMaxAutoShards, capacity_blocks / kBlocksPerAutoShard);
+  }
+  shards = std::max<size_t>(1, std::min(shards, capacity_blocks));
+  return shards;
+}
+
+}  // namespace
+
+BufferPool::BufferPool(BlockDevice* device, size_t capacity_blocks,
+                       size_t num_shards)
     : device_(device), capacity_(capacity_blocks) {
   IR2_CHECK(device != nullptr);
+  const size_t shards = PickShardCount(capacity_blocks, num_shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Distribute the capacity evenly, earlier shards taking the remainder.
+    shard->capacity = capacity_blocks / shards + (i < capacity_blocks % shards);
+    shards_.push_back(std::move(shard));
+  }
 }
 
 BufferPool::~BufferPool() {
@@ -18,19 +49,29 @@ BufferPool::~BufferPool() {
   (void)s;
 }
 
-BufferPool::Page& BufferPool::Touch(LruList::iterator it) {
-  lru_.splice(lru_.begin(), lru_, it);
-  return lru_.front();
+BufferPool::Shard& BufferPool::ShardOf(BlockId id) {
+  if (shards_.size() == 1) {
+    return *shards_[0];
+  }
+  // Mix the id so contiguous block ranges (tree nodes span adjacent blocks)
+  // spread across shards instead of marching through one.
+  return *shards_[Mix64(id) % shards_.size()];
 }
 
-Status BufferPool::EvictIfFull() {
-  while (lru_.size() >= capacity_ && !lru_.empty()) {
-    Page& victim = lru_.back();
+BufferPool::Page& BufferPool::Touch(Shard& shard, LruList::iterator it) {
+  shard.lru.splice(shard.lru.begin(), shard.lru, it);
+  return shard.lru.front();
+}
+
+Status BufferPool::EvictIfFull(Shard& shard) {
+  while (shard.lru.size() >= shard.capacity && !shard.lru.empty()) {
+    Page& victim = shard.lru.back();
     if (victim.dirty) {
       IR2_RETURN_IF_ERROR(device_->Write(victim.id, victim.data));
     }
-    index_.erase(victim.id);
-    lru_.pop_back();
+    shard.index.erase(victim.id);
+    shard.lru.pop_back();
+    ++shard.evictions;
   }
   return Status::Ok();
 }
@@ -42,20 +83,22 @@ Status BufferPool::Read(BlockId id, std::span<uint8_t> out) {
   if (capacity_ == 0) {
     return device_->Read(id, out);
   }
-  auto it = index_.find(id);
-  if (it != index_.end()) {
-    ++hits_;
-    Page& page = Touch(it->second);
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(id);
+  if (it != shard.index.end()) {
+    ++shard.hits;
+    Page& page = Touch(shard, it->second);
     std::memcpy(out.data(), page.data.data(), block_size());
     return Status::Ok();
   }
-  ++misses_;
+  ++shard.misses;
   IR2_RETURN_IF_ERROR(device_->Read(id, out));
-  IR2_RETURN_IF_ERROR(EvictIfFull());
-  lru_.push_front(
+  IR2_RETURN_IF_ERROR(EvictIfFull(shard));
+  shard.lru.push_front(
       Page{id, /*dirty=*/false,
            std::vector<uint8_t>(out.begin(), out.end())});
-  index_[id] = lru_.begin();
+  shard.index[id] = shard.lru.begin();
   return Status::Ok();
 }
 
@@ -66,17 +109,19 @@ Status BufferPool::Write(BlockId id, std::span<const uint8_t> data) {
   if (capacity_ == 0) {
     return device_->Write(id, data);
   }
-  auto it = index_.find(id);
-  if (it != index_.end()) {
-    Page& page = Touch(it->second);
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(id);
+  if (it != shard.index.end()) {
+    Page& page = Touch(shard, it->second);
     std::memcpy(page.data.data(), data.data(), block_size());
     page.dirty = true;
     return Status::Ok();
   }
-  IR2_RETURN_IF_ERROR(EvictIfFull());
-  lru_.push_front(
+  IR2_RETURN_IF_ERROR(EvictIfFull(shard));
+  shard.lru.push_front(
       Page{id, /*dirty=*/true, std::vector<uint8_t>(data.begin(), data.end())});
-  index_[id] = lru_.begin();
+  shard.index[id] = shard.lru.begin();
   return Status::Ok();
 }
 
@@ -85,26 +130,53 @@ StatusOr<BlockId> BufferPool::Allocate(uint32_t count) {
 }
 
 Status BufferPool::FlushAll() {
-  // Flush in ascending block order so flush I/O is mostly sequential, as a
-  // real write-back cache would schedule it.
+  // Hold every shard lock (always acquired in index order, so concurrent
+  // FlushAll/Clear cannot deadlock) and flush in ascending block order so
+  // flush I/O is mostly sequential, as a real write-back cache would
+  // schedule it.
+  for (auto& shard : shards_) shard->mu.lock();
   std::vector<Page*> dirty;
-  for (Page& page : lru_) {
-    if (page.dirty) dirty.push_back(&page);
+  for (auto& shard : shards_) {
+    for (Page& page : shard->lru) {
+      if (page.dirty) dirty.push_back(&page);
+    }
   }
   std::sort(dirty.begin(), dirty.end(),
             [](const Page* a, const Page* b) { return a->id < b->id; });
+  Status status = Status::Ok();
   for (Page* page : dirty) {
-    IR2_RETURN_IF_ERROR(device_->Write(page->id, page->data));
+    status = device_->Write(page->id, page->data);
+    if (!status.ok()) break;
     page->dirty = false;
   }
-  return Status::Ok();
+  for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+    (*it)->mu.unlock();
+  }
+  return status;
 }
 
 Status BufferPool::Clear() {
   IR2_RETURN_IF_ERROR(FlushAll());
-  lru_.clear();
-  index_.clear();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->hits = 0;
+    shard->misses = 0;
+    shard->evictions = 0;
+  }
   return Status::Ok();
+}
+
+BufferPoolStats BufferPool::Stats() const {
+  BufferPoolStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+  }
+  return total;
 }
 
 }  // namespace ir2

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -12,7 +14,18 @@
 
 namespace ir2 {
 
-// Write-back LRU page cache in front of a BlockDevice.
+// Counter snapshot of a BufferPool. Counters accumulate from construction
+// (or the last Clear(), which resets them — a Clear starts a new cold
+// measurement epoch, so its counters describe exactly that epoch).
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  // Pages pushed out by capacity pressure (dirty victims are written back
+  // to the device first; see EvictionWritesDirtyVictims in storage_test).
+  uint64_t evictions = 0;
+};
+
+// Sharded write-back LRU page cache in front of a BlockDevice.
 //
 // Index structures read and write through the pool; pages cached here do not
 // touch the device and therefore do not count as disk accesses. Query
@@ -20,13 +33,25 @@ namespace ir2 {
 // regime the paper measures. Index construction keeps the pool warm, which
 // makes building the 100k+ object indexes fast.
 //
+// Thread-safety: the pool is safe for concurrent use. Pages are partitioned
+// into N shards by a hash of their BlockId; each shard has its own mutex,
+// LRU list and capacity (capacity_blocks / N), so threads touching different
+// shards never contend. Because every access to a given block always lands
+// in the same shard, same-block operations are serialized by that shard's
+// lock — which also serializes the underlying device accesses for that
+// block. LRU order and eviction are per shard.
+//
 // Pages are copied in and out rather than pinned; for a simulator the copy
 // cost is irrelevant and it rules out dangling page pointers by construction.
 class BufferPool {
  public:
   // `device` must outlive the pool. `capacity_blocks` == 0 disables caching
-  // entirely (every access goes to the device).
-  BufferPool(BlockDevice* device, size_t capacity_blocks);
+  // entirely (every access goes to the device). `num_shards` == 0 picks
+  // automatically: one shard per 64 blocks of capacity, at most 16 — small
+  // pools (including the deterministic single-LRU pools used in tests) stay
+  // unsharded, large concurrent pools spread their locks.
+  BufferPool(BlockDevice* device, size_t capacity_blocks,
+             size_t num_shards = 0);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -42,18 +67,26 @@ class BufferPool {
   // Allocates contiguous blocks on the underlying device.
   StatusOr<BlockId> Allocate(uint32_t count);
 
-  // Writes all dirty pages back to the device.
+  // Writes all dirty pages back to the device (ascending block order, so
+  // flush I/O is mostly sequential). Takes every shard lock.
   Status FlushAll();
 
-  // Flushes, then drops every cached page: the next access of any block hits
-  // the device. Use before a measured query to simulate a cold cache.
+  // Flushes, then drops every cached page and resets the hit/miss/eviction
+  // counters: the next access of any block hits the device and Stats()
+  // describes only the epoch after the Clear. Use before a measured query
+  // to simulate a cold cache.
   Status Clear();
 
   BlockDevice* device() { return device_; }
   size_t block_size() const { return device_->block_size(); }
+  size_t num_shards() const { return shards_.size(); }
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  // Counter snapshot summed over all shards. Exact when no access is
+  // concurrently in flight.
+  BufferPoolStats Stats() const;
+
+  uint64_t hits() const { return Stats().hits; }
+  uint64_t misses() const { return Stats().misses; }
 
  private:
   struct Page {
@@ -63,17 +96,28 @@ class BufferPool {
   };
   using LruList = std::list<Page>;
 
-  // Moves the page to the MRU position and returns it.
-  Page& Touch(LruList::iterator it);
-  // Evicts LRU pages until there is room for one more.
-  Status EvictIfFull();
+  struct Shard {
+    std::mutex mu;
+    size_t capacity = 0;
+    LruList lru;  // Front = most recently used.
+    std::unordered_map<BlockId, LruList::iterator> index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardOf(BlockId id);
+
+  // Moves the page to the MRU position and returns it. Caller holds the
+  // shard lock.
+  static Page& Touch(Shard& shard, LruList::iterator it);
+  // Evicts LRU pages until there is room for one more. Caller holds the
+  // shard lock.
+  Status EvictIfFull(Shard& shard);
 
   BlockDevice* device_;
   size_t capacity_;
-  LruList lru_;  // Front = most recently used.
-  std::unordered_map<BlockId, LruList::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace ir2

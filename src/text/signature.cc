@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <cstring>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -30,30 +31,30 @@ double ExpectedFalsePositiveRate(double distinct_words, uint32_t bits,
 
 void Signature::Reset(uint32_t num_bits) {
   num_bits_ = num_bits;
-  bytes_.assign((num_bits + 7) / 8, 0);
+  words_.assign((num_bits + kWordBits - 1) / kWordBits, 0);
 }
 
 void Signature::SetBit(uint32_t i) {
   IR2_DCHECK(i < num_bits_);
-  bytes_[i >> 3] |= static_cast<uint8_t>(1u << (i & 7));
+  words_[i >> 6] |= uint64_t{1} << (i & 63);
 }
 
 bool Signature::TestBit(uint32_t i) const {
   IR2_DCHECK(i < num_bits_);
-  return (bytes_[i >> 3] >> (i & 7)) & 1u;
+  return (words_[i >> 6] >> (i & 63)) & 1u;
 }
 
 void Signature::Superimpose(const Signature& other) {
   IR2_CHECK_EQ(num_bits_, other.num_bits_);
-  for (size_t i = 0; i < bytes_.size(); ++i) {
-    bytes_[i] |= other.bytes_[i];
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
   }
 }
 
 bool Signature::ContainsAllOf(const Signature& query) const {
   IR2_CHECK_EQ(num_bits_, query.num_bits_);
-  for (size_t i = 0; i < bytes_.size(); ++i) {
-    if ((bytes_[i] & query.bytes_[i]) != query.bytes_[i]) {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & query.words_[i]) != query.words_[i]) {
       return false;
     }
   }
@@ -62,22 +63,21 @@ bool Signature::ContainsAllOf(const Signature& query) const {
 
 uint32_t Signature::CountOnes() const {
   uint32_t count = 0;
-  for (uint8_t b : bytes_) {
-    count += std::popcount(b);
+  for (uint64_t w : words_) {
+    count += std::popcount(w);
   }
   return count;
 }
 
 void Signature::ClearAllBits() {
-  std::fill(bytes_.begin(), bytes_.end(), uint8_t{0});
+  std::fill(words_.begin(), words_.end(), uint64_t{0});
 }
 
 Signature Signature::FromBytes(std::span<const uint8_t> bytes,
                                uint32_t num_bits) {
   IR2_CHECK_EQ(bytes.size(), (num_bits + 7) / 8);
-  Signature sig;
-  sig.num_bits_ = num_bits;
-  sig.bytes_.assign(bytes.begin(), bytes.end());
+  Signature sig(num_bits);  // Zero-filled words: tail bytes stay zero.
+  std::memcpy(sig.words_.data(), bytes.data(), bytes.size());
   return sig;
 }
 
@@ -88,6 +88,34 @@ std::string Signature::ToBitString() const {
     out.push_back(TestBit(i) ? '1' : '0');
   }
   return out;
+}
+
+bool BytesContainSignature(std::span<const uint8_t> bytes,
+                           const Signature& query) {
+  IR2_DCHECK(bytes.size() == query.num_bytes());
+  // Word-wide AND over the (unaligned) bytes: memcpy into a local word
+  // compiles to a single unaligned load. The query's backing store is
+  // word-aligned with zero bits past num_bytes(), so the tail test
+  // zero-extends the trailing bytes into a full word.
+  std::span<const uint64_t> query_words = query.words();
+  const uint8_t* p = bytes.data();
+  const size_t full_words = bytes.size() / sizeof(uint64_t);
+  for (size_t w = 0; w < full_words; ++w) {
+    uint64_t word;
+    std::memcpy(&word, p + w * sizeof(uint64_t), sizeof(uint64_t));
+    if ((word & query_words[w]) != query_words[w]) {
+      return false;
+    }
+  }
+  const size_t tail = bytes.size() - full_words * sizeof(uint64_t);
+  if (tail != 0) {
+    uint64_t word = 0;
+    std::memcpy(&word, p + full_words * sizeof(uint64_t), tail);
+    if ((word & query_words[full_words]) != query_words[full_words]) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void AddWordHash(uint64_t word_hash, const SignatureConfig& config,

@@ -1,6 +1,7 @@
 #ifndef IR2TREE_TEXT_SIGNATURE_H_
 #define IR2TREE_TEXT_SIGNATURE_H_
 
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -8,6 +9,12 @@
 #include <vector>
 
 namespace ir2 {
+
+// The word-wide signature kernels reinterpret the uint64_t backing store as
+// the little-endian byte string the disk format defines (bit i lives in
+// byte i/8, position i%8) — identical layouts only on little-endian hosts.
+static_assert(std::endian::native == std::endian::little,
+              "Signature word-aligned storage assumes a little-endian host");
 
 // Parameters of the superimposed-coding scheme [FC84]: each word sets
 // `hashes_per_word` bits (chosen by independent hashes) in a `bits`-wide bit
@@ -40,8 +47,17 @@ double ExpectedFalsePositiveRate(double distinct_words, uint32_t bits,
 
 // A fixed-width bit string. Width is set at construction (or by Reset) and
 // all binary operations require equal widths.
+//
+// Storage is an array of uint64_t words, so Superimpose / ContainsAllOf /
+// CountOnes — the innermost comparisons of IR2TopK — run word-wide
+// (AND/OR/std::popcount over 64 bits at a time) instead of byte-wide. Bits
+// past num_bits() up to the word boundary are always zero, which keeps the
+// word loops free of tail masking. The serialized form (bytes()) is the
+// unchanged byte-granular disk layout: (num_bits + 7) / 8 bytes.
 class Signature {
  public:
+  static constexpr uint32_t kWordBits = 64;
+
   Signature() = default;
   explicit Signature(uint32_t num_bits) { Reset(num_bits); }
 
@@ -49,7 +65,8 @@ class Signature {
   void Reset(uint32_t num_bits);
 
   uint32_t num_bits() const { return num_bits_; }
-  size_t num_bytes() const { return bytes_.size(); }
+  size_t num_bytes() const { return (num_bits_ + 7) / 8; }
+  size_t num_words() const { return words_.size(); }
   bool empty() const { return num_bits_ == 0; }
 
   void SetBit(uint32_t i);
@@ -67,15 +84,26 @@ class Signature {
 
   void ClearAllBits();
 
-  std::span<const uint8_t> bytes() const { return bytes_; }
-  std::span<uint8_t> mutable_bytes() { return bytes_; }
+  // The on-disk byte form: the first (num_bits + 7) / 8 bytes of the word
+  // array, which on a little-endian host is exactly the historical
+  // byte-vector layout.
+  std::span<const uint8_t> bytes() const {
+    return {reinterpret_cast<const uint8_t*>(words_.data()), num_bytes()};
+  }
+  std::span<uint8_t> mutable_bytes() {
+    return {reinterpret_cast<uint8_t*>(words_.data()), num_bytes()};
+  }
+
+  // Word-aligned view for kernels that test raw payload bytes against this
+  // signature (see PayloadContainsSignature).
+  std::span<const uint64_t> words() const { return words_; }
 
   // Deserializes from raw bytes previously produced by bytes().
   static Signature FromBytes(std::span<const uint8_t> bytes,
                              uint32_t num_bits);
 
   friend bool operator==(const Signature& a, const Signature& b) {
-    return a.num_bits_ == b.num_bits_ && a.bytes_ == b.bytes_;
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
   }
 
   // E.g. "0110..01" for small signatures (debugging).
@@ -83,8 +111,15 @@ class Signature {
 
  private:
   uint32_t num_bits_ = 0;
-  std::vector<uint8_t> bytes_;
+  std::vector<uint64_t> words_;
 };
+
+// True iff every bit set in `query` is also set in `bytes`, a raw
+// little-endian bit string of exactly query.num_bytes() bytes (e.g. a tree
+// entry payload or a signature-file record). The word-wide kernel behind
+// every "S matches W" test; `bytes` may be unaligned.
+bool BytesContainSignature(std::span<const uint8_t> bytes,
+                           const Signature& query);
 
 // Computes the k = config.hashes_per_word bit positions of a word (given its
 // stable 64-bit hash, see Fnv1a64) and sets them in `sig`.

@@ -111,15 +111,8 @@ StatusOr<std::vector<ObjectRef>> SignatureFile::Candidates(
       if (record_fill == record_bytes) {
         record_fill = 0;
         ++records_seen;
-        bool match = true;
-        std::span<const uint8_t> query_bytes = query.bytes();
-        for (size_t i = 0; i < query_bytes.size(); ++i) {
-          if ((record[4 + i] & query_bytes[i]) != query_bytes[i]) {
-            match = false;
-            break;
-          }
-        }
-        if (match) {
+        if (BytesContainSignature(
+                std::span<const uint8_t>(record).subspan(4), query)) {
           candidates.push_back(DecodeU32(record.data()));
         }
       }

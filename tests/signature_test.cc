@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -183,6 +185,88 @@ TEST_P(SignatureWidthSweep, NoFalseNegativesAtAnyWidth) {
 INSTANTIATE_TEST_SUITE_P(Widths, SignatureWidthSweep,
                          ::testing::Values(8u, 16u, 64u, 100u, 512u, 1512u,
                                            4096u));
+
+TEST(SignatureTest, WordStorageIsWordAligned) {
+  // The kernels rely on the backing store being whole uint64_t words with
+  // zero bits past num_bits(); bytes() is a prefix view of those words.
+  for (uint32_t bits : {8u, 64u, 72u, 1512u}) {
+    Signature sig(bits);
+    EXPECT_EQ(sig.num_words(), (bits + 63) / 64) << bits;
+    EXPECT_EQ(sig.words().size(), sig.num_words());
+    EXPECT_EQ(sig.bytes().size(), (bits + 7) / 8);
+    EXPECT_EQ(static_cast<const void*>(sig.bytes().data()),
+              static_cast<const void*>(sig.words().data()));
+  }
+}
+
+TEST(SignatureTest, WordAndByteLayoutsAgree) {
+  // Bit i set via SetBit must appear in byte i/8 at position i%8, the
+  // little-endian disk layout the byte-vector implementation used.
+  Signature sig(72);
+  sig.SetBit(0);
+  sig.SetBit(9);
+  sig.SetBit(63);
+  sig.SetBit(64);
+  sig.SetBit(71);
+  std::span<const uint8_t> bytes = sig.bytes();
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[1], 0x02);
+  EXPECT_EQ(bytes[7], 0x80);
+  EXPECT_EQ(bytes[8], 0x81);
+  EXPECT_EQ(sig.CountOnes(), 5u);
+}
+
+// Reference bit-by-bit containment, the semantics the word kernels must
+// reproduce exactly.
+bool ContainsAllOfBitwise(const Signature& doc, const Signature& query) {
+  for (uint32_t i = 0; i < query.num_bits(); ++i) {
+    if (query.TestBit(i) && !doc.TestBit(i)) return false;
+  }
+  return true;
+}
+
+TEST(SignatureTest, ContainsAllOfMatchesBitwiseReference) {
+  for (uint32_t bits : {20u, 64u, 1512u}) {
+    SignatureConfig config{bits, 3};
+    Rng rng(bits * 7 + 1);
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<uint64_t> doc_words, query_words;
+      for (uint64_t w = 0; w < 1 + rng.NextUint64(20); ++w) {
+        doc_words.push_back(rng.NextUint64());
+      }
+      for (uint64_t w = 0; w < 1 + rng.NextUint64(3); ++w) {
+        query_words.push_back(rng.NextUint64());
+      }
+      Signature doc = MakeSignatureFromHashes(doc_words, config);
+      Signature query = MakeSignatureFromHashes(query_words, config);
+      const bool expected = ContainsAllOfBitwise(doc, query);
+      EXPECT_EQ(doc.ContainsAllOf(query), expected) << bits << ":" << trial;
+      EXPECT_EQ(BytesContainSignature(doc.bytes(), query), expected)
+          << bits << ":" << trial;
+      // Every signature contains itself and the empty signature.
+      EXPECT_TRUE(doc.ContainsAllOf(doc));
+      EXPECT_TRUE(doc.ContainsAllOf(Signature(bits)));
+    }
+  }
+}
+
+TEST(SignatureTest, BytesContainSignatureHandlesUnalignedInput) {
+  SignatureConfig config{1512, 3};
+  std::vector<uint64_t> words{1, 2, 3, 4, 5};
+  Signature doc = MakeSignatureFromHashes(words, config);
+  std::vector<uint64_t> query_word{words[2]};
+  Signature query = MakeSignatureFromHashes(query_word, config);
+  // Copy the doc bytes to an odd offset so the kernel's loads can't assume
+  // word alignment (tree node payloads sit at arbitrary offsets).
+  std::vector<uint8_t> buffer(doc.num_bytes() + 1);
+  std::copy(doc.bytes().begin(), doc.bytes().end(), buffer.begin() + 1);
+  std::span<const uint8_t> unaligned(buffer.data() + 1, doc.num_bytes());
+  EXPECT_TRUE(BytesContainSignature(unaligned, query));
+  std::vector<uint64_t> missing_word{0xdeadbeefULL};
+  Signature missing = MakeSignatureFromHashes(missing_word, config);
+  EXPECT_EQ(BytesContainSignature(unaligned, missing),
+            doc.ContainsAllOf(missing));
+}
 
 }  // namespace
 }  // namespace ir2

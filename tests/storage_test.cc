@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "common/random.h"
 #include "storage/block_device.h"
@@ -203,6 +204,122 @@ TEST(BufferPoolTest, ZeroCapacityBypassesCache) {
   ASSERT_TRUE(pool.Read(0, buf).ok());
   ASSERT_TRUE(pool.Read(0, buf).ok());
   EXPECT_EQ(device.stats().TotalReads(), 2u);
+}
+
+TEST(BufferPoolTest, StatsCountEvictions) {
+  MemoryBlockDevice device(512);
+  (void)device.Allocate(8).value();
+  BufferPool pool(&device, 2);
+  std::vector<uint8_t> buf(512);
+  for (BlockId id : {0, 1, 2, 3}) {
+    ASSERT_TRUE(pool.Read(id, buf).ok());
+  }
+  BufferPoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.evictions, 2u);  // Blocks 0 and 1 were pushed out.
+}
+
+TEST(BufferPoolTest, ClearResetsStats) {
+  MemoryBlockDevice device(512);
+  (void)device.Allocate(8).value();
+  BufferPool pool(&device, 2);
+  std::vector<uint8_t> buf(512);
+  for (BlockId id : {0, 0, 1, 2}) {
+    ASSERT_TRUE(pool.Read(id, buf).ok());
+  }
+  EXPECT_GT(pool.Stats().hits + pool.Stats().misses, 0u);
+  ASSERT_TRUE(pool.Clear().ok());
+  BufferPoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(BufferPoolTest, AutoShardPolicyKeepsSmallPoolsUnsharded) {
+  MemoryBlockDevice device(512);
+  EXPECT_EQ(BufferPool(&device, 8).num_shards(), 1u);
+  EXPECT_EQ(BufferPool(&device, 63).num_shards(), 1u);
+  EXPECT_EQ(BufferPool(&device, 128).num_shards(), 2u);
+  EXPECT_EQ(BufferPool(&device, 1 << 16).num_shards(), 16u);
+  EXPECT_EQ(BufferPool(&device, 0).num_shards(), 0u);  // Bypass mode.
+  // Explicit shard counts are honored but never exceed the capacity.
+  EXPECT_EQ(BufferPool(&device, 8, /*num_shards=*/4).num_shards(), 4u);
+  EXPECT_EQ(BufferPool(&device, 2, /*num_shards=*/4).num_shards(), 2u);
+}
+
+TEST(BufferPoolTest, ShardedPoolCachesAndWritesBack) {
+  MemoryBlockDevice device(512);
+  (void)device.Allocate(64).value();
+  // Each shard's capacity (256 / 4) can hold every block, so nothing is
+  // evicted no matter how the hash distributes the 64 blocks over shards.
+  BufferPool pool(&device, 256, /*num_shards=*/4);
+  ASSERT_EQ(pool.num_shards(), 4u);
+  std::vector<uint8_t> data(512);
+  for (BlockId id = 0; id < 64; ++id) {
+    std::fill(data.begin(), data.end(), static_cast<uint8_t>(id * 3 + 1));
+    ASSERT_TRUE(pool.Write(id, data).ok());
+  }
+  EXPECT_EQ(device.stats().TotalWrites(), 0u);  // All still buffered.
+  std::vector<uint8_t> out(512);
+  for (BlockId id = 0; id < 64; ++id) {
+    ASSERT_TRUE(pool.Read(id, out).ok());
+    EXPECT_EQ(out[0], static_cast<uint8_t>(id * 3 + 1));
+  }
+  EXPECT_EQ(pool.Stats().hits, 64u);  // Reads served from the shards.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(device.stats().TotalWrites(), 64u);
+  for (BlockId id = 0; id < 64; ++id) {
+    ASSERT_TRUE(device.Read(id, out).ok());
+    EXPECT_EQ(out[0], static_cast<uint8_t>(id * 3 + 1));
+  }
+}
+
+TEST(BlockDeviceTest, ThreadStatsAttributePerThread) {
+  MemoryBlockDevice device(512);
+  (void)device.Allocate(16).value();
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(device.Read(0, buf).ok());
+
+  IoStats other_thread;
+  std::thread worker([&device, &other_thread]() {
+    std::vector<uint8_t> local(512);
+    for (BlockId id : {5, 6, 7}) {
+      ASSERT_TRUE(device.Read(id, local).ok());
+    }
+    other_thread = device.thread_stats();
+  });
+  worker.join();
+
+  // The worker saw only its own 3 reads (1 random + 2 sequential) ...
+  EXPECT_EQ(other_thread.random_reads, 1u);
+  EXPECT_EQ(other_thread.sequential_reads, 2u);
+  // ... this thread only its own 1, and the aggregate sees all 4.
+  EXPECT_EQ(device.thread_stats().TotalReads(), 1u);
+  EXPECT_EQ(device.stats().TotalReads(), 4u);
+}
+
+TEST(BlockDeviceTest, ThreadCursorsClassifyIndependently) {
+  MemoryBlockDevice device(512);
+  (void)device.Allocate(16).value();
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(device.Read(4, buf).ok());
+  // Another thread reading block 5 is NOT sequential: its own cursor is
+  // fresh, so interleaved workers can't corrupt each other's access
+  // pattern classification.
+  std::thread worker([&device]() {
+    std::vector<uint8_t> local(512);
+    ASSERT_TRUE(device.Read(5, local).ok());
+    EXPECT_EQ(device.thread_stats().random_reads, 1u);
+    EXPECT_EQ(device.thread_stats().sequential_reads, 0u);
+  });
+  worker.join();
+  // On this thread 5 would have been sequential after 4; cursor reset makes
+  // it random again — the per-query cold-start contract.
+  device.ResetThreadCursor();
+  ASSERT_TRUE(device.Read(5, buf).ok());
+  EXPECT_EQ(device.thread_stats().random_reads, 2u);
+  EXPECT_EQ(device.thread_stats().sequential_reads, 0u);
 }
 
 StoredObject MakeObject(uint32_t id, double x, double y, std::string text) {
