@@ -11,6 +11,7 @@
 #include "core/ir2_tree.h"
 #include "datagen/zipf.h"
 #include "rtree/incremental_nn.h"
+#include "rtree/node_cache.h"
 #include "rtree/rtree.h"
 #include "storage/buffer_pool.h"
 #include "text/inverted_index.h"
@@ -166,6 +167,56 @@ void BM_IncrementalNN(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10);
 }
 BENCHMARK(BM_IncrementalNN);
+
+// An Ir2Tree whose nodes carry signature payloads, shared by the node
+// decode benches below.
+struct DecodeBenchTree {
+  MemoryBlockDevice device;
+  BufferPool pool{&device, 1 << 14};
+  Ir2Tree tree{&pool, RTreeOptions{}, SignatureConfig{512, 3}};
+
+  DecodeBenchTree() {
+    IR2_CHECK_OK(tree.Init());
+    Rng rng(10);
+    std::vector<uint64_t> hashes(20);
+    for (uint32_t i = 0; i < 3000; ++i) {
+      for (uint64_t& hash : hashes) hash = rng.NextUint64();
+      IR2_CHECK_OK(tree.InsertObject(
+          i,
+          Rect::ForPoint(
+              Point(rng.NextDouble(0, 1000), rng.NextDouble(0, 1000))),
+          hashes));
+    }
+  }
+};
+
+// The per-node decode tax of a traversal: LoadNode re-parses every entry
+// (rect fields plus a payload vector allocation each) even when the raw
+// block is resident in the buffer pool. This is the cost a NodeCache hit
+// skips.
+void BM_NodeDecode(benchmark::State& state) {
+  DecodeBenchTree bench;
+  const BlockId root = bench.tree.root_id();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.tree.LoadNode(root).value());
+  }
+}
+BENCHMARK(BM_NodeDecode);
+
+// The same load served by the decoded-node cache: a shared_ptr copy of the
+// already-decoded Node.
+void BM_NodeCacheHit(benchmark::State& state) {
+  DecodeBenchTree bench;
+  NodeCache cache;
+  bench.tree.SetNodeCache(&cache);
+  const BlockId root = bench.tree.root_id();
+  IR2_CHECK_OK(bench.tree.LoadNodeShared(root).status());  // Populate.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.tree.LoadNodeShared(root).value());
+  }
+  bench.tree.SetNodeCache(nullptr);
+}
+BENCHMARK(BM_NodeCacheHit);
 
 void BM_BufferPoolRead(benchmark::State& state) {
   MemoryBlockDevice device;

@@ -1,0 +1,224 @@
+// Cold vs warm serving cost of the IR2-/MIR2-Tree query path (see
+// docs/performance.md).
+//
+// The cold pass is the paper's measurement regime: the buffer pool is
+// dropped before every query, so each query pays its full disk and
+// node-decode cost. The warm pass is the serving regime: the pool stays
+// hot, the tree carries a NodeCache of decoded nodes (inner levels
+// pinned), and the per-worker query scratch is reused — so a query pays
+// neither device reads nor node decodes for resident nodes, nor the
+// per-query allocations.
+//
+// Reported per tree and regime: throughput, per-query latency (mean, p50,
+// p95), node decodes per query, and the NodeCache hit rate of the warm
+// pass. Written to BENCH_warm_path.json in the working directory.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/ir2_search.h"
+#include "rtree/node_cache.h"
+
+namespace ir2 {
+namespace bench {
+namespace {
+
+struct PassResult {
+  double seconds = 0;  // Whole-pass wall clock.
+  double qps = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double decodes_per_query = 0;
+};
+
+struct WarmPathSeries {
+  const char* tree = nullptr;
+  PassResult cold;
+  PassResult warm;
+  NodeCacheStats cache;
+  double warm_speedup = 0;  // warm.qps / cold.qps.
+};
+
+double PercentileMs(std::vector<double> seconds, double fraction) {
+  if (seconds.empty()) return 0;
+  std::sort(seconds.begin(), seconds.end());
+  size_t i = static_cast<size_t>(fraction * (seconds.size() - 1));
+  return seconds[i] * 1000.0;
+}
+
+PassResult RunPass(Ir2Tree* tree, SpatialKeywordDatabase& db,
+                   const std::vector<DistanceFirstQuery>& queries, bool cold,
+                   Ir2QueryScratch* scratch) {
+  std::vector<double> latencies;
+  latencies.reserve(queries.size());
+  const uint64_t decodes_before = RTreeBase::TotalNodeDecodes();
+  Stopwatch total;
+  for (const DistanceFirstQuery& query : queries) {
+    if (cold) {
+      IR2_CHECK_OK(tree->pool()->Clear());
+    }
+    Stopwatch watch;
+    StatusOr<std::vector<QueryResult>> results = Ir2TopK(
+        *tree, db.object_store(), db.tokenizer(), query, nullptr, scratch);
+    IR2_CHECK(results.ok()) << results.status().ToString();
+    latencies.push_back(watch.ElapsedSeconds());
+  }
+  PassResult pass;
+  pass.seconds = total.ElapsedSeconds();
+  const double n = static_cast<double>(queries.size());
+  pass.qps = n / pass.seconds;
+  pass.mean_ms = pass.seconds * 1000.0 / n;
+  pass.p50_ms = PercentileMs(latencies, 0.50);
+  pass.p95_ms = PercentileMs(latencies, 0.95);
+  pass.decodes_per_query =
+      static_cast<double>(RTreeBase::TotalNodeDecodes() - decodes_before) / n;
+  return pass;
+}
+
+WarmPathSeries RunTree(SpatialKeywordDatabase& db, Algo algo,
+                       const std::vector<DistanceFirstQuery>& queries) {
+  WarmPathSeries series;
+  series.tree = AlgoName(algo);
+  Ir2Tree* tree = algo == Algo::kMir2
+                      ? static_cast<Ir2Tree*>(db.mir2_tree())
+                      : db.ir2_tree();
+
+  // Cold: no node cache, pool dropped per query, no scratch reuse — the
+  // regime the cold_regime_regression_test pins byte for byte.
+  series.cold = RunPass(tree, db, queries, /*cold=*/true, nullptr);
+
+  // Warm: decoded-node cache (inner levels pinned), hot pool, reused
+  // scratch. One unmeasured pass populates the caches.
+  NodeCacheOptions cache_options;
+  cache_options.pin_min_level = 1;
+  NodeCache cache(cache_options);
+  tree->SetNodeCache(&cache);
+  Ir2QueryScratch scratch;
+  RunPass(tree, db, queries, /*cold=*/false, &scratch);  // Warm-up.
+  // Report cache counters of the measured pass only; the cache itself
+  // stays populated from the warm-up (pinned is a gauge, not a counter).
+  const NodeCacheStats before = cache.Stats();
+  series.warm = RunPass(tree, db, queries, /*cold=*/false, &scratch);
+  const NodeCacheStats after = cache.Stats();
+  series.cache.hits = after.hits - before.hits;
+  series.cache.misses = after.misses - before.misses;
+  series.cache.evictions = after.evictions - before.evictions;
+  series.cache.invalidations = after.invalidations - before.invalidations;
+  series.cache.pinned = after.pinned;
+  tree->SetNodeCache(nullptr);
+
+  series.warm_speedup = series.warm.qps / series.cold.qps;
+  return series;
+}
+
+void WriteJsonPass(std::FILE* f, const char* name, const PassResult& pass,
+                   bool trailing_comma) {
+  std::fprintf(f,
+               "      \"%s\": {\"qps\": %.1f, \"mean_ms\": %.4f, "
+               "\"p50_ms\": %.4f, \"p95_ms\": %.4f, "
+               "\"node_decodes_per_query\": %.1f}%s\n",
+               name, pass.qps, pass.mean_ms, pass.p50_ms, pass.p95_ms,
+               pass.decodes_per_query, trailing_comma ? "," : "");
+}
+
+void WriteJson(const char* path, const BenchDataset& dataset,
+               size_t num_queries, const std::vector<WarmPathSeries>& trees) {
+  std::FILE* f = std::fopen(path, "w");
+  IR2_CHECK(f != nullptr) << "cannot write " << path;
+  std::fprintf(f, "{\n  \"bench\": \"warm_path\",\n");
+  std::fprintf(f, "  \"dataset\": \"%s\",\n", dataset.name.c_str());
+  std::fprintf(f, "  \"num_objects\": %zu,\n", dataset.objects.size());
+  std::fprintf(f, "  \"num_queries\": %zu,\n", num_queries);
+  std::fprintf(f, "  \"trees\": [\n");
+  for (size_t t = 0; t < trees.size(); ++t) {
+    const WarmPathSeries& series = trees[t];
+    std::fprintf(f, "    {\n      \"tree\": \"%s\",\n", series.tree);
+    WriteJsonPass(f, "cold", series.cold, /*trailing_comma=*/true);
+    WriteJsonPass(f, "warm", series.warm, /*trailing_comma=*/true);
+    std::fprintf(f,
+                 "      \"node_cache\": {\"hits\": %llu, \"misses\": %llu, "
+                 "\"evictions\": %llu, \"pinned\": %llu, "
+                 "\"hit_rate\": %.4f},\n",
+                 static_cast<unsigned long long>(series.cache.hits),
+                 static_cast<unsigned long long>(series.cache.misses),
+                 static_cast<unsigned long long>(series.cache.evictions),
+                 static_cast<unsigned long long>(series.cache.pinned),
+                 series.cache.HitRate());
+    std::fprintf(f, "      \"warm_speedup\": %.2f\n    }%s\n",
+                 series.warm_speedup, t + 1 < trees.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+void Main(bool smoke) {
+  BenchDataset dataset =
+      BuildRestaurants(DefaultOptions(kRestaurantsSignatureBytes),
+                       smoke ? 0.5 : 1.0);
+
+  WorkloadConfig config;
+  config.seed = 23;
+  config.num_queries = smoke ? 40 : 300;
+  config.num_keywords = 2;
+  config.k = 10;
+  std::vector<DistanceFirstQuery> queries =
+      GenerateWorkload(dataset.objects, dataset.db->tokenizer(), config);
+
+  std::vector<WarmPathSeries> trees;
+  trees.push_back(RunTree(*dataset.db, Algo::kIr2, queries));
+  trees.push_back(RunTree(*dataset.db, Algo::kMir2, queries));
+
+  std::vector<std::string> x_names = {"cold", "warm"};
+  FigurePrinter qps_figure("Serving throughput (queries/s)", "regime",
+                           x_names);
+  FigurePrinter p95_figure("p95 latency (ms/query)", "regime", x_names);
+  FigurePrinter decode_figure("Node decodes per query", "regime", x_names);
+  for (const WarmPathSeries& series : trees) {
+    qps_figure.AddRow(series.tree, {series.cold.qps, series.warm.qps},
+                      "%12.1f");
+    p95_figure.AddRow(series.tree, {series.cold.p95_ms, series.warm.p95_ms},
+                      "%12.4f");
+    decode_figure.AddRow(series.tree, {series.cold.decodes_per_query,
+                                       series.warm.decodes_per_query},
+                         "%12.1f");
+  }
+  qps_figure.Print();
+  p95_figure.Print();
+  decode_figure.Print();
+
+  std::printf("\n");
+  for (const WarmPathSeries& series : trees) {
+    std::printf(
+        "%s: warm speedup %.2fx (%.1f -> %.1f q/s), node cache %.1f%% "
+        "hits, %llu pinned%s\n",
+        series.tree, series.warm_speedup, series.cold.qps, series.warm.qps,
+        100.0 * series.cache.HitRate(),
+        static_cast<unsigned long long>(series.cache.pinned),
+        series.warm_speedup >= 2.0 ? "" : "  [below 2x target]");
+  }
+
+  WriteJson("BENCH_warm_path.json", dataset, queries.size(), trees);
+  std::printf("wrote BENCH_warm_path.json\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ir2
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  ir2::bench::Main(smoke);
+  return 0;
+}

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# CI-style gate: build + test in Release, then rebuild the concurrency-
-# sensitive suites under ThreadSanitizer and run them. Both configurations
-# must pass for the tree to be considered healthy.
+# CI-style gate: build + test in Release, smoke-run the cold and warm
+# throughput benches, then rebuild the concurrency-sensitive suites under
+# ThreadSanitizer (and, optionally, the cache/traversal suites under
+# AddressSanitizer). All configurations must pass for the tree to be
+# considered healthy.
 #
-#   scripts/check.sh          # Release ctest + TSan concurrency suites
+#   scripts/check.sh          # Release ctest + bench smoke + TSan suites
 #   IR2_CHECK_FULL=1 scripts/check.sh   # run the WHOLE suite under TSan too
+#   IR2_CHECK_ASAN=1 scripts/check.sh   # also run the ASan+UBSan stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +19,14 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure
 
 echo
+echo "== Bench smoke: cold + warm throughput =="
+# One short run per regime (see docs/performance.md): cold exercises the
+# per-query determinism check, warm exercises the NodeCache + hot pools.
+# JSON lands in build/ so the checked-in full-size results are untouched.
+(cd build && ./bench/bench_throughput --regime=cold --smoke)
+(cd build && ./bench/bench_throughput --regime=warm --smoke)
+
+echo
 echo "== ThreadSanitizer build =="
 cmake -B build-tsan -S . -DIR2_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 if [ "${IR2_CHECK_FULL:-0}" = "1" ]; then
@@ -23,12 +34,24 @@ if [ "${IR2_CHECK_FULL:-0}" = "1" ]; then
   ctest --test-dir build-tsan --output-on-failure
 else
   # The suites that exercise the concurrent machinery (sharded pool,
-  # per-thread I/O accounting, BatchExecutor) — the rest of the suite is
-  # single-threaded and covered by the Release run.
+  # decoded-node cache, per-thread I/O accounting, BatchExecutor) — the
+  # rest of the suite is single-threaded and covered by the Release run.
   cmake --build build-tsan -j "$jobs" --target \
-    concurrency_test batch_executor_test storage_test
+    concurrency_test batch_executor_test node_cache_test storage_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'concurrency_test|batch_executor_test|storage_test'
+    -R 'concurrency_test|batch_executor_test|node_cache_test|storage_test'
+fi
+
+if [ "${IR2_CHECK_ASAN:-0}" = "1" ]; then
+  echo
+  echo "== AddressSanitizer build =="
+  cmake -B build-asan -S . -DIR2_SANITIZE="address;undefined" \
+    -DCMAKE_BUILD_TYPE=Debug
+  cmake --build build-asan -j "$jobs" --target \
+    node_cache_test cold_regime_regression_test ir2_tree_test rtree_test \
+    algorithms_test
+  ctest --test-dir build-asan --output-on-failure \
+    -R 'node_cache_test|cold_regime_regression_test|ir2_tree_test|rtree_test|algorithms_test'
 fi
 
 echo

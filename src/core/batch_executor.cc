@@ -66,11 +66,24 @@ StatusOr<BatchResults> BatchExecutor::Run(
     return io;
   };
 
-  auto run_one = [&](BufferPool* local_pool, const DistanceFirstQuery& query,
+  std::mutex stats_mu;
+
+  auto run_one = [&](BufferPool* local_pool, Ir2QueryScratch* scratch,
+                     BufferPoolStats* pool_accum,
+                     const DistanceFirstQuery& query,
                      std::vector<QueryResult>* results,
                      QueryStats* stats) -> Status {
     if (options_.cold_queries) {
+      // Clear() resets the pool's counters (a new cold epoch), so bank the
+      // closing epoch's counts first.
+      *pool_accum += local_pool->Stats();
       IR2_RETURN_IF_ERROR(local_pool->Clear());
+      if (NodeCache* cache = tree_->node_cache()) {
+        // A decoded-node cache would also short-circuit the cold device
+        // reads; drop it so each query's disk counts stay a pure function
+        // of the query.
+        cache->Clear();
+      }
       tree_device->ResetThreadCursor();
       if (object_device != tree_device) {
         object_device->ResetThreadCursor();
@@ -81,7 +94,7 @@ StatusOr<BatchResults> BatchExecutor::Run(
     QueryStats local;
     IR2_ASSIGN_OR_RETURN(*results,
                          Ir2TopK(*tree_, *objects_, *tokenizer_, query,
-                                 &local));
+                                 &local, scratch));
     local.seconds = watch.ElapsedSeconds();
     local.io = thread_io() - before;
     *stats = local;
@@ -93,13 +106,17 @@ StatusOr<BatchResults> BatchExecutor::Run(
     // every LoadNode this thread issues against the tree reads through it.
     BufferPool local_pool(tree_device, options_.pool_blocks);
     ScopedReadPool scope(tree_, &local_pool);
+    // Reusable traversal buffers: the NN priority queue, keyword hashes and
+    // query signatures stop allocating once their capacities have grown.
+    Ir2QueryScratch scratch;
+    BufferPoolStats pool_accum;
     while (!failed.load(std::memory_order_relaxed)) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= queries.size()) {
         break;
       }
-      Status status =
-          run_one(&local_pool, queries[i], &out.results[i], &out.per_query[i]);
+      Status status = run_one(&local_pool, &scratch, &pool_accum, queries[i],
+                              &out.results[i], &out.per_query[i]);
       if (!status.ok()) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (first_error.ok()) {
@@ -109,6 +126,9 @@ StatusOr<BatchResults> BatchExecutor::Run(
         break;
       }
     }
+    pool_accum += local_pool.Stats();
+    std::lock_guard<std::mutex> lock(stats_mu);
+    out.pool_stats += pool_accum;
   };
 
   if (num_threads == 1) {

@@ -9,6 +9,7 @@
 #include "core/ir2_tree.h"
 #include "core/ir2_search.h"
 #include "core/query.h"
+#include "storage/buffer_pool.h"
 #include "storage/object_store.h"
 #include "text/tokenizer.h"
 
@@ -36,6 +37,11 @@ struct BatchExecutorOptions {
 struct BatchResults {
   std::vector<std::vector<QueryResult>> results;
   std::vector<QueryStats> per_query;
+
+  // Page-cache counters summed over every worker's private pool for the
+  // whole batch (across cold-query Clear() epochs, which reset the pools'
+  // own counters).
+  BufferPoolStats pool_stats;
 
   // Sum over per_query. `seconds` is summed per-query work time (CPU-side
   // wall clock of each query), not batch elapsed time.

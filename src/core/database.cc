@@ -201,6 +201,15 @@ Status SpatialKeywordDatabase::DropCaches() {
       IR2_RETURN_IF_ERROR(pool->Clear());
     }
   }
+  // A decoded-node cache attached to a tree would also short-circuit cold
+  // reads; drop it so cold_queries keeps its per-query purity.
+  for (RTreeBase* tree : {static_cast<RTreeBase*>(rtree_.get()),
+                          static_cast<RTreeBase*>(ir2_.get()),
+                          static_cast<RTreeBase*>(mir2_.get())}) {
+    if (tree != nullptr && tree->node_cache() != nullptr) {
+      tree->node_cache()->Clear();
+    }
+  }
   return Status::Ok();
 }
 

@@ -21,6 +21,16 @@ StatusOr<std::vector<QueryResult>> IioTopK(const InvertedIndex& index,
                          index.RetrieveList(keyword));
     lists.push_back(std::move(list));
   }
+  // Intersect rarest-first: ordering by ascending document frequency (the
+  // list lengths) lets the candidate set collapse to the smallest list
+  // immediately and keeps every galloping probe short. Which lists are
+  // *retrieved* — the disk accesses the paper's cost model counts — is
+  // unchanged; only the in-memory intersection order is.
+  std::stable_sort(lists.begin(), lists.end(),
+                   [](const std::vector<ObjectRef>& a,
+                      const std::vector<ObjectRef>& b) {
+                     return a.size() < b.size();
+                   });
   std::vector<ObjectRef> intersection = IntersectSorted(lists);
 
   // Lines 4-8: fetch every object in V and compute its distance.

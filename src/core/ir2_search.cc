@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <optional>
 
-#include "rtree/incremental_nn.h"
-
 namespace ir2 {
 
 // Shared machinery of the one-shot and cursor forms.
@@ -12,42 +10,35 @@ class Ir2TopKCursor::Impl {
  public:
   Impl(const Ir2Tree* tree, const ObjectStore* objects,
        const Tokenizer* tokenizer, Rect target,
-       std::vector<std::string> keywords, QueryStats* stats)
+       std::vector<std::string> keywords, QueryStats* stats,
+       Ir2QueryScratch* scratch)
       : tree_(tree),
         objects_(objects),
         tokenizer_(tokenizer),
         keywords_(tokenizer->NormalizeKeywords(keywords)),
-        stats_(stats) {
-    std::vector<uint64_t> hashes;
+        stats_(stats),
+        candidate_(scratch != nullptr ? &scratch->candidate : &own_candidate_),
+        record_line_(scratch != nullptr ? &scratch->record_line
+                                        : &own_record_line_) {
+    std::vector<uint64_t>& hashes =
+        scratch != nullptr ? scratch->keyword_hashes : own_keyword_hashes_;
+    hashes.clear();
     hashes.reserve(keywords_.size());
     for (const std::string& keyword : keywords_) {
       hashes.push_back(HashWord(keyword));
     }
     // W <- Signature(Q.t), one per level width (identical widths for the
-    // uniform IR2-Tree; per-level for the MIR2-Tree).
-    level_signatures_.reserve(tree->height() + 1);
+    // uniform IR2-Tree; per-level for the MIR2-Tree). Built in place so a
+    // scratch-backed query reuses the signatures' word storage.
+    std::vector<Signature>& signatures =
+        scratch != nullptr ? scratch->level_signatures : own_level_signatures_;
+    signatures.resize(tree->height() + 1);
     for (uint32_t level = 0; level <= tree->height(); ++level) {
-      level_signatures_.push_back(tree->QuerySignature(hashes, level));
+      MakeSignatureFromHashesInto(hashes, tree->LevelConfig(level),
+                                  &signatures[level]);
     }
-    cursor_.emplace(
-        tree, target, [this](const Node& node, const Entry& entry) {
-          // Clamp defensively: a corrupted node's level byte must not index
-          // past the signatures prepared for the tree's real height.
-          const size_t level = std::min<size_t>(
-              node.level, level_signatures_.size() - 1);
-          const Signature& query_sig = level_signatures_[level];
-          if (PayloadContainsSignature(entry.payload, query_sig)) {
-            return true;
-          }
-          if (stats_ != nullptr) {
-            ++stats_->entries_pruned;
-            if (stats_->entries_pruned_per_level.size() <= level) {
-              stats_->entries_pruned_per_level.resize(level + 1);
-            }
-            ++stats_->entries_pruned_per_level[level];
-          }
-          return false;
-        });
+    cursor_.emplace(tree, target, SignatureEntryFilter{&signatures, stats},
+                    scratch != nullptr ? &scratch->nn : nullptr);
   }
 
   StatusOr<std::optional<QueryResult>> Next() {
@@ -60,15 +51,20 @@ class Ir2TopKCursor::Impl {
         return std::optional<QueryResult>();
       }
       // Candidate check (Figure 8 line 21): the signature test can produce
-      // false positives, so verify against the actual text.
-      IR2_ASSIGN_OR_RETURN(StoredObject object, objects_->Load(neighbor->ref));
+      // false positives, so verify against the actual text. The load
+      // recycles the cursor's candidate buffers (scratch-donated across
+      // queries for a warm worker) and the containment test matches the
+      // already-normalized keywords in place — the whole verification loop
+      // allocates nothing at steady state.
+      IR2_RETURN_IF_ERROR(
+          objects_->LoadInto(neighbor->ref, candidate_, record_line_));
       if (stats_ != nullptr) {
         ++stats_->objects_loaded;
         stats_->nodes_visited = cursor_->nodes_visited();
       }
-      if (ContainsAllKeywords(*tokenizer_, object.text, keywords_)) {
+      if (ContainsAllNormalizedKeywords(candidate_->text, keywords_)) {
         return std::optional<QueryResult>(
-            QueryResult{neighbor->ref, object.id, neighbor->distance, 0.0,
+            QueryResult{neighbor->ref, candidate_->id, neighbor->distance, 0.0,
                         -neighbor->distance});
       }
       if (stats_ != nullptr) {
@@ -83,21 +79,29 @@ class Ir2TopKCursor::Impl {
   const Tokenizer* tokenizer_;
   std::vector<std::string> keywords_;
   QueryStats* stats_;
-  std::vector<Signature> level_signatures_;
-  std::optional<IncrementalNNCursor> cursor_;
+  // Fallbacks used when no scratch donates the buffers.
+  std::vector<uint64_t> own_keyword_hashes_;
+  std::vector<Signature> own_level_signatures_;
+  StoredObject own_candidate_;
+  std::string own_record_line_;
+  StoredObject* candidate_;     // Scratch-donated, or &own_candidate_.
+  std::string* record_line_;    // Scratch-donated, or &own_record_line_.
+  std::optional<IncrementalNNCursorT<SignatureEntryFilter>> cursor_;
 };
 
 Ir2TopKCursor::Ir2TopKCursor(const Ir2Tree* tree, const ObjectStore* objects,
                              const Tokenizer* tokenizer, Point point,
-                             std::vector<std::string> keywords)
+                             std::vector<std::string> keywords,
+                             Ir2QueryScratch* scratch)
     : impl_(new Impl(tree, objects, tokenizer, Rect::ForPoint(point),
-                     std::move(keywords), &stats_)) {}
+                     std::move(keywords), &stats_, scratch)) {}
 
 Ir2TopKCursor::Ir2TopKCursor(const Ir2Tree* tree, const ObjectStore* objects,
                              const Tokenizer* tokenizer, Rect target,
-                             std::vector<std::string> keywords)
+                             std::vector<std::string> keywords,
+                             Ir2QueryScratch* scratch)
     : impl_(new Impl(tree, objects, tokenizer, target, std::move(keywords),
-                     &stats_)) {}
+                     &stats_, scratch)) {}
 
 Ir2TopKCursor::~Ir2TopKCursor() = default;
 
@@ -109,9 +113,10 @@ StatusOr<std::vector<QueryResult>> Ir2TopK(const Ir2Tree& tree,
                                            const ObjectStore& objects,
                                            const Tokenizer& tokenizer,
                                            const DistanceFirstQuery& query,
-                                           QueryStats* stats) {
+                                           QueryStats* stats,
+                                           Ir2QueryScratch* scratch) {
   Ir2TopKCursor cursor(&tree, &objects, &tokenizer, query.Target(),
-                       query.keywords);
+                       query.keywords, scratch);
   std::vector<QueryResult> results;
   results.reserve(query.k);
   while (results.size() < query.k) {

@@ -1,27 +1,74 @@
 #ifndef IR2TREE_CORE_IR2_SEARCH_H_
 #define IR2TREE_CORE_IR2_SEARCH_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "common/status_or.h"
 #include "core/ir2_tree.h"
 #include "core/query.h"
+#include "rtree/incremental_nn.h"
 #include "storage/object_store.h"
 #include "text/tokenizer.h"
 
 namespace ir2 {
+
+// The "S matches W" pruning test of IR2NearestNeighbor in concrete form:
+// handed to IncrementalNNCursorT as a statically-dispatched filter, so the
+// per-entry check is a direct (inlinable) call instead of the std::function
+// indirection the type-erased EntryFilter costs. Holds pointers only — the
+// cursor copies the filter by value.
+struct SignatureEntryFilter {
+  const std::vector<Signature>* level_signatures = nullptr;
+  QueryStats* stats = nullptr;
+
+  bool operator()(const Node& node, const Entry& entry) const {
+    // Clamp defensively: a corrupted node's level byte must not index
+    // past the signatures prepared for the tree's real height.
+    const size_t level =
+        std::min<size_t>(node.level, level_signatures->size() - 1);
+    const Signature& query_sig = (*level_signatures)[level];
+    if (PayloadContainsSignature(entry.payload, query_sig)) {
+      return true;
+    }
+    if (stats != nullptr) {
+      ++stats->entries_pruned;
+      if (stats->entries_pruned_per_level.size() <= level) {
+        stats->entries_pruned_per_level.resize(level + 1);
+      }
+      ++stats->entries_pruned_per_level[level];
+    }
+    return false;
+  }
+};
+
+// Reusable per-worker buffers for the query path: the NN priority queue's
+// storage, the keyword-hash and per-level query-signature vectors, and the
+// candidate-verification buffers (the loaded object and its raw record
+// line). A worker that runs many queries through one scratch stops
+// allocating per query once capacities have grown. A scratch must back at
+// most one live cursor at a time.
+struct Ir2QueryScratch {
+  NNScratch nn;
+  std::vector<uint64_t> keyword_hashes;
+  std::vector<Signature> level_signatures;
+  StoredObject candidate;
+  std::string record_line;
+};
 
 // The distance-first IR2-Tree algorithm (Figure 8, IR2TopK): incremental NN
 // over the IR2-Tree with the signature filter — entries (nodes or objects)
 // whose signature does not contain the query signature are dropped from the
 // search queue — followed by a false-positive check on each candidate
 // object. Operates unchanged on a Mir2Tree (the per-level query signatures
-// come from the tree's LevelConfig).
+// come from the tree's LevelConfig). `scratch` (optional) donates reusable
+// buffers; it must not back another live query.
 StatusOr<std::vector<QueryResult>> Ir2TopK(const Ir2Tree& tree,
                                            const ObjectStore& objects,
                                            const Tokenizer& tokenizer,
                                            const DistanceFirstQuery& query,
-                                           QueryStats* stats = nullptr);
+                                           QueryStats* stats = nullptr,
+                                           Ir2QueryScratch* scratch = nullptr);
 
 // Incremental cursor form of the same algorithm, for callers that consume
 // results lazily (e.g. "next matching hotel" pagination).
@@ -29,12 +76,14 @@ class Ir2TopKCursor {
  public:
   Ir2TopKCursor(const Ir2Tree* tree, const ObjectStore* objects,
                 const Tokenizer* tokenizer, Point point,
-                std::vector<std::string> keywords);
+                std::vector<std::string> keywords,
+                Ir2QueryScratch* scratch = nullptr);
 
   // Area-target variant: results ordered by MINDIST to `target`.
   Ir2TopKCursor(const Ir2Tree* tree, const ObjectStore* objects,
                 const Tokenizer* tokenizer, Rect target,
-                std::vector<std::string> keywords);
+                std::vector<std::string> keywords,
+                Ir2QueryScratch* scratch = nullptr);
   ~Ir2TopKCursor();
 
   Ir2TopKCursor(const Ir2TopKCursor&) = delete;

@@ -2,51 +2,10 @@
 
 namespace ir2 {
 
-IncrementalNNCursor::IncrementalNNCursor(const RTreeBase* tree,
-                                         const Point& query,
-                                         EntryFilter filter)
-    : IncrementalNNCursor(tree, Rect::ForPoint(query), std::move(filter)) {}
-
-IncrementalNNCursor::IncrementalNNCursor(const RTreeBase* tree,
-                                         const Rect& query_area,
-                                         EntryFilter filter)
-    : tree_(tree), target_(query_area), filter_(std::move(filter)) {
-  IR2_CHECK(tree != nullptr);
-  IR2_CHECK_EQ(target_.dims(), tree->dims());
-  // "Priority queue U initially contains root node of R with distance 0."
-  queue_.push(
-      QueueItem{0.0, /*is_object=*/false, seq_++, tree->root_id(), Rect()});
-}
-
-StatusOr<std::optional<Neighbor>> IncrementalNNCursor::Next() {
-  while (!queue_.empty()) {
-    QueueItem item = queue_.top();
-    queue_.pop();
-    if (item.is_object) {
-      // "Return E as next nearest object pointer to p."
-      return std::optional<Neighbor>(Neighbor{
-          static_cast<ObjectRef>(item.id), item.distance, item.rect});
-    }
-    IR2_ASSIGN_OR_RETURN(Node node, tree_->LoadNode(item.id));
-    ++nodes_visited_;
-    for (const Entry& entry : node.entries) {
-      if (filter_ && !filter_(node, entry)) {
-        ++entries_pruned_;
-        continue;
-      }
-      const double distance = target_.MinDist(entry.rect);
-      if (node.is_leaf()) {
-        queue_.push(
-            QueueItem{distance, /*is_object=*/true, seq_++, entry.ref,
-                      entry.rect});
-        ++objects_enqueued_;
-      } else {
-        queue_.push(QueueItem{distance, /*is_object=*/false, seq_++,
-                              entry.ref, entry.rect});
-      }
-    }
-  }
-  return std::optional<Neighbor>();
-}
+// The traversal lives in the header as a template over the entry filter;
+// the common instantiations are anchored here so every call site that uses
+// the type-erased EntryFilter (or no filter) shares one copy.
+template class IncrementalNNCursorT<EntryFilter>;
+template class IncrementalNNCursorT<AcceptAllEntries>;
 
 }  // namespace ir2

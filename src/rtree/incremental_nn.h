@@ -1,10 +1,12 @@
 #ifndef IR2TREE_RTREE_INCREMENTAL_NN_H_
 #define IR2TREE_RTREE_INCREMENTAL_NN_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/status_or.h"
@@ -20,65 +22,183 @@ struct Neighbor {
   Rect rect;  // The object's MBR as stored in its leaf entry.
 };
 
+// One element of the traversal's priority queue. Inline storage only (Rect
+// holds fixed arrays), so heap growth is the sole allocation the queue ever
+// performs — and NNScratch amortizes that across queries.
+struct NNQueueItem {
+  double distance;
+  bool is_object;
+  uint64_t seq;  // Tie-break for deterministic order.
+  uint64_t id;   // BlockId (node) or ObjectRef (object).
+  Rect rect;
+};
+
+struct NNQueueOrder {
+  // Max-heap comparator (std::push_heap semantics); returns true when a is
+  // *worse* than b, so the best item surfaces first.
+  bool operator()(const NNQueueItem& a, const NNQueueItem& b) const {
+    if (a.distance != b.distance) return a.distance > b.distance;
+    // Objects surface before nodes at equal distance: they cannot be
+    // beaten by anything inside those nodes.
+    if (a.is_object != b.is_object) return b.is_object;
+    return a.seq > b.seq;
+  }
+};
+
+// Reusable per-worker traversal scratch: the priority queue's backing
+// vector. A cursor constructed with a scratch borrows the vector (clearing
+// its contents, keeping its capacity), so a worker running many queries
+// stops paying heap-growth reallocations after the first. A scratch must
+// back at most one live cursor at a time.
+class NNScratch {
+ public:
+  std::vector<NNQueueItem>& AcquireHeap() {
+    heap_.clear();
+    return heap_;
+  }
+
+ private:
+  std::vector<NNQueueItem> heap_;
+};
+
+// Returns false to prune an entry of a node from the search (the paper's
+// "if S matches W" test). An empty function prunes nothing (plain NN).
+using EntryFilter = std::function<bool(const Node& node, const Entry& entry)>;
+
+// Filter that accepts everything — the statically-dispatched spelling of an
+// empty EntryFilter for plain NN traversals on the warm path.
+struct AcceptAllEntries {
+  bool operator()(const Node&, const Entry&) const { return true; }
+};
+
+namespace internal {
+
+// Statically dispatched filters are invoked directly; the type-erased
+// EntryFilter keeps its "empty means prune nothing" contract. The exact
+// (non-template) overload wins resolution for EntryFilter.
+template <typename Filter>
+inline bool NNFilterAccepts(Filter& filter, const Node& node,
+                            const Entry& entry) {
+  return filter(node, entry);
+}
+
+inline bool NNFilterAccepts(EntryFilter& filter, const Node& node,
+                            const Entry& entry) {
+  return !filter || filter(node, entry);
+}
+
+}  // namespace internal
+
 // The Incremental Nearest Neighbor algorithm of Hjaltason and Samet [HS99]
 // (Figure 3 of the paper), extended with the entry filter that turns it
 // into IR2NearestNeighbor (Figure 8): entries whose signature does not match
 // the query signature are dropped from the search queue.
 //
-// The cursor owns a priority queue of nodes and objects ordered by MINDIST
-// to the query point; each Next() call pops until an object surfaces, which
-// is then the next-nearest (unfiltered) object. Node loads go through the
-// tree's buffer pool and are therefore visible in the device's IoStats.
-class IncrementalNNCursor {
+// The cursor owns a binary heap of nodes and objects ordered by MINDIST to
+// the query target; each Next() call pops until an object surfaces, which is
+// then the next-nearest (filtered) object. Node loads go through
+// RTreeBase::LoadNodeShared — the tree's buffer pool (visible in the
+// device's IoStats) or, warm, its decoded-node cache.
+//
+// `Filter` is invoked through static dispatch: a concrete filter type (e.g.
+// ir2_search's SignatureEntryFilter) costs a direct — usually inlined — call
+// per entry instead of the type-erased std::function indirect call. The
+// std::function-filtered spelling survives as IncrementalNNCursor below.
+template <typename Filter = EntryFilter>
+class IncrementalNNCursorT {
  public:
-  // Returns false to prune `entry` of `node` from the search (the paper's
-  // "if S matches W" test). An empty function prunes nothing (plain NN).
-  using EntryFilter = std::function<bool(const Node& node, const Entry& entry)>;
-
   // `tree` must outlive the cursor and not be modified while it is in use.
-  IncrementalNNCursor(const RTreeBase* tree, const Point& query,
-                      EntryFilter filter = {});
+  // `scratch` (optional) donates heap storage; it must outlive the cursor.
+  IncrementalNNCursorT(const RTreeBase* tree, const Point& query,
+                       Filter filter = Filter{}, NNScratch* scratch = nullptr)
+      : IncrementalNNCursorT(tree, Rect::ForPoint(query), std::move(filter),
+                             scratch) {}
 
   // Area-target variant ("a point p, which is the query point (an area
   // could be used instead)"): distances are MINDIST to `query_area`.
-  IncrementalNNCursor(const RTreeBase* tree, const Rect& query_area,
-                      EntryFilter filter = {});
+  IncrementalNNCursorT(const RTreeBase* tree, const Rect& query_area,
+                       Filter filter = Filter{}, NNScratch* scratch = nullptr)
+      : tree_(tree),
+        target_(query_area),
+        filter_(std::move(filter)),
+        heap_(scratch != nullptr ? &scratch->AcquireHeap() : &own_heap_) {
+    IR2_CHECK(tree != nullptr);
+    IR2_CHECK_EQ(target_.dims(), tree->dims());
+    // "Priority queue U initially contains root node of R with distance 0."
+    Push(NNQueueItem{0.0, /*is_object=*/false, seq_++, tree->root_id(),
+                     Rect()});
+  }
+
+  IncrementalNNCursorT(const IncrementalNNCursorT&) = delete;
+  IncrementalNNCursorT& operator=(const IncrementalNNCursorT&) = delete;
 
   // The next nearest object passing the filter, or nullopt when the tree is
   // exhausted.
-  StatusOr<std::optional<Neighbor>> Next();
+  StatusOr<std::optional<Neighbor>> Next() {
+    while (!heap_->empty()) {
+      const NNQueueItem item = PopTop();
+      if (item.is_object) {
+        // "Return E as next nearest object pointer to p."
+        return std::optional<Neighbor>(Neighbor{
+            static_cast<ObjectRef>(item.id), item.distance, item.rect});
+      }
+      IR2_ASSIGN_OR_RETURN(std::shared_ptr<const Node> node,
+                           tree_->LoadNodeShared(item.id));
+      ++nodes_visited_;
+      const bool is_leaf = node->is_leaf();
+      for (const Entry& entry : node->entries) {
+        if (!internal::NNFilterAccepts(filter_, *node, entry)) {
+          ++entries_pruned_;
+          continue;
+        }
+        const double distance = target_.MinDist(entry.rect);
+        Push(NNQueueItem{distance, is_leaf, seq_++, entry.ref, entry.rect});
+        if (is_leaf) {
+          ++objects_enqueued_;
+        }
+      }
+    }
+    return std::optional<Neighbor>();
+  }
 
   uint64_t nodes_visited() const { return nodes_visited_; }
   uint64_t objects_enqueued() const { return objects_enqueued_; }
   uint64_t entries_pruned() const { return entries_pruned_; }
 
  private:
-  struct QueueItem {
-    double distance;
-    bool is_object;
-    uint64_t seq;  // Tie-break for deterministic order.
-    uint64_t id;   // BlockId (node) or ObjectRef (object).
-    Rect rect;
-  };
-  struct QueueOrder {
-    // std::priority_queue is a max-heap; return true when a is *worse*.
-    bool operator()(const QueueItem& a, const QueueItem& b) const {
-      if (a.distance != b.distance) return a.distance > b.distance;
-      // Objects surface before nodes at equal distance: they cannot be
-      // beaten by anything inside those nodes.
-      if (a.is_object != b.is_object) return b.is_object;
-      return a.seq > b.seq;
-    }
-  };
+  void Push(NNQueueItem item) {
+    heap_->push_back(std::move(item));
+    std::push_heap(heap_->begin(), heap_->end(), NNQueueOrder{});
+  }
+
+  NNQueueItem PopTop() {
+    std::pop_heap(heap_->begin(), heap_->end(), NNQueueOrder{});
+    NNQueueItem item = std::move(heap_->back());
+    heap_->pop_back();
+    return item;
+  }
 
   const RTreeBase* tree_;
   Rect target_;  // Degenerate for point queries.
-  EntryFilter filter_;
-  std::priority_queue<QueueItem, std::vector<QueueItem>, QueueOrder> queue_;
+  Filter filter_;
+  std::vector<NNQueueItem> own_heap_;
+  std::vector<NNQueueItem>* heap_;  // Scratch-donated, or &own_heap_.
   uint64_t seq_ = 0;
   uint64_t nodes_visited_ = 0;
   uint64_t objects_enqueued_ = 0;
   uint64_t entries_pruned_ = 0;
+};
+
+extern template class IncrementalNNCursorT<EntryFilter>;
+extern template class IncrementalNNCursorT<AcceptAllEntries>;
+
+// The historical type-erased spelling: filters are std::function, an empty
+// one prunes nothing. Statically-filtered call sites use
+// IncrementalNNCursorT<ConcreteFilter> directly.
+class IncrementalNNCursor : public IncrementalNNCursorT<EntryFilter> {
+ public:
+  using EntryFilter = ir2::EntryFilter;
+  using IncrementalNNCursorT<ir2::EntryFilter>::IncrementalNNCursorT;
 };
 
 }  // namespace ir2

@@ -1,0 +1,123 @@
+#include "rtree/node_cache.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace ir2 {
+namespace {
+
+// Same auto-sharding shape as BufferPool: small deterministic caches stay a
+// single LRU, large concurrent caches spread their locks.
+constexpr size_t kNodesPerAutoShard = 64;
+constexpr size_t kMaxAutoShards = 16;
+
+size_t PickShardCount(size_t capacity_nodes, size_t requested) {
+  size_t shards = requested;
+  if (shards == 0) {
+    shards = std::min(kMaxAutoShards, capacity_nodes / kNodesPerAutoShard);
+  }
+  return std::max<size_t>(1, std::min(shards, std::max<size_t>(
+                                                  1, capacity_nodes)));
+}
+
+}  // namespace
+
+NodeCache::NodeCache(NodeCacheOptions options) : options_(options) {
+  const size_t shards = PickShardCount(options_.capacity_nodes,
+                                       options_.num_shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity =
+        options_.capacity_nodes / shards + (i < options_.capacity_nodes % shards);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+NodeCache::Shard& NodeCache::ShardOf(BlockId id) {
+  if (shards_.size() == 1) {
+    return *shards_[0];
+  }
+  return *shards_[Mix64(id) % shards_.size()];
+}
+
+void NodeCache::ReconcileVersion(Shard& shard, uint64_t version) {
+  if (shard.version == version) {
+    return;
+  }
+  shard.invalidations += shard.lru.size() + shard.pinned.size();
+  shard.lru.clear();
+  shard.index.clear();
+  shard.pinned.clear();
+  shard.version = version;
+}
+
+NodeCache::NodeRef NodeCache::Lookup(BlockId id, uint64_t version) {
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ReconcileVersion(shard, version);
+  if (auto pinned = shard.pinned.find(id); pinned != shard.pinned.end()) {
+    ++shard.hits;
+    return pinned->second;
+  }
+  if (auto it = shard.index.find(id); it != shard.index.end()) {
+    ++shard.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return shard.lru.front().node;
+  }
+  ++shard.misses;
+  return nullptr;
+}
+
+void NodeCache::Insert(BlockId id, uint64_t version, NodeRef node) {
+  IR2_CHECK(node != nullptr);
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ReconcileVersion(shard, version);
+  if (node->level >= options_.pin_min_level) {
+    shard.pinned[id] = std::move(node);
+    return;
+  }
+  if (auto it = shard.index.find(id); it != shard.index.end()) {
+    it->second->node = std::move(node);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  while (shard.lru.size() >= shard.capacity && !shard.lru.empty()) {
+    shard.index.erase(shard.lru.back().id);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.push_front(CacheEntry{id, std::move(node)});
+  shard.index[id] = shard.lru.begin();
+}
+
+void NodeCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->pinned.clear();
+    shard->hits = 0;
+    shard->misses = 0;
+    shard->evictions = 0;
+    shard->invalidations = 0;
+  }
+}
+
+NodeCacheStats NodeCache::Stats() const {
+  NodeCacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+    total.invalidations += shard->invalidations;
+    total.pinned += shard->pinned.size();
+  }
+  return total;
+}
+
+}  // namespace ir2

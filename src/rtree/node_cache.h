@@ -1,0 +1,137 @@
+#ifndef IR2TREE_RTREE_NODE_CACHE_H_
+#define IR2TREE_RTREE_NODE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "rtree/entry.h"
+#include "storage/block_device.h"
+
+namespace ir2 {
+
+// Counter snapshot of a NodeCache, mirroring BufferPoolStats so the two
+// cache layers report side by side in the benches. Counters accumulate from
+// construction (or the last Clear()).
+struct NodeCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  // Decoded nodes pushed out by capacity pressure (pinned nodes never are).
+  uint64_t evictions = 0;
+  // Entries dropped because the tree version moved past them (a mutation
+  // happened since they were decoded).
+  uint64_t invalidations = 0;
+  // Nodes currently held by the pin-upper-levels mode.
+  uint64_t pinned = 0;
+
+  NodeCacheStats& operator+=(const NodeCacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    invalidations += other.invalidations;
+    pinned += other.pinned;
+    return *this;
+  }
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+struct NodeCacheOptions {
+  // Evictable decoded nodes held across all shards. Pinned nodes (below) do
+  // not count against this: upper tree levels are a tiny fraction of the
+  // node count (fan-out ~113 means <1%), so pinning them is cheap.
+  size_t capacity_nodes = 4096;
+
+  // Shard count; 0 picks automatically like BufferPool (one shard per 64
+  // nodes of capacity, at most 16).
+  size_t num_shards = 0;
+
+  // Pin-upper-levels mode: nodes at level >= pin_min_level are never
+  // evicted by capacity pressure (they still honor version invalidation and
+  // Clear()). kNoPinning disables. pin_min_level = 1 pins every inner node
+  // — the levels every query's descent traverses.
+  static constexpr uint32_t kNoPinning = ~uint32_t{0};
+  uint32_t pin_min_level = kNoPinning;
+};
+
+// Sharded LRU of *deserialized* R-Tree nodes, keyed by the node's BlockId,
+// sitting above the BufferPool: a hit skips both the device/pool read and
+// the Node decode (per-entry rect parsing + payload vector allocations),
+// which is the dominant per-node cost on the warm path.
+//
+// Coherence: every lookup and insert carries the owning tree's version
+// counter (bumped by RTreeBase on every node store). A shard whose contents
+// predate the presented version drops them wholesale before serving — after
+// any Insert/Delete the next access at the new version sees an empty cache,
+// so a stale decoded node can never be returned. Cold-regime measurement
+// simply never attaches a cache (or Clear()s it), leaving disk accounting
+// byte-identical to the uncached path.
+//
+// Thread-safety: safe for concurrent use; nodes are handed out as
+// shared_ptr<const Node>, so a reader can keep traversing a node that was
+// concurrently evicted or invalidated.
+class NodeCache {
+ public:
+  using NodeRef = std::shared_ptr<const Node>;
+
+  explicit NodeCache(NodeCacheOptions options = {});
+
+  NodeCache(const NodeCache&) = delete;
+  NodeCache& operator=(const NodeCache&) = delete;
+
+  // The cached node for `id` decoded at `version`, or nullptr (counted as a
+  // miss; the caller decodes and Insert()s).
+  NodeRef Lookup(BlockId id, uint64_t version);
+
+  // Caches `node` (decoded at `version`) under `id`. An entry already
+  // present for `id` is replaced.
+  void Insert(BlockId id, uint64_t version, NodeRef node);
+
+  // Drops every cached node and resets the counters (a new measurement
+  // epoch, like BufferPool::Clear).
+  void Clear();
+
+  NodeCacheStats Stats() const;
+
+  const NodeCacheOptions& options() const { return options_; }
+
+ private:
+  struct CacheEntry {
+    BlockId id;
+    NodeRef node;
+  };
+  using LruList = std::list<CacheEntry>;
+
+  struct Shard {
+    mutable std::mutex mu;
+    size_t capacity = 0;
+    // Contents are valid for exactly this tree version.
+    uint64_t version = 0;
+    LruList lru;  // Front = most recently used (evictable entries only).
+    std::unordered_map<BlockId, LruList::iterator> index;
+    // Pin-upper-levels storage; never evicted, invalidated like the LRU.
+    std::unordered_map<BlockId, NodeRef> pinned;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+  };
+
+  Shard& ShardOf(BlockId id);
+  // Drops a shard's contents when its version predates `version`. Caller
+  // holds the shard lock.
+  static void ReconcileVersion(Shard& shard, uint64_t version);
+
+  NodeCacheOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ir2
+
+#endif  // IR2TREE_RTREE_NODE_CACHE_H_

@@ -34,7 +34,19 @@ struct ReadPoolOverride {
 };
 thread_local std::vector<ReadPoolOverride> t_read_pool_overrides;
 
+// Node deserializations across all trees and threads; the warm-path benches
+// diff it around a run to report the decode tax.
+std::atomic<uint64_t> g_node_decodes{0};
+
 }  // namespace
+
+uint64_t RTreeBase::TotalNodeDecodes() {
+  return g_node_decodes.load(std::memory_order_relaxed);
+}
+
+void RTreeBase::ResetTotalNodeDecodes() {
+  g_node_decodes.store(0, std::memory_order_relaxed);
+}
 
 ScopedReadPool::ScopedReadPool(const RTreeBase* tree, BufferPool* pool)
     : tree_(tree) {
@@ -186,6 +198,9 @@ Status RTreeBase::Flush() {
 }
 
 Status RTreeBase::StoreNode(const Node& node) {
+  // Any node write invalidates decoded-node caches: the NodeCache compares
+  // the version it decoded at against this counter on every access.
+  version_.fetch_add(1, std::memory_order_release);
   IR2_CHECK(node.id != kInvalidBlockId);
   IR2_CHECK_LE(node.entries.size(), static_cast<size_t>(capacity_));
   const size_t block_size = pool_->block_size();
@@ -237,6 +252,7 @@ StatusOr<Node> RTreeBase::LoadNode(BlockId id) const {
           std::span<uint8_t>(buffer.data() + b * block_size, block_size)));
     }
   }
+  g_node_decodes.fetch_add(1, std::memory_order_relaxed);
   BufferReader reader(buffer);
   Node node;
   node.id = id;
@@ -270,6 +286,22 @@ StatusOr<Node> RTreeBase::LoadNode(BlockId id) const {
     node.entries.push_back(std::move(entry));
   }
   return node;
+}
+
+StatusOr<std::shared_ptr<const Node>> RTreeBase::LoadNodeShared(
+    BlockId id) const {
+  if (node_cache_ == nullptr) {
+    IR2_ASSIGN_OR_RETURN(Node node, LoadNode(id));
+    return std::make_shared<const Node>(std::move(node));
+  }
+  const uint64_t version = this->version();
+  if (NodeCache::NodeRef cached = node_cache_->Lookup(id, version)) {
+    return std::shared_ptr<const Node>(std::move(cached));
+  }
+  IR2_ASSIGN_OR_RETURN(Node node, LoadNode(id));
+  auto ref = std::make_shared<const Node>(std::move(node));
+  node_cache_->Insert(id, version, ref);
+  return std::shared_ptr<const Node>(std::move(ref));
 }
 
 Status RTreeBase::ComputeNodePayloadForParent(const Node& node,

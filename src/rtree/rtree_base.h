@@ -1,6 +1,7 @@
 #ifndef IR2TREE_RTREE_RTREE_BASE_H_
 #define IR2TREE_RTREE_RTREE_BASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -11,6 +12,7 @@
 #include "common/status_or.h"
 #include "geo/rect.h"
 #include "rtree/entry.h"
+#include "rtree/node_cache.h"
 #include "storage/buffer_pool.h"
 #include "storage/object_store.h"
 
@@ -177,6 +179,36 @@ class RTreeBase {
   // Reads a node from disk (counts I/O: 1 random + sequential reads).
   StatusOr<Node> LoadNode(BlockId id) const;
 
+  // Warm-path variant: when a NodeCache is attached, a hit returns the
+  // already-decoded node without touching the device, the pool, or the
+  // decoder; a miss decodes via LoadNode (same I/O accounting) and caches
+  // the result. With no cache attached this is LoadNode plus one
+  // shared_ptr allocation. Traversals that only read nodes (IncrementalNN
+  // and everything built on it) go through here; mutation paths keep using
+  // LoadNode so a node about to be modified is never served from — or
+  // inserted into — the cache.
+  StatusOr<std::shared_ptr<const Node>> LoadNodeShared(BlockId id) const;
+
+  // Attaches (or, with nullptr, detaches) a decoded-node cache. The cache
+  // must outlive the tree or be detached first; one cache may be shared by
+  // any number of reader threads. Cold-regime measurement simply leaves the
+  // cache detached, which keeps every disk count byte-identical to the
+  // uncached implementation.
+  void SetNodeCache(NodeCache* cache) { node_cache_ = cache; }
+  NodeCache* node_cache() const { return node_cache_; }
+
+  // Mutation counter consulted by the NodeCache: bumped on every node
+  // store, so cached nodes decoded before any Insert/Delete/BulkLoad can
+  // never be served afterwards.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  // Process-wide count of node deserializations (LoadNode decodes), for the
+  // warm-path benches: the decode tax the NodeCache exists to eliminate.
+  static uint64_t TotalNodeDecodes();
+  static void ResetTotalNodeDecodes();
+
   // Appends the ObjectRefs of every object under `node_id` (inclusive
   // subtree scan; reads nodes, not objects).
   Status CollectObjectRefs(BlockId node_id, std::vector<ObjectRef>* out) const;
@@ -280,6 +312,11 @@ class RTreeBase {
 
   BufferPool* pool_;
   RTreeOptions options_;
+  NodeCache* node_cache_ = nullptr;
+  // Bumped (release) by StoreNode; read (acquire) by LoadNodeShared.
+  // Mutations are single-threaded, but searches may run concurrently with
+  // nothing — the atomic keeps the version readable from any thread.
+  std::atomic<uint64_t> version_{0};
   uint32_t capacity_ = 0;
   uint32_t min_fill_ = 0;
   bool ready_ = false;

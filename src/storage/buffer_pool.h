@@ -23,6 +23,18 @@ struct BufferPoolStats {
   // Pages pushed out by capacity pressure (dirty victims are written back
   // to the device first; see EvictionWritesDirtyVictims in storage_test).
   uint64_t evictions = 0;
+
+  BufferPoolStats& operator+=(const BufferPoolStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    return *this;
+  }
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
 };
 
 // Sharded write-back LRU page cache in front of a BlockDevice.

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstdio>
 #include <cstring>
+#include <span>
 
 #include "common/logging.h"
 
@@ -92,7 +93,20 @@ StatusOr<uint64_t> ObjectStore::ReadLine(uint64_t ref,
     return Status::OutOfRange("Object ref past end of file");
   }
   const size_t block_size = device_->block_size();
-  std::vector<uint8_t> block(block_size);
+  // Load paths run once per candidate object, so the block staging buffer
+  // lives on the stack for the standard 4096-byte block (heap only for
+  // oversized configurations). Device reads are unchanged: one Read per
+  // spanned block, in ascending order.
+  constexpr size_t kInlineBlock = 4096;
+  uint8_t inline_buf[kInlineBlock];
+  std::vector<uint8_t> heap_buf;
+  std::span<uint8_t> block;
+  if (block_size <= kInlineBlock) {
+    block = std::span<uint8_t>(inline_buf, block_size);
+  } else {
+    heap_buf.resize(block_size);
+    block = heap_buf;
+  }
   uint64_t block_id = ref / block_size;
   size_t in_block = static_cast<size_t>(ref % block_size);
   line->clear();
@@ -103,12 +117,16 @@ StatusOr<uint64_t> ObjectStore::ReadLine(uint64_t ref,
     if (block_end > size_bytes_) {
       limit = static_cast<size_t>(size_bytes_ - block_id * block_size);
     }
-    for (size_t i = in_block; i < limit; ++i) {
-      if (block[i] == '\n') {
-        return block_id * block_size + i + 1;
-      }
-      line->push_back(static_cast<char>(block[i]));
+    const char* data = reinterpret_cast<const char*>(block.data());
+    const void* newline =
+        std::memchr(data + in_block, '\n', limit - in_block);
+    if (newline != nullptr) {
+      const size_t i =
+          static_cast<size_t>(static_cast<const char*>(newline) - data);
+      line->append(data + in_block, i - in_block);
+      return block_id * block_size + i + 1;
     }
+    line->append(data + in_block, limit - in_block);
     ++block_id;
     in_block = 0;
     if (block_id * block_size >= size_bytes_) {
@@ -117,8 +135,10 @@ StatusOr<uint64_t> ObjectStore::ReadLine(uint64_t ref,
   }
 }
 
-StatusOr<StoredObject> ObjectStore::ParseRecord(const std::string& line) {
-  StoredObject object;
+Status ObjectStore::ParseRecordInto(const std::string& line,
+                                    StoredObject* out) {
+  StoredObject& object = *out;
+  object.coords.clear();
   const char* p = line.data();
   const char* end = p + line.size();
 
@@ -166,26 +186,34 @@ StatusOr<StoredObject> ObjectStore::ParseRecord(const std::string& line) {
   }
 
   object.text.assign(p, static_cast<size_t>(end - p));
-  return object;
+  return Status::Ok();
 }
 
 StatusOr<StoredObject> ObjectStore::Load(ObjectRef ref) const {
+  StoredObject object;
   std::string line;
-  IR2_ASSIGN_OR_RETURN(uint64_t next, ReadLine(ref, &line));
+  IR2_RETURN_IF_ERROR(LoadInto(ref, &object, &line));
+  return object;
+}
+
+Status ObjectStore::LoadInto(ObjectRef ref, StoredObject* object,
+                             std::string* line_scratch) const {
+  IR2_ASSIGN_OR_RETURN(uint64_t next, ReadLine(ref, line_scratch));
   (void)next;
-  return ParseRecord(line);
+  return ParseRecordInto(*line_scratch, object);
 }
 
 Status ObjectStore::ForEach(
     const std::function<Status(ObjectRef, const StoredObject&)>& fn) const {
   uint64_t offset = 0;
   std::string line;
+  StoredObject object;
   while (offset < size_bytes_) {
     IR2_ASSIGN_OR_RETURN(uint64_t next, ReadLine(offset, &line));
     if (line.empty() && next >= size_bytes_) {
       break;  // Trailing padding in the final block.
     }
-    IR2_ASSIGN_OR_RETURN(StoredObject object, ParseRecord(line));
+    IR2_RETURN_IF_ERROR(ParseRecordInto(line, &object));
     IR2_RETURN_IF_ERROR(fn(static_cast<ObjectRef>(offset), object));
     offset = next;
   }

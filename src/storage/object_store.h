@@ -74,6 +74,13 @@ class ObjectStore {
   // Loads the record that starts at `ref`.
   StatusOr<StoredObject> Load(ObjectRef ref) const;
 
+  // Allocation-recycling form of Load for hot verification loops: the
+  // record lands in `*object` and `*line_scratch` holds the raw row, both
+  // reusing whatever capacity they already carry. Identical device reads
+  // (and therefore IoStats) to Load.
+  Status LoadInto(ObjectRef ref, StoredObject* object,
+                  std::string* line_scratch) const;
+
   // Sequentially scans every record in file order. Stops early and returns
   // the callback's error if it returns non-OK.
   Status ForEach(
@@ -87,7 +94,7 @@ class ObjectStore {
   // the trailing newline) and returns the offset one past the newline.
   StatusOr<uint64_t> ReadLine(uint64_t ref, std::string* line) const;
 
-  static StatusOr<StoredObject> ParseRecord(const std::string& line);
+  static Status ParseRecordInto(const std::string& line, StoredObject* object);
 
   BlockDevice* device_;
   uint64_t size_bytes_;

@@ -151,6 +151,15 @@ Signature MakeSignatureFromHashes(std::span<const uint64_t> word_hashes,
   return sig;
 }
 
+void MakeSignatureFromHashesInto(std::span<const uint64_t> word_hashes,
+                                 const SignatureConfig& config,
+                                 Signature* out) {
+  out->Reset(config.bits);
+  for (uint64_t hash : word_hashes) {
+    AddWordHash(hash, config, out);
+  }
+}
+
 Signature MakeSignature(std::span<const std::string> words,
                         const SignatureConfig& config) {
   Signature sig(config.bits);

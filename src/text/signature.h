@@ -139,6 +139,13 @@ Signature MakeSignature(std::span<const std::string> words,
 Signature MakeSignatureFromHashes(std::span<const uint64_t> word_hashes,
                                   const SignatureConfig& config);
 
+// In-place variant: Reset()s `out` to config.bits and superimposes the word
+// hashes, reusing out's word storage — the allocation-free form the warm
+// query path uses to rebuild per-level query signatures in a scratch buffer.
+void MakeSignatureFromHashesInto(std::span<const uint64_t> word_hashes,
+                                 const SignatureConfig& config,
+                                 Signature* out);
+
 // Stable hash of a (normalized) word used for all signature operations.
 uint64_t HashWord(std::string_view normalized_word);
 

@@ -1,6 +1,7 @@
 #include "text/tokenizer.h"
 
 #include <algorithm>
+#include <bit>
 #include <cctype>
 #include <unordered_map>
 
@@ -8,6 +9,23 @@ namespace ir2 {
 namespace {
 
 inline bool IsWordChar(unsigned char c) { return std::isalnum(c) != 0; }
+
+// True iff the maximal word run [token, token + len) case-folds to
+// `keyword` (which is already lowercase alphanumeric).
+inline bool TokenEquals(const std::string& keyword, const char* token,
+                        size_t len) {
+  if (keyword.size() != len) {
+    return false;
+  }
+  for (size_t i = 0; i < len; ++i) {
+    if (static_cast<char>(
+            std::tolower(static_cast<unsigned char>(token[i]))) !=
+        keyword[i]) {
+      return false;
+    }
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -94,36 +112,60 @@ bool ContainsAllKeywords(const Tokenizer& tokenizer, std::string_view text,
   if (keywords.empty()) {
     return true;
   }
-  // Single pass over the text, matching tokens against the still-unfound
-  // keywords — this runs once per candidate object on the hot path of the
-  // R-Tree baseline, so it avoids materializing the token set.
-  std::vector<std::string> pending = tokenizer.NormalizeKeywords(keywords);
-  if (pending.empty()) {
-    return true;  // Only stopwords/empties were asked for.
+  // NormalizeKeywords drops stopwords/empties; finding all of nothing is
+  // vacuously true (a query for only stopwords excludes nothing).
+  return ContainsAllNormalizedKeywords(text,
+                                       tokenizer.NormalizeKeywords(keywords));
+}
+
+bool ContainsAllNormalizedKeywords(std::string_view text,
+                                   std::span<const std::string> keywords) {
+  const size_t n = keywords.size();
+  if (n == 0) {
+    return true;
   }
-  std::string current;
-  auto match_current = [&]() {
-    for (size_t i = 0; i < pending.size(); ++i) {
-      if (pending[i] == current) {
-        pending[i] = std::move(pending.back());
-        pending.pop_back();
+  const char* p = text.data();
+  const char* const end = p + text.size();
+  if (n > 64) {
+    // Strike-out list for keyword counts past the bitmask width.
+    std::vector<const std::string*> pending(n);
+    for (size_t i = 0; i < n; ++i) pending[i] = &keywords[i];
+    while (p < end && !pending.empty()) {
+      while (p < end && !IsWordChar(static_cast<unsigned char>(*p))) ++p;
+      const char* token = p;
+      while (p < end && IsWordChar(static_cast<unsigned char>(*p))) ++p;
+      for (size_t i = 0; i < pending.size(); ++i) {
+        if (TokenEquals(*pending[i], token, static_cast<size_t>(p - token))) {
+          pending[i] = pending.back();
+          pending.pop_back();
+          break;
+        }
+      }
+    }
+    return pending.empty();
+  }
+  // Single pass over the text; bit i of `pending` is keyword i still
+  // unfound. Tokens are compared in place — no per-call allocation.
+  uint64_t pending = n == 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+  while (p < end) {
+    while (p < end && !IsWordChar(static_cast<unsigned char>(*p))) ++p;
+    const char* token = p;
+    while (p < end && IsWordChar(static_cast<unsigned char>(*p))) ++p;
+    if (p == token) {
+      break;  // Trailing separators.
+    }
+    for (uint64_t m = pending; m != 0; m &= m - 1) {
+      const size_t i = static_cast<size_t>(std::countr_zero(m));
+      if (TokenEquals(keywords[i], token, static_cast<size_t>(p - token))) {
+        pending &= ~(uint64_t{1} << i);
+        if (pending == 0) {
+          return true;
+        }
         break;
       }
     }
-  };
-  for (unsigned char c : text) {
-    if (IsWordChar(c)) {
-      current.push_back(static_cast<char>(std::tolower(c)));
-    } else if (!current.empty()) {
-      match_current();
-      if (pending.empty()) return true;
-      current.clear();
-    }
   }
-  if (!current.empty()) {
-    match_current();
-  }
-  return pending.empty();
+  return pending == 0;
 }
 
 }  // namespace ir2

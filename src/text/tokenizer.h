@@ -2,6 +2,7 @@
 #define IR2TREE_TEXT_TOKENIZER_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_set>
@@ -68,6 +69,15 @@ TermCounts CountTerms(const Tokenizer& tokenizer, std::string_view text);
 // candidate objects to remove signature false positives).
 bool ContainsAllKeywords(const Tokenizer& tokenizer, std::string_view text,
                          const std::vector<std::string>& keywords);
+
+// Allocation-free form for callers that already hold normalized keywords
+// (the output of NormalizeKeywords): matches tokens in place against the
+// text, no per-call normalization or token materialization. This runs once
+// per candidate object on the query hot path — with short signatures most
+// candidates are false positives, so verification cost is the serving
+// floor.
+bool ContainsAllNormalizedKeywords(std::string_view text,
+                                   std::span<const std::string> keywords);
 
 }  // namespace ir2
 

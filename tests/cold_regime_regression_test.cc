@@ -1,0 +1,113 @@
+// Cold-regime accounting regression guard.
+//
+// The paper's figures are measured with every query starting from a cold
+// cache (DatabaseOptions::cold_queries drops all caches per query), so each
+// algorithm's disk-access profile is a pure function of the query and the
+// index. The warm-path serving layer (NodeCache, scratch reuse, galloping
+// intersection) must not perturb that accounting by a single block: this
+// test pins the aggregate cold-regime QueryStats of all four algorithms on
+// a fixed dataset + workload to golden values captured from the pre-cache
+// implementation. Any drift — an extra read, a changed random/sequential
+// split, a different prune count — fails loudly here.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/database.h"
+#include "datagen/workload.h"
+#include "tests/test_util.h"
+
+namespace ir2 {
+namespace {
+
+struct GoldenProfile {
+  uint64_t objects_loaded;
+  uint64_t false_positives;
+  uint64_t nodes_visited;
+  uint64_t entries_pruned;
+  uint64_t random_reads;
+  uint64_t sequential_reads;
+};
+
+class ColdRegimeRegressionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    objects_ = testing_util::RandomObjects(/*seed=*/1234, /*n=*/600,
+                                           /*vocab=*/40, /*words_per_object=*/6);
+    DatabaseOptions options;
+    options.tree_options.capacity_override = 16;
+    options.ir2_signature = SignatureConfig{/*bits=*/128, /*hashes_per_word=*/3};
+    ASSERT_TRUE(options.cold_queries);  // The paper's regime is the default.
+    auto db = SpatialKeywordDatabase::Build(objects_, options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+
+    WorkloadConfig config;
+    config.seed = 99;
+    config.num_queries = 32;
+    config.num_keywords = 2;
+    config.k = 8;
+    queries_ = GenerateWorkload(objects_, db_->tokenizer(), config);
+  }
+
+  template <typename Fn>
+  QueryStats RunAll(Fn&& fn) {
+    QueryStats total;
+    for (const DistanceFirstQuery& query : queries_) {
+      auto results = fn(query, &total);
+      EXPECT_TRUE(results.ok()) << results.status().ToString();
+    }
+    return total;
+  }
+
+  static void ExpectProfile(const QueryStats& stats,
+                            const GoldenProfile& golden, const char* algo) {
+    EXPECT_EQ(stats.objects_loaded, golden.objects_loaded) << algo;
+    EXPECT_EQ(stats.false_positives, golden.false_positives) << algo;
+    EXPECT_EQ(stats.nodes_visited, golden.nodes_visited) << algo;
+    EXPECT_EQ(stats.entries_pruned, golden.entries_pruned) << algo;
+    EXPECT_EQ(stats.io.random_reads, golden.random_reads) << algo;
+    EXPECT_EQ(stats.io.sequential_reads, golden.sequential_reads) << algo;
+  }
+
+  std::vector<StoredObject> objects_;
+  std::unique_ptr<SpatialKeywordDatabase> db_;
+  std::vector<DistanceFirstQuery> queries_;
+};
+
+TEST_F(ColdRegimeRegressionTest, Ir2CountsMatchGolden) {
+  QueryStats stats =
+      RunAll([&](const DistanceFirstQuery& q, QueryStats* s) {
+        return db_->QueryIr2(q, s);
+      });
+  ExpectProfile(stats, GoldenProfile{217, 13, 992, 10596, 1171, 41}, "IR2");
+}
+
+TEST_F(ColdRegimeRegressionTest, Mir2CountsMatchGolden) {
+  QueryStats stats =
+      RunAll([&](const DistanceFirstQuery& q, QueryStats* s) {
+        return db_->QueryMir2(q, s);
+      });
+  ExpectProfile(stats, GoldenProfile{215, 11, 885, 9374, 1067, 36}, "MIR2");
+}
+
+TEST_F(ColdRegimeRegressionTest, RTreeCountsMatchGolden) {
+  QueryStats stats =
+      RunAll([&](const DistanceFirstQuery& q, QueryStats* s) {
+        return db_->QueryRTree(q, s);
+      });
+  ExpectProfile(stats, GoldenProfile{14236, 14032, 1554, 0, 14578, 1457},
+                "R-Tree");
+}
+
+TEST_F(ColdRegimeRegressionTest, IioCountsMatchGolden) {
+  QueryStats stats =
+      RunAll([&](const DistanceFirstQuery& q, QueryStats* s) {
+        return db_->QueryIio(q, s);
+      });
+  ExpectProfile(stats, GoldenProfile{302, 0, 0, 0, 232, 140}, "IIO");
+}
+
+}  // namespace
+}  // namespace ir2

@@ -15,6 +15,7 @@
 #include "core/batch_executor.h"
 #include "core/database.h"
 #include "datagen/workload.h"
+#include "rtree/node_cache.h"
 #include "storage/block_device.h"
 #include "storage/buffer_pool.h"
 #include "tests/test_util.h"
@@ -151,6 +152,57 @@ TEST(ConcurrencyTest, BatchExecutorHammer) {
       EXPECT_GT(batch.per_query[i].io.TotalAccesses(), 0u);
     }
   }
+}
+
+// The warm serving configuration under maximum contention: every worker
+// reads through one shared NodeCache (sharded mutexes, shared_ptr handout)
+// with hot worker pools, and all workers compare their results against a
+// serial reference. Run under TSan by scripts/check.sh.
+TEST(ConcurrencyTest, BatchExecutorWithNodeCacheHammer) {
+  std::vector<StoredObject> objects =
+      testing_util::RandomObjects(31, 300, 25, 5);
+  DatabaseOptions options;
+  options.tree_options.capacity_override = 8;
+  options.ir2_signature = SignatureConfig{128, 3};
+  options.cold_queries = false;
+  auto db = SpatialKeywordDatabase::Build(objects, options).value();
+
+  WorkloadConfig config;
+  config.seed = 5;
+  config.num_queries = 64;
+  config.num_keywords = 2;
+  config.k = 5;
+  std::vector<DistanceFirstQuery> queries =
+      GenerateWorkload(objects, db->tokenizer(), config);
+
+  // Serial uncached reference results.
+  std::vector<std::vector<uint32_t>> expected;
+  for (const DistanceFirstQuery& query : queries) {
+    expected.push_back(testing_util::ResultIds(db->QueryIr2(query).value()));
+  }
+
+  NodeCacheOptions cache_options;
+  cache_options.capacity_nodes = 64;  // Small: force concurrent eviction.
+  cache_options.num_shards = 4;
+  cache_options.pin_min_level = 2;
+  NodeCache cache(cache_options);
+  db->ir2_tree()->SetNodeCache(&cache);
+
+  BatchExecutorOptions exec_options;
+  exec_options.num_threads = kThreads;
+  exec_options.cold_queries = false;  // Warm: caches stay hot across queries.
+  BatchExecutor executor(db->ir2_tree(), &db->object_store(), &db->tokenizer(),
+                         exec_options);
+  for (int round = 0; round < 3; ++round) {
+    BatchResults batch = executor.Run(queries).value();
+    ASSERT_EQ(batch.results.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(testing_util::ResultIds(batch.results[i]), expected[i])
+          << "round " << round << " query " << i;
+    }
+  }
+  EXPECT_GT(cache.Stats().hits, 0u);
+  db->ir2_tree()->SetNodeCache(nullptr);
 }
 
 }  // namespace

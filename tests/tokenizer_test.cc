@@ -62,6 +62,36 @@ TEST(TokenizerTest, SubstringIsNotAMatch) {
   EXPECT_TRUE(ContainsAllKeywords(tokenizer, "whirlpool suite", {"whirlpool"}));
 }
 
+TEST(TokenizerTest, ContainsAllNormalizedKeywordsMatchesTokenizedForm) {
+  // The allocation-free form assumes normalized keywords and must agree
+  // with ContainsAllKeywords on every text (it is the query hot path's
+  // verification step).
+  Tokenizer tokenizer;
+  std::vector<std::string> kw = tokenizer.NormalizeKeywords(
+      {"Internet", "pool"});
+  EXPECT_TRUE(ContainsAllNormalizedKeywords("wireless Internet, pool", kw));
+  EXPECT_TRUE(ContainsAllNormalizedKeywords("POOL then internet", kw));
+  EXPECT_FALSE(ContainsAllNormalizedKeywords("internet only", kw));
+  EXPECT_FALSE(ContainsAllNormalizedKeywords("whirlpool internet", kw));
+  EXPECT_FALSE(ContainsAllNormalizedKeywords("", kw));
+  EXPECT_TRUE(ContainsAllNormalizedKeywords("anything", {}));
+  // Token at the very end of the text (no trailing separator).
+  EXPECT_TRUE(ContainsAllNormalizedKeywords("internet pool", kw));
+}
+
+TEST(TokenizerTest, ContainsAllNormalizedKeywordsPastMaskWidth) {
+  // More than 64 keywords exercises the strike-out fallback path.
+  std::vector<std::string> kw;
+  std::string text;
+  for (int i = 0; i < 70; ++i) {
+    kw.push_back("w" + std::to_string(i));
+    text += " w" + std::to_string(i);
+  }
+  EXPECT_TRUE(ContainsAllNormalizedKeywords(text, kw));
+  kw.push_back("missing");
+  EXPECT_FALSE(ContainsAllNormalizedKeywords(text, kw));
+}
+
 TEST(TokenizerTest, PaperFigure1BooleanQuery) {
   // Example 2: {internet, pool} matches exactly H2 and H7 of Figure 1.
   Tokenizer tokenizer;
