@@ -24,7 +24,8 @@ int main() {
       ir2::GenerateWorkload(objects, tokenizer, workload_config);
 
   std::vector<std::string> x_names;
-  std::vector<double> ir2_ms, mir2_ms, ir2_objects, mir2_objects;
+  std::vector<double> ir2_ms, mir2_ms, ir2_sim, mir2_sim;
+  std::vector<double> ir2_objects, mir2_objects;
   std::vector<double> ir2_fp, mir2_fp, ir2_size, mir2_size;
   for (uint32_t bytes : signature_bytes) {
     x_names.push_back(std::to_string(bytes));
@@ -42,6 +43,8 @@ int main() {
         ir2::bench::RunWorkload(*db, ir2::bench::Algo::kMir2, queries);
     ir2_ms.push_back(ir2_result.ms);
     mir2_ms.push_back(mir2_result.ms);
+    ir2_sim.push_back(ir2_result.sim_ms);
+    mir2_sim.push_back(mir2_result.sim_ms);
     ir2_objects.push_back(ir2_result.object_accesses);
     mir2_objects.push_back(mir2_result.object_accesses);
     ir2_fp.push_back(ir2_result.false_positives);
@@ -57,6 +60,13 @@ int main() {
   time_figure.AddRow("IR2", ir2_ms);
   time_figure.AddRow("MIR2", mir2_ms);
   time_figure.Print();
+
+  ir2::bench::FigurePrinter sim_figure(
+      "Figure 14(a): simulated disk time (ms/query, DiskModel)",
+      "sig bytes", x_names);
+  sim_figure.AddRow("IR2", ir2_sim);
+  sim_figure.AddRow("MIR2", mir2_sim);
+  sim_figure.Print();
 
   ir2::bench::FigurePrinter object_figure(
       "Figure 14(b): object accesses (per query)", "sig bytes", x_names);

@@ -27,6 +27,13 @@ echo "== Bench smoke: cold + warm throughput =="
 (cd build && ./bench/bench_throughput --regime=warm --smoke)
 
 echo
+echo "== Bench smoke: cold-path I/O engine =="
+# Baseline vs prefetch+locality on the same dataset and workload; the
+# binary itself flags any engine that falls below the 1.5x simulated
+# disk-time target (see docs/performance.md).
+(cd build && ./bench/bench_cold_latency --smoke)
+
+echo
 echo "== ThreadSanitizer build =="
 cmake -B build-tsan -S . -DIR2_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 if [ "${IR2_CHECK_FULL:-0}" = "1" ]; then
@@ -34,13 +41,29 @@ if [ "${IR2_CHECK_FULL:-0}" = "1" ]; then
   ctest --test-dir build-tsan --output-on-failure
 else
   # The suites that exercise the concurrent machinery (sharded pool,
-  # decoded-node cache, per-thread I/O accounting, BatchExecutor) — the
-  # rest of the suite is single-threaded and covered by the Release run.
+  # decoded-node cache, per-thread I/O accounting, BatchExecutor, and the
+  # prefetch scheduler's worker thread) — the rest of the suite is
+  # single-threaded and covered by the Release run.
   cmake --build build-tsan -j "$jobs" --target \
-    concurrency_test batch_executor_test node_cache_test storage_test
+    concurrency_test batch_executor_test node_cache_test storage_test \
+    io_scheduler_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'concurrency_test|batch_executor_test|node_cache_test|storage_test'
+    -R 'concurrency_test|batch_executor_test|node_cache_test|storage_test|io_scheduler_test'
 fi
+
+echo
+echo "== UndefinedBehaviorSanitizer build =="
+# The cold-path I/O engine does a lot of BlockId arithmetic (run
+# coalescing, span clipping, ref-to-block division) where overflow or bad
+# shifts would corrupt placement silently; UBSan-check the storage and
+# traversal suites that drive it.
+cmake -B build-ubsan -S . -DIR2_SANITIZE=undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-ubsan -j "$jobs" --target \
+  io_scheduler_test prefetch_invariance_test cold_regime_regression_test \
+  storage_test bulk_load_test
+ctest --test-dir build-ubsan --output-on-failure \
+  -R 'io_scheduler_test|prefetch_invariance_test|cold_regime_regression_test|storage_test|bulk_load_test'
 
 if [ "${IR2_CHECK_ASAN:-0}" = "1" ]; then
   echo

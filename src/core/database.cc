@@ -44,7 +44,13 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
     refs.push_back(ref);
   }
   IR2_RETURN_IF_ERROR(writer.Finish());
-  db->object_store_ = std::make_unique<ObjectStore>(db->object_device_.get(),
+  // The object store reads through a pool so prefetched candidate blocks
+  // have somewhere to land. Without prefetching the pool runs in bypass
+  // mode (capacity 0): no caching layer, physical counts byte-identical to
+  // reading the device directly.
+  db->object_pool_ = std::make_unique<BufferPool>(
+      db->object_device_.get(), options.prefetch ? options.pool_blocks : 0);
+  db->object_store_ = std::make_unique<ObjectStore>(db->object_pool_.get(),
                                                     writer.bytes_written());
 
   // 2. Tokenize once; gather corpus statistics.
@@ -112,6 +118,19 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
       }
     }
     IR2_RETURN_IF_ERROR(db->rtree_->Flush());
+    if (options.locality_placement && !options.bulk_load) {
+      // Incremental splits scatter siblings; rewrite into the DFS layout
+      // (bulk loads already produce it natively).
+      auto device = std::make_unique<MemoryBlockDevice>();
+      auto pool =
+          std::make_unique<BufferPool>(device.get(), options.pool_blocks);
+      auto tree = std::make_unique<RTree>(pool.get(), options.tree_options);
+      IR2_RETURN_IF_ERROR(tree->Init());
+      IR2_RETURN_IF_ERROR(db->rtree_->CompactInto(tree.get()));
+      db->rtree_ = std::move(tree);
+      db->rtree_pool_ = std::move(pool);
+      db->rtree_device_ = std::move(device);
+    }
   }
 
   // 4. IR2-Tree.
@@ -134,6 +153,18 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
       }
     }
     IR2_RETURN_IF_ERROR(db->ir2_->Flush());
+    if (options.locality_placement && !options.bulk_load) {
+      auto device = std::make_unique<MemoryBlockDevice>();
+      auto pool =
+          std::make_unique<BufferPool>(device.get(), options.pool_blocks);
+      auto tree = std::make_unique<Ir2Tree>(pool.get(), options.tree_options,
+                                            options.ir2_signature);
+      IR2_RETURN_IF_ERROR(tree->Init());
+      IR2_RETURN_IF_ERROR(db->ir2_->CompactInto(tree.get()));
+      db->ir2_ = std::move(tree);
+      db->ir2_pool_ = std::move(pool);
+      db->ir2_device_ = std::move(device);
+    }
   }
 
   // 5. MIR2-Tree: bulk load with deferred inner signatures, then one
@@ -175,6 +206,22 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
     }
     IR2_RETURN_IF_ERROR(db->mir2_->RecomputeAllSignatures());
     IR2_RETURN_IF_ERROR(db->mir2_->Flush());
+    if (options.locality_placement && !options.bulk_load) {
+      // Signatures are already correct (recomputed above); the compaction
+      // copies them verbatim.
+      MultilevelScheme built_scheme = db->mir2_->scheme();
+      auto device = std::make_unique<MemoryBlockDevice>();
+      auto pool =
+          std::make_unique<BufferPool>(device.get(), options.pool_blocks);
+      auto tree = std::make_unique<Mir2Tree>(
+          pool.get(), mir2_options, std::move(built_scheme),
+          db->object_store_.get(), &db->tokenizer_);
+      IR2_RETURN_IF_ERROR(tree->Init());
+      IR2_RETURN_IF_ERROR(db->mir2_->CompactInto(tree.get()));
+      db->mir2_ = std::move(tree);
+      db->mir2_pool_ = std::move(pool);
+      db->mir2_device_ = std::move(device);
+    }
   }
 
   // 6. Inverted index (IIO baseline).
@@ -185,18 +232,45 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
       builder.AddObject(refs[i], distinct_words[i], doc_lengths[i]);
     }
     IR2_RETURN_IF_ERROR(builder.Finish());
-    IR2_ASSIGN_OR_RETURN(db->iio_, InvertedIndex::Open(db->iio_device_.get()));
+    // Bypass pool when prefetching is off, mirroring the object store.
+    db->iio_pool_ = std::make_unique<BufferPool>(
+        db->iio_device_.get(), options.prefetch ? options.pool_blocks : 0);
+    IR2_ASSIGN_OR_RETURN(db->iio_, InvertedIndex::Open(db->iio_pool_.get()));
   }
 
   db->scorer_ = std::make_unique<IrScorer>(
       CorpusStats{stats.num_objects, stats.AvgDocLen()});
+  db->WireIoEngine();
   db->ResetIoStats();
   return db;
 }
 
+void SpatialKeywordDatabase::WireIoEngine() {
+  const auto make_scheduler = [this](BufferPool* pool) {
+    return pool != nullptr
+               ? std::make_unique<IoScheduler>(pool, options_.scheduler)
+               : nullptr;
+  };
+  object_scheduler_ = make_scheduler(object_pool_.get());
+  rtree_scheduler_ = make_scheduler(rtree_pool_.get());
+  ir2_scheduler_ = make_scheduler(ir2_pool_.get());
+  mir2_scheduler_ = make_scheduler(mir2_pool_.get());
+  iio_scheduler_ = make_scheduler(iio_pool_.get());
+  if (iio_ != nullptr && iio_scheduler_ != nullptr) {
+    // Posting lists always stream through the scheduler's ReadRun path —
+    // the identical block sequence as direct reads, so this is safe to
+    // wire unconditionally (prefetch on or off).
+    iio_->SetScheduler(iio_scheduler_.get());
+  }
+}
+
 Status SpatialKeywordDatabase::DropCaches() {
+  // Let in-flight speculation finish first so a racing prefetch cannot
+  // re-populate a pool between the Clear and the next query.
+  DrainSchedulers();
   for (BufferPool* pool :
-       {rtree_pool_.get(), ir2_pool_.get(), mir2_pool_.get()}) {
+       {object_pool_.get(), rtree_pool_.get(), ir2_pool_.get(),
+        mir2_pool_.get(), iio_pool_.get()}) {
     if (pool != nullptr) {
       IR2_RETURN_IF_ERROR(pool->Clear());
     }
@@ -214,12 +288,117 @@ Status SpatialKeywordDatabase::DropCaches() {
 }
 
 void SpatialKeywordDatabase::ResetIoStats() {
+  // Pools cascade to their backing devices; the device loop covers any
+  // device not behind a pool.
+  for (BufferPool* pool :
+       {object_pool_.get(), rtree_pool_.get(), ir2_pool_.get(),
+        mir2_pool_.get(), iio_pool_.get()}) {
+    if (pool != nullptr) {
+      pool->ResetStats();
+    }
+  }
   for (BlockDevice* device :
        {object_device_.get(), rtree_device_.get(), ir2_device_.get(),
         mir2_device_.get(), iio_device_.get()}) {
     if (device != nullptr) {
       device->ResetStats();
     }
+  }
+  for (IoScheduler* scheduler :
+       {object_scheduler_.get(), rtree_scheduler_.get(), ir2_scheduler_.get(),
+        mir2_scheduler_.get(), iio_scheduler_.get()}) {
+    if (scheduler != nullptr) {
+      scheduler->ResetStats();
+    }
+  }
+}
+
+IoStats SpatialKeywordDatabase::PoolThreadIo() const {
+  IoStats total;
+  for (const BufferPool* pool :
+       {object_pool_.get(), rtree_pool_.get(), ir2_pool_.get(),
+        mir2_pool_.get(), iio_pool_.get()}) {
+    if (pool != nullptr) {
+      total += pool->thread_stats();
+    }
+  }
+  return total;
+}
+
+IoStats SpatialKeywordDatabase::DeviceThreadIo() const {
+  IoStats total;
+  for (const BlockDevice* device :
+       {object_device_.get(), rtree_device_.get(), ir2_device_.get(),
+        mir2_device_.get(), iio_device_.get()}) {
+    if (device != nullptr) {
+      total += device->thread_stats();
+    }
+  }
+  return total;
+}
+
+IoStats SpatialKeywordDatabase::SchedulerIo() const {
+  IoStats total;
+  for (const IoScheduler* scheduler :
+       {object_scheduler_.get(), rtree_scheduler_.get(), ir2_scheduler_.get(),
+        mir2_scheduler_.get(), iio_scheduler_.get()}) {
+    if (scheduler != nullptr) {
+      total += scheduler->speculative_stats();
+    }
+  }
+  return total;
+}
+
+void SpatialKeywordDatabase::DrainSchedulers() {
+  for (IoScheduler* scheduler :
+       {object_scheduler_.get(), rtree_scheduler_.get(), ir2_scheduler_.get(),
+        mir2_scheduler_.get(), iio_scheduler_.get()}) {
+    if (scheduler != nullptr) {
+      scheduler->Drain();
+    }
+  }
+}
+
+void SpatialKeywordDatabase::MaybeSweepObjectFile(
+    const DistanceFirstQuery& q) {
+  if (!options_.prefetch || object_scheduler_ == nullptr || q.k == 0) {
+    return;
+  }
+  const uint64_t blocks = object_pool_->NumBlocks();
+  if (blocks == 0) {
+    return;
+  }
+  const DiskModel model(options_.disk_model, object_pool_->block_size());
+  const double sweep_ms =
+      model.RandomAccessMs() +
+      static_cast<double>(blocks - 1) * model.SequentialAccessMs();
+  // A distance-first top-k query keeps loading candidates until k of them
+  // pass keyword verification, so it performs about k / p object loads —
+  // each one a seek — where p is the selectivity of the keyword
+  // conjunction. The inverted index's in-memory dictionary prices p from
+  // document frequencies (independence assumption, the paper's Section VI
+  // cost-model style) without any I/O; a keyword with zero frequency
+  // matches nothing, which forces the traversal to verify (and load) its
+  // way through everything. Without the IIO the estimate degrades to the
+  // bare lower bound of k loads.
+  double expected_loads = static_cast<double>(q.k);
+  if (iio_ != nullptr && stats_.num_objects > 0) {
+    const double num_objects = static_cast<double>(stats_.num_objects);
+    double selectivity = 1.0;
+    for (const std::string& keyword :
+         tokenizer_.NormalizeKeywords(q.keywords)) {
+      selectivity *=
+          static_cast<double>(iio_->DocumentFrequency(keyword)) / num_objects;
+    }
+    expected_loads =
+        selectivity > 0.0
+            ? std::min(static_cast<double>(q.k) / selectivity, num_objects)
+            : num_objects;
+  }
+  const double seek_ms = expected_loads * model.RandomAccessMs();
+  if (sweep_ms < seek_ms) {
+    object_scheduler_->PrefetchRange(0, static_cast<uint32_t>(
+                                            std::min<uint64_t>(blocks, ~0u)));
   }
 }
 
@@ -241,12 +420,30 @@ StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::RunQuery(
   if (options_.cold_queries) {
     IR2_RETURN_IF_ERROR(DropCaches());
   }
-  IoStats before = AggregateIo();
+  // Three-way diff, all per-thread so concurrent work cannot bleed in:
+  //   pools      -> demand_io       (logical requests by this thread)
+  //   devices    -> io              (physical reads by this thread)
+  //   schedulers -> speculative_io  (physical reads by prefetch threads)
+  // With prefetching off the schedulers stay idle and the bypass pools add
+  // nothing, so io reproduces the historical device-diff values exactly.
+  const IoStats demand_before = PoolThreadIo();
+  const IoStats physical_before = DeviceThreadIo();
+  const IoStats speculative_before = SchedulerIo();
   Stopwatch watch;
   QueryStats local;
   IR2_ASSIGN_OR_RETURN(std::vector<QueryResult> results, fn(&local));
+  if (options_.prefetch) {
+    // Speculation issued on this query's behalf settles before accounting
+    // (and before a next query's DropCaches could discard it half-done).
+    DrainSchedulers();
+  }
   local.seconds = watch.ElapsedSeconds();
-  local.io = AggregateIo() - before;
+  local.io = DeviceThreadIo() - physical_before;
+  local.demand_io = PoolThreadIo() - demand_before;
+  local.speculative_io = SchedulerIo() - speculative_before;
+  const DiskModel model(options_.disk_model);
+  local.simulated_disk_ms =
+      model.Ms(local.io) + model.Ms(local.speculative_io);
   if (stats != nullptr) {
     *stats += local;
   }
@@ -258,8 +455,16 @@ StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryRTree(
   if (rtree_ == nullptr) {
     return Status::FailedPrecondition("R-Tree was not built");
   }
+  NNPrefetchOptions prefetch;
+  if (options_.prefetch) {
+    prefetch.node_scheduler = rtree_scheduler_.get();
+    if (options_.prefetch_objects) {
+      prefetch.object_scheduler = object_scheduler_.get();
+    }
+  }
   return RunQuery(stats, [&](QueryStats* local) {
-    return RTreeTopK(*rtree_, *object_store_, tokenizer_, q, local);
+    MaybeSweepObjectFile(q);
+    return RTreeTopK(*rtree_, *object_store_, tokenizer_, q, local, prefetch);
   });
 }
 
@@ -269,7 +474,8 @@ StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryIio(
     return Status::FailedPrecondition("Inverted index was not built");
   }
   return RunQuery(stats, [&](QueryStats* local) {
-    return IioTopK(*iio_, *object_store_, tokenizer_, q, local);
+    return IioTopK(*iio_, *object_store_, tokenizer_, q, local,
+                   options_.prefetch ? object_scheduler_.get() : nullptr);
   });
 }
 
@@ -278,8 +484,17 @@ StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryIr2(
   if (ir2_ == nullptr) {
     return Status::FailedPrecondition("IR2-Tree was not built");
   }
+  NNPrefetchOptions prefetch;
+  if (options_.prefetch) {
+    prefetch.node_scheduler = ir2_scheduler_.get();
+    if (options_.prefetch_objects) {
+      prefetch.object_scheduler = object_scheduler_.get();
+    }
+  }
   return RunQuery(stats, [&](QueryStats* local) {
-    return Ir2TopK(*ir2_, *object_store_, tokenizer_, q, local);
+    MaybeSweepObjectFile(q);
+    return Ir2TopK(*ir2_, *object_store_, tokenizer_, q, local,
+                   /*scratch=*/nullptr, prefetch);
   });
 }
 
@@ -288,8 +503,17 @@ StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryMir2(
   if (mir2_ == nullptr) {
     return Status::FailedPrecondition("MIR2-Tree was not built");
   }
+  NNPrefetchOptions prefetch;
+  if (options_.prefetch) {
+    prefetch.node_scheduler = mir2_scheduler_.get();
+    if (options_.prefetch_objects) {
+      prefetch.object_scheduler = object_scheduler_.get();
+    }
+  }
   return RunQuery(stats, [&](QueryStats* local) {
-    return Ir2TopK(*mir2_, *object_store_, tokenizer_, q, local);
+    MaybeSweepObjectFile(q);
+    return Ir2TopK(*mir2_, *object_store_, tokenizer_, q, local,
+                   /*scratch=*/nullptr, prefetch);
   });
 }
 
@@ -324,7 +548,10 @@ StatusOr<std::vector<ObjectRef>> SpatialKeywordDatabase::KeywordMatches(
   if (options_.cold_queries) {
     IR2_RETURN_IF_ERROR(DropCaches());
   }
-  IoStats before = AggregateIo();
+  // Same three-way accounting as RunQuery (see the comment there).
+  const IoStats demand_before = PoolThreadIo();
+  const IoStats physical_before = DeviceThreadIo();
+  const IoStats speculative_before = SchedulerIo();
   Stopwatch watch;
   std::vector<std::vector<ObjectRef>> lists;
   lists.reserve(normalized.size());
@@ -334,9 +561,18 @@ StatusOr<std::vector<ObjectRef>> SpatialKeywordDatabase::KeywordMatches(
     lists.push_back(std::move(list));
   }
   std::vector<ObjectRef> matches = IntersectSorted(lists);
+  if (options_.prefetch) {
+    DrainSchedulers();
+  }
   if (stats != nullptr) {
     stats->seconds += watch.ElapsedSeconds();
-    stats->io += AggregateIo() - before;
+    const IoStats io = DeviceThreadIo() - physical_before;
+    const IoStats speculative = SchedulerIo() - speculative_before;
+    stats->io += io;
+    stats->demand_io += PoolThreadIo() - demand_before;
+    stats->speculative_io += speculative;
+    const DiskModel model(options_.disk_model);
+    stats->simulated_disk_ms += model.Ms(io) + model.Ms(speculative);
   }
   return matches;
 }
@@ -530,8 +766,10 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
       std::unique_ptr<FileBlockDevice> object_device,
       FileBlockDevice::Open(DevicePath(directory, "objects.dat")));
   db->object_device_ = std::move(object_device);
+  db->object_pool_ = std::make_unique<BufferPool>(
+      db->object_device_.get(), options.prefetch ? options.pool_blocks : 0);
   db->object_store_ = std::make_unique<ObjectStore>(
-      db->object_device_.get(), stats.object_file_bytes);
+      db->object_pool_.get(), stats.object_file_bytes);
 
   if (built_rtree) {
     IR2_ASSIGN_OR_RETURN(
@@ -577,11 +815,13 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
         std::unique_ptr<FileBlockDevice> device,
         FileBlockDevice::Open(DevicePath(directory, "iio.dat")));
     db->iio_device_ = std::move(device);
-    IR2_ASSIGN_OR_RETURN(db->iio_,
-                         InvertedIndex::Open(db->iio_device_.get()));
+    db->iio_pool_ = std::make_unique<BufferPool>(
+        db->iio_device_.get(), options.prefetch ? options.pool_blocks : 0);
+    IR2_ASSIGN_OR_RETURN(db->iio_, InvertedIndex::Open(db->iio_pool_.get()));
   }
   db->scorer_ = std::make_unique<IrScorer>(
       CorpusStats{stats.num_objects, stats.AvgDocLen()});
+  db->WireIoEngine();
   db->ResetIoStats();
   return db;
 }

@@ -13,6 +13,8 @@
 #include "core/query.h"
 #include "rtree/rtree.h"
 #include "storage/buffer_pool.h"
+#include "storage/disk_model.h"
+#include "storage/io_scheduler.h"
 #include "storage/object_store.h"
 #include "text/inverted_index.h"
 #include "text/ir_score.h"
@@ -80,6 +82,39 @@ struct DatabaseOptions {
   bool build_ir2 = true;
   bool build_mir2 = true;
   bool build_iio = true;
+
+  // ---- Cold-path I/O engine (see docs/performance.md) ----
+
+  // Speculative prefetching: traversals hand likely-next node/object blocks
+  // to per-structure IoSchedulers, whose coalesced reads complete into the
+  // pools ahead of the demand reads. Results and demand (pool-level)
+  // accounting are invariant; QueryStats splits the physical I/O into
+  // io (demand thread) and speculative_io (prefetch threads). When off,
+  // the object/IIO pools run in bypass mode (capacity 0), which keeps
+  // every physical disk count byte-identical to the pre-prefetch engine.
+  bool prefetch = false;
+  // Also speculate on leaf-candidate *object* blocks during NN traversals.
+  // Off by default: a top-k search strands the candidates it never pops,
+  // and under the disk-time model stranded random reads are pure loss —
+  // object speculation only pays when candidate verification loads nearly
+  // everything enqueued (see docs/performance.md). The IIO algorithm,
+  // which verifies every intersection candidate, always prefetches its
+  // object blocks when `prefetch` is on, independent of this flag.
+  bool prefetch_objects = false;
+  // Scheduler tuning; set scheduler.synchronous for deterministic benches.
+  IoSchedulerOptions scheduler;
+
+  // Parameters of the simulated disk behind QueryStats.simulated_disk_ms.
+  // Defaults model the paper's testbed drive (see DiskModelParams).
+  DiskModelParams disk_model;
+
+  // After an incremental (non-bulk) build, rewrite each tree with
+  // CompactInto so every node's children occupy one contiguous DFS run —
+  // the layout BulkLoad now produces natively — turning frontier
+  // prefetches into sequential sweeps. Structure and per-query node/object
+  // access *counts* are unchanged; only block placement (and therefore the
+  // random/sequential split and simulated time) moves.
+  bool locality_placement = false;
 };
 
 // Owns one dataset plus every index structure of the paper and exposes the
@@ -128,6 +163,8 @@ class SpatialKeywordDatabase {
       const std::vector<std::string>& keywords, QueryStats* stats = nullptr);
 
   // ---- Measurement control ----
+  // Drains in-flight prefetches, then clears every buffer pool and node
+  // cache, so the next query starts from a cold simulated disk.
   Status DropCaches();
   void ResetIoStats();
   // Sum of IoStats over every device.
@@ -135,6 +172,7 @@ class SpatialKeywordDatabase {
 
   // ---- Introspection ----
   const DatasetStats& stats() const { return stats_; }
+  const DatabaseOptions& options() const { return options_; }
   const Tokenizer& tokenizer() const { return tokenizer_; }
   const ObjectStore& object_store() const { return *object_store_; }
   RTree* rtree() { return rtree_.get(); }
@@ -142,6 +180,15 @@ class SpatialKeywordDatabase {
   Mir2Tree* mir2_tree() { return mir2_.get(); }
   InvertedIndex* inverted_index() { return iio_.get(); }
   const IrScorer& scorer() const { return *scorer_; }
+  // The simulated-disk cost model QueryStats.simulated_disk_ms is priced
+  // under (shared by all devices; they use one block size).
+  DiskModel disk_model() const { return DiskModel(options_.disk_model); }
+  // Per-structure prefetch schedulers (null for structures not built).
+  IoScheduler* object_scheduler() { return object_scheduler_.get(); }
+  IoScheduler* rtree_scheduler() { return rtree_scheduler_.get(); }
+  IoScheduler* ir2_scheduler() { return ir2_scheduler_.get(); }
+  IoScheduler* mir2_scheduler() { return mir2_scheduler_.get(); }
+  IoScheduler* iio_scheduler() { return iio_scheduler_.get(); }
 
   // Structure sizes in bytes (Table 2).
   uint64_t ObjectFileBytes() const;
@@ -153,10 +200,38 @@ class SpatialKeywordDatabase {
  private:
   SpatialKeywordDatabase() = default;
 
+  // Creates the per-structure prefetch schedulers over the existing pools
+  // and attaches the IIO streaming scheduler; shared tail of Build/Open.
+  void WireIoEngine();
+
   // Shared prologue/epilogue of every query method: optional cache drop,
-  // timing, I/O diffing.
+  // timing, three-way I/O diffing (demand / physical / speculative) and
+  // simulated-time pricing.
   template <typename Fn>
   StatusOr<std::vector<QueryResult>> RunQuery(QueryStats* stats, Fn&& fn);
+
+  // Per-calling-thread pool-level (logical demand) request counters summed
+  // over every pool.
+  IoStats PoolThreadIo() const;
+  // Per-calling-thread physical device access counters summed over every
+  // device.
+  IoStats DeviceThreadIo() const;
+  // Physical prefetch-thread I/O summed over every scheduler.
+  IoStats SchedulerIo() const;
+  // Blocks until no scheduler has work pending or in flight.
+  void DrainSchedulers();
+
+  // Scan-vs-seek speculation policy for candidate verification: when the
+  // DiskModel prices one sequential sweep of the whole object file below
+  // the random accesses the query's object loads are expected to cost,
+  // streams the file into the object pool ahead of the demand loads. The
+  // load estimate is k divided by the keyword conjunction's selectivity
+  // (document frequencies from the IIO's in-memory dictionary — no I/O),
+  // since verification keeps seeking until k candidates pass. A direct
+  // application of the disk-time model to scheduling: once the expected
+  // seeks outprice one pass over the file, the head should never come
+  // back. No-op when prefetching is off or the model favors seeks.
+  void MaybeSweepObjectFile(const DistanceFirstQuery& q);
 
   DatabaseOptions options_;
   DatasetStats stats_;
@@ -171,9 +246,15 @@ class SpatialKeywordDatabase {
   std::unique_ptr<BlockDevice> mir2_device_;
   std::unique_ptr<BlockDevice> iio_device_;
 
+  // Tree pools cache nodes during construction; the object/IIO pools exist
+  // for the prefetch engine and run in bypass mode (capacity 0) when
+  // prefetching is off, which keeps physical disk counts byte-identical to
+  // the pool-less layering.
+  std::unique_ptr<BufferPool> object_pool_;
   std::unique_ptr<BufferPool> rtree_pool_;
   std::unique_ptr<BufferPool> ir2_pool_;
   std::unique_ptr<BufferPool> mir2_pool_;
+  std::unique_ptr<BufferPool> iio_pool_;
 
   std::unique_ptr<ObjectStore> object_store_;
   std::unique_ptr<RTree> rtree_;
@@ -181,6 +262,14 @@ class SpatialKeywordDatabase {
   std::unique_ptr<Mir2Tree> mir2_;
   std::unique_ptr<InvertedIndex> iio_;
   std::unique_ptr<IrScorer> scorer_;
+
+  // Schedulers last: destroyed first, so their worker threads stop touching
+  // the pools before anything above is torn down.
+  std::unique_ptr<IoScheduler> object_scheduler_;
+  std::unique_ptr<IoScheduler> rtree_scheduler_;
+  std::unique_ptr<IoScheduler> ir2_scheduler_;
+  std::unique_ptr<IoScheduler> mir2_scheduler_;
+  std::unique_ptr<IoScheduler> iio_scheduler_;
 };
 
 }  // namespace ir2

@@ -10,7 +10,8 @@ StatusOr<std::vector<QueryResult>> IioTopK(const InvertedIndex& index,
                                            const ObjectStore& objects,
                                            const Tokenizer& tokenizer,
                                            const DistanceFirstQuery& query,
-                                           QueryStats* stats) {
+                                           QueryStats* stats,
+                                           IoScheduler* object_prefetch) {
   // Lines 1-3: retrieve and intersect the posting lists.
   std::vector<std::string> keywords =
       tokenizer.NormalizeKeywords(query.keywords);
@@ -32,6 +33,44 @@ StatusOr<std::vector<QueryResult>> IioTopK(const InvertedIndex& index,
                      return a.size() < b.size();
                    });
   std::vector<ObjectRef> intersection = IntersectSorted(lists);
+
+  // The whole candidate set is known before any object is fetched — the
+  // best possible case for prefetching. Candidates arrive sorted by ref
+  // (ascending file position), so the span between the first and last
+  // candidate block is known too, and the scheduler can pick between two
+  // shapes:
+  //
+  //   sweep  read the whole span as one sequential run. Fills the gaps
+  //          between candidates with cheap sequential transfers; wins when
+  //          the intersection is dense (span not much larger than the
+  //          candidates' own blocks), because every record — tail blocks
+  //          included — is pooled for one seek.
+  //   batch  prefetch each candidate's start + next block. Keeps the
+  //          speculation proportional to the candidate count when the span
+  //          is sparse; adjacent candidates still coalesce.
+  //
+  // The cutoff mirrors the DiskModel default ratio of a random access to a
+  // sequential transfer (~136 blocks of transfer per seek), halved to stay
+  // conservative about speculation the fetch loop may not use.
+  if (object_prefetch != nullptr && !intersection.empty()) {
+    const size_t object_block_size = object_prefetch->pool()->block_size();
+    const BlockId first_block = intersection.front() / object_block_size;
+    // One block past the last record's start covers its likely tail.
+    const BlockId last_block = intersection.back() / object_block_size + 1;
+    const uint64_t span = last_block - first_block + 1;
+    if (span <= 64 * intersection.size()) {
+      object_prefetch->PrefetchRange(first_block,
+                                     static_cast<uint32_t>(span));
+    } else {
+      std::vector<BlockId> blocks;
+      blocks.reserve(2 * intersection.size());
+      for (ObjectRef ref : intersection) {
+        blocks.push_back(ref / object_block_size);
+        blocks.push_back(ref / object_block_size + 1);
+      }
+      object_prefetch->PrefetchBatch(blocks);
+    }
+  }
 
   // Lines 4-8: fetch every object in V and compute its distance.
   const Rect target = query.Target();

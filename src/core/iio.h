@@ -5,6 +5,7 @@
 
 #include "common/status_or.h"
 #include "core/query.h"
+#include "storage/io_scheduler.h"
 #include "storage/object_store.h"
 #include "text/inverted_index.h"
 #include "text/tokenizer.h"
@@ -20,11 +21,15 @@ namespace ir2 {
 // Unlike the tree algorithms, IIO cannot express a keyword-less (pure NN)
 // query: with no effective keywords the intersection — and the result — is
 // empty.
-StatusOr<std::vector<QueryResult>> IioTopK(const InvertedIndex& index,
-                                           const ObjectStore& objects,
-                                           const Tokenizer& tokenizer,
-                                           const DistanceFirstQuery& query,
-                                           QueryStats* stats = nullptr);
+//
+// `object_prefetch` (optional): the intersection is known in full before
+// any object is fetched, so the whole candidate set's object blocks are
+// batch-prefetched up front; the fetch loop then finds them pooled.
+// Results and pool-level demand accounting are invariant to it.
+StatusOr<std::vector<QueryResult>> IioTopK(
+    const InvertedIndex& index, const ObjectStore& objects,
+    const Tokenizer& tokenizer, const DistanceFirstQuery& query,
+    QueryStats* stats = nullptr, IoScheduler* object_prefetch = nullptr);
 
 }  // namespace ir2
 

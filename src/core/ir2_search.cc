@@ -11,7 +11,7 @@ class Ir2TopKCursor::Impl {
   Impl(const Ir2Tree* tree, const ObjectStore* objects,
        const Tokenizer* tokenizer, Rect target,
        std::vector<std::string> keywords, QueryStats* stats,
-       Ir2QueryScratch* scratch)
+       Ir2QueryScratch* scratch, NNPrefetchOptions prefetch)
       : tree_(tree),
         objects_(objects),
         tokenizer_(tokenizer),
@@ -38,7 +38,7 @@ class Ir2TopKCursor::Impl {
                                   &signatures[level]);
     }
     cursor_.emplace(tree, target, SignatureEntryFilter{&signatures, stats},
-                    scratch != nullptr ? &scratch->nn : nullptr);
+                    scratch != nullptr ? &scratch->nn : nullptr, prefetch);
   }
 
   StatusOr<std::optional<QueryResult>> Next() {
@@ -92,16 +92,18 @@ class Ir2TopKCursor::Impl {
 Ir2TopKCursor::Ir2TopKCursor(const Ir2Tree* tree, const ObjectStore* objects,
                              const Tokenizer* tokenizer, Point point,
                              std::vector<std::string> keywords,
-                             Ir2QueryScratch* scratch)
+                             Ir2QueryScratch* scratch,
+                             NNPrefetchOptions prefetch)
     : impl_(new Impl(tree, objects, tokenizer, Rect::ForPoint(point),
-                     std::move(keywords), &stats_, scratch)) {}
+                     std::move(keywords), &stats_, scratch, prefetch)) {}
 
 Ir2TopKCursor::Ir2TopKCursor(const Ir2Tree* tree, const ObjectStore* objects,
                              const Tokenizer* tokenizer, Rect target,
                              std::vector<std::string> keywords,
-                             Ir2QueryScratch* scratch)
+                             Ir2QueryScratch* scratch,
+                             NNPrefetchOptions prefetch)
     : impl_(new Impl(tree, objects, tokenizer, target, std::move(keywords),
-                     &stats_, scratch)) {}
+                     &stats_, scratch, prefetch)) {}
 
 Ir2TopKCursor::~Ir2TopKCursor() = default;
 
@@ -114,9 +116,10 @@ StatusOr<std::vector<QueryResult>> Ir2TopK(const Ir2Tree& tree,
                                            const Tokenizer& tokenizer,
                                            const DistanceFirstQuery& query,
                                            QueryStats* stats,
-                                           Ir2QueryScratch* scratch) {
+                                           Ir2QueryScratch* scratch,
+                                           NNPrefetchOptions prefetch) {
   Ir2TopKCursor cursor(&tree, &objects, &tokenizer, query.Target(),
-                       query.keywords, scratch);
+                       query.keywords, scratch, prefetch);
   std::vector<QueryResult> results;
   results.reserve(query.k);
   while (results.size() < query.k) {

@@ -62,13 +62,16 @@ struct Ir2QueryScratch {
 // search queue — followed by a false-positive check on each candidate
 // object. Operates unchanged on a Mir2Tree (the per-level query signatures
 // come from the tree's LevelConfig). `scratch` (optional) donates reusable
-// buffers; it must not back another live query.
+// buffers; it must not back another live query. `prefetch` (optional)
+// enables speculative node/object reads; see NNPrefetchOptions — results
+// and pool-level demand accounting are invariant to it.
 StatusOr<std::vector<QueryResult>> Ir2TopK(const Ir2Tree& tree,
                                            const ObjectStore& objects,
                                            const Tokenizer& tokenizer,
                                            const DistanceFirstQuery& query,
                                            QueryStats* stats = nullptr,
-                                           Ir2QueryScratch* scratch = nullptr);
+                                           Ir2QueryScratch* scratch = nullptr,
+                                           NNPrefetchOptions prefetch = {});
 
 // Incremental cursor form of the same algorithm, for callers that consume
 // results lazily (e.g. "next matching hotel" pagination).
@@ -77,13 +80,15 @@ class Ir2TopKCursor {
   Ir2TopKCursor(const Ir2Tree* tree, const ObjectStore* objects,
                 const Tokenizer* tokenizer, Point point,
                 std::vector<std::string> keywords,
-                Ir2QueryScratch* scratch = nullptr);
+                Ir2QueryScratch* scratch = nullptr,
+                NNPrefetchOptions prefetch = {});
 
   // Area-target variant: results ordered by MINDIST to `target`.
   Ir2TopKCursor(const Ir2Tree* tree, const ObjectStore* objects,
                 const Tokenizer* tokenizer, Rect target,
                 std::vector<std::string> keywords,
-                Ir2QueryScratch* scratch = nullptr);
+                Ir2QueryScratch* scratch = nullptr,
+                NNPrefetchOptions prefetch = {});
   ~Ir2TopKCursor();
 
   Ir2TopKCursor(const Ir2TopKCursor&) = delete;

@@ -71,9 +71,26 @@ struct QueryStats {
   std::vector<uint64_t> entries_pruned_per_level;
   // Wall-clock execution time.
   double seconds = 0.0;
-  // Disk accesses across all structures the algorithm touched (diff of the
-  // devices' IoStats over the query).
+  // Physical disk accesses the query (demand) thread performed across all
+  // structures the algorithm touched — what actually reached the devices.
+  // With prefetching off and caches cold this equals demand_io exactly;
+  // with prefetching on it shrinks, because demand requests find
+  // prefetched pages in the pools.
   IoStats io;
+  // Logical block requests the query thread issued against the buffer
+  // pools. This is the algorithm's intrinsic access pattern: invariant to
+  // cache state and to speculation, which is what the prefetch-invariance
+  // guarantee pins (see tests/prefetch_invariance_test).
+  IoStats demand_io;
+  // Physical disk accesses performed on the query's behalf by prefetch
+  // threads (IoScheduler). Speculation is never free: simulated time
+  // charges these too.
+  IoStats speculative_io;
+  // Simulated elapsed disk time of the query under the database's
+  // DiskModel: model(io) + model(speculative_io). The paper-style query
+  // *time* metric (seek + rotational latency per random access, transfer
+  // per block).
+  double simulated_disk_ms = 0.0;
 
   QueryStats& operator+=(const QueryStats& other) {
     objects_loaded += other.objects_loaded;
@@ -89,6 +106,9 @@ struct QueryStats {
     }
     seconds += other.seconds;
     io += other.io;
+    demand_io += other.demand_io;
+    speculative_io += other.speculative_io;
+    simulated_disk_ms += other.simulated_disk_ms;
     return *this;
   }
 };

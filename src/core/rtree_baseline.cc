@@ -8,8 +8,9 @@ StatusOr<std::vector<QueryResult>> RTreeTopK(const RTreeBase& tree,
                                              const ObjectStore& objects,
                                              const Tokenizer& tokenizer,
                                              const DistanceFirstQuery& query,
-                                             QueryStats* stats) {
-  IncrementalNNCursor cursor(&tree, query.Target());
+                                             QueryStats* stats,
+                                             NNPrefetchOptions prefetch) {
+  IncrementalNNCursor cursor(&tree, query.Target(), {}, nullptr, prefetch);
   std::vector<QueryResult> results;
   results.reserve(query.k);
   while (results.size() < query.k) {

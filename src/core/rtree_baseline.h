@@ -5,6 +5,7 @@
 
 #include "common/status_or.h"
 #include "core/query.h"
+#include "rtree/incremental_nn.h"
 #include "rtree/rtree.h"
 #include "storage/object_store.h"
 #include "text/tokenizer.h"
@@ -14,12 +15,15 @@ namespace ir2 {
 // The paper's first baseline (Section V-A): incremental NN over a plain
 // R-Tree; every returned neighbor's object is fetched and its text checked
 // against the query keywords until k objects pass. Potentially retrieves
-// many "useless" objects — in the worst case the whole dataset.
+// many "useless" objects — in the worst case the whole dataset. `prefetch`
+// (optional) enables speculative node/object reads; results and pool-level
+// demand accounting are invariant to it.
 StatusOr<std::vector<QueryResult>> RTreeTopK(const RTreeBase& tree,
                                              const ObjectStore& objects,
                                              const Tokenizer& tokenizer,
                                              const DistanceFirstQuery& query,
-                                             QueryStats* stats = nullptr);
+                                             QueryStats* stats = nullptr,
+                                             NNPrefetchOptions prefetch = {});
 
 }  // namespace ir2
 

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "common/logging.h"
 #include "rtree/rtree_base.h"
@@ -68,8 +69,13 @@ Status RTreeBase::BulkLoad(
     entries.push_back(std::move(entry));
   }
 
+  // Phase 1: build every level in memory, bottom-up. Inner entries' refs
+  // temporarily hold the child's INDEX within the level below; block ids
+  // are assigned in phase 2's preorder pass so that every node's children
+  // land in one contiguous DFS run on disk (the placement the prefetch
+  // scheduler coalesces into sequential reads).
   uint32_t level = 0;
-  std::vector<Node> nodes;
+  std::vector<std::vector<Node>> levels;
   while (true) {
     StrTile(entries, 0, entries.size(), 0, options_.dims, group_size);
 
@@ -90,30 +96,33 @@ Status RTreeBase::BulkLoad(
       }
     }
 
-    nodes.clear();
+    std::vector<Node> nodes;
+    nodes.reserve(boundaries.size() - 1);
     for (size_t g = 0; g + 1 < boundaries.size(); ++g) {
       Node node;
       node.level = level;
-      IR2_ASSIGN_OR_RETURN(node.id, AllocateNode(level));
       node.entries.assign(
           std::make_move_iterator(entries.begin() + boundaries[g]),
           std::make_move_iterator(entries.begin() + boundaries[g + 1]));
-      IR2_RETURN_IF_ERROR(StoreNode(node));
       nodes.push_back(std::move(node));
     }
+    levels.push_back(std::move(nodes));
 
-    if (nodes.size() == 1) {
+    if (levels.back().size() == 1) {
       break;
     }
 
-    // Build the parent-entry list for the next level up.
+    // Build the parent-entry list for the next level up. Parent payloads
+    // come from the in-memory child node (the default superimposition, or
+    // zeros when deferred), so no block ids are needed yet.
     entries.clear();
-    entries.reserve(nodes.size());
+    entries.reserve(levels.back().size());
     ++level;
-    for (Node& node : nodes) {
+    for (size_t i = 0; i < levels.back().size(); ++i) {
+      Node& node = levels.back()[i];
       Entry entry;
       entry.rect = node.BoundingRect();
-      entry.ref = static_cast<uint32_t>(node.id);
+      entry.ref = static_cast<uint32_t>(i);
       if (options_.defer_inner_payload_maintenance) {
         entry.payload.assign(PayloadBytes(level), 0);
       } else {
@@ -124,8 +133,40 @@ Status RTreeBase::BulkLoad(
     }
   }
 
-  root_id_ = nodes.front().id;
-  root_level_ = level;
+  // Phase 2: preorder emission with children-contiguous allocation. For
+  // each node, all children are allocated back to back (in entry order)
+  // before any is descended into, so sibling node runs are adjacent and a
+  // frontier prefetch of several siblings coalesces into one sequential
+  // sweep. The block *count* is identical to per-level emission; only the
+  // arrangement changes.
+  std::function<Status(uint32_t, size_t)> emit =
+      [&](uint32_t node_level, size_t index) -> Status {
+    Node& node = levels[node_level][index];
+    if (node_level == 0) {
+      return StoreNode(node);
+    }
+    std::vector<size_t> child_indices;
+    child_indices.reserve(node.entries.size());
+    for (Entry& entry : node.entries) {
+      child_indices.push_back(entry.ref);
+      Node& child = levels[node_level - 1][entry.ref];
+      IR2_ASSIGN_OR_RETURN(child.id, AllocateNode(node_level - 1));
+      entry.ref = static_cast<uint32_t>(child.id);
+    }
+    IR2_RETURN_IF_ERROR(StoreNode(node));
+    for (size_t child : child_indices) {
+      IR2_RETURN_IF_ERROR(emit(node_level - 1, child));
+    }
+    return Status::Ok();
+  };
+
+  const uint32_t root_level = static_cast<uint32_t>(levels.size()) - 1;
+  Node& root = levels[root_level].front();
+  IR2_ASSIGN_OR_RETURN(root.id, AllocateNode(root_level));
+  IR2_RETURN_IF_ERROR(emit(root_level, 0));
+
+  root_id_ = root.id;
+  root_level_ = root_level;
   count_ = items.size();
   return WriteSuperblock();
 }

@@ -1,0 +1,65 @@
+// CompactInto: offline locality-aware compaction of a built tree (see the
+// declaration in rtree_base.h and docs/performance.md).
+
+#include <vector>
+
+#include "common/logging.h"
+#include "rtree/rtree_base.h"
+
+namespace ir2 {
+
+Status RTreeBase::CompactInto(RTreeBase* dst) const {
+  IR2_CHECK(ready_);
+  IR2_CHECK(dst != nullptr);
+  IR2_CHECK(dst != this);
+  IR2_CHECK(dst->ready_);
+  if (dst->count_ != 0 || dst->root_level_ != 0) {
+    return Status::FailedPrecondition("CompactInto requires an empty tree");
+  }
+  if (dst->options_.dims != options_.dims || dst->capacity_ != capacity_) {
+    return Status::InvalidArgument("CompactInto shape mismatch");
+  }
+  for (uint32_t l = 0; l <= root_level_; ++l) {
+    if (dst->PayloadBytes(l) != PayloadBytes(l)) {
+      return Status::InvalidArgument("CompactInto payload width mismatch");
+    }
+  }
+  IR2_ASSIGN_OR_RETURN(BlockId dst_root, dst->AllocateNode(root_level_));
+  IR2_RETURN_IF_ERROR(CopySubtreeInto(root_id_, dst_root, dst));
+  dst->root_id_ = dst_root;
+  dst->root_level_ = root_level_;
+  dst->count_ = count_;
+  if (dst->options_.manage_superblock) {
+    IR2_RETURN_IF_ERROR(dst->WriteSuperblock());
+  }
+  return dst->Flush();
+}
+
+Status RTreeBase::CopySubtreeInto(BlockId src_id, BlockId dst_id,
+                                  RTreeBase* dst) const {
+  IR2_ASSIGN_OR_RETURN(Node node, LoadNode(src_id));
+  node.id = dst_id;
+  if (node.is_leaf()) {
+    return dst->StoreNode(node);
+  }
+  // Allocate all children back to back (in entry order) before descending
+  // into any of them — the children-contiguous invariant.
+  std::vector<BlockId> src_children;
+  std::vector<BlockId> dst_children;
+  src_children.reserve(node.entries.size());
+  dst_children.reserve(node.entries.size());
+  for (Entry& entry : node.entries) {
+    src_children.push_back(entry.ref);
+    IR2_ASSIGN_OR_RETURN(BlockId child_id, dst->AllocateNode(node.level - 1));
+    dst_children.push_back(child_id);
+    entry.ref = static_cast<uint32_t>(child_id);
+  }
+  IR2_RETURN_IF_ERROR(dst->StoreNode(node));
+  for (size_t i = 0; i < src_children.size(); ++i) {
+    IR2_RETURN_IF_ERROR(
+        CopySubtreeInto(src_children[i], dst_children[i], dst));
+  }
+  return Status::Ok();
+}
+
+}  // namespace ir2

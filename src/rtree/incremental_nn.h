@@ -12,6 +12,7 @@
 #include "common/status_or.h"
 #include "geo/point.h"
 #include "rtree/rtree_base.h"
+#include "storage/io_scheduler.h"
 
 namespace ir2 {
 
@@ -59,6 +60,33 @@ class NNScratch {
 
  private:
   std::vector<NNQueueItem> heap_;
+};
+
+// Speculative I/O hooks of the traversal (all optional; the default — no
+// schedulers — is byte-for-byte the non-prefetching traversal).
+//
+//   node_scheduler    after each inner-node expansion, the block runs of
+//                     every accepted (filter-passing) child are batch
+//                     prefetched — the traversal's frontier. Under DFS
+//                     (children-contiguous) block placement the whole
+//                     sibling set coalesces into one sequential run, so the
+//                     speculation costs one seek where best-first demand
+//                     reads would pay one seek *per child* as the heap
+//                     interleaves subtrees.
+//   object_scheduler  on each leaf expansion, the object-file blocks of
+//                     every enqueued candidate are batch prefetched. Only
+//                     worth enabling when most candidates are actually
+//                     loaded: a top-k search that stops early strands the
+//                     speculation, and under a disk-time model that prices
+//                     speculative I/O (DiskModel) stranded random reads are
+//                     pure loss (see docs/performance.md).
+//
+// Prefetching is result-invariant: it only moves bytes into the pools
+// early. Demand (pool-level) accounting is likewise untouched; only the
+// physical split between QueryStats.io and .speculative_io changes.
+struct NNPrefetchOptions {
+  IoScheduler* node_scheduler = nullptr;
+  IoScheduler* object_scheduler = nullptr;
 };
 
 // Returns false to prune an entry of a node from the search (the paper's
@@ -109,19 +137,28 @@ class IncrementalNNCursorT {
  public:
   // `tree` must outlive the cursor and not be modified while it is in use.
   // `scratch` (optional) donates heap storage; it must outlive the cursor.
+  // `prefetch` (optional schedulers) enables speculative reads; see
+  // NNPrefetchOptions.
   IncrementalNNCursorT(const RTreeBase* tree, const Point& query,
-                       Filter filter = Filter{}, NNScratch* scratch = nullptr)
+                       Filter filter = Filter{}, NNScratch* scratch = nullptr,
+                       NNPrefetchOptions prefetch = {})
       : IncrementalNNCursorT(tree, Rect::ForPoint(query), std::move(filter),
-                             scratch) {}
+                             scratch, prefetch) {}
 
   // Area-target variant ("a point p, which is the query point (an area
   // could be used instead)"): distances are MINDIST to `query_area`.
   IncrementalNNCursorT(const RTreeBase* tree, const Rect& query_area,
-                       Filter filter = Filter{}, NNScratch* scratch = nullptr)
+                       Filter filter = Filter{}, NNScratch* scratch = nullptr,
+                       NNPrefetchOptions prefetch = {})
       : tree_(tree),
         target_(query_area),
         filter_(std::move(filter)),
-        heap_(scratch != nullptr ? &scratch->AcquireHeap() : &own_heap_) {
+        heap_(scratch != nullptr ? &scratch->AcquireHeap() : &own_heap_),
+        prefetch_(prefetch),
+        object_block_size_(
+            prefetch.object_scheduler != nullptr
+                ? prefetch.object_scheduler->pool()->block_size()
+                : kDefaultBlockSize) {
     IR2_CHECK(tree != nullptr);
     IR2_CHECK_EQ(target_.dims(), tree->dims());
     // "Priority queue U initially contains root node of R with distance 0."
@@ -146,6 +183,15 @@ class IncrementalNNCursorT {
                            tree_->LoadNodeShared(item.id));
       ++nodes_visited_;
       const bool is_leaf = node->is_leaf();
+      const bool prefetch_objects =
+          is_leaf && prefetch_.object_scheduler != nullptr;
+      const bool prefetch_children =
+          !is_leaf && prefetch_.node_scheduler != nullptr;
+      if (prefetch_objects || prefetch_children) {
+        prefetch_ids_.clear();
+      }
+      const uint32_t child_blocks =
+          prefetch_children ? tree_->BlocksPerNode(node->level - 1) : 0;
       for (const Entry& entry : node->entries) {
         if (!internal::NNFilterAccepts(filter_, *node, entry)) {
           ++entries_pruned_;
@@ -155,7 +201,24 @@ class IncrementalNNCursorT {
         Push(NNQueueItem{distance, is_leaf, seq_++, entry.ref, entry.rect});
         if (is_leaf) {
           ++objects_enqueued_;
+          if (prefetch_objects) {
+            // The block the candidate's record starts in; its tail blocks
+            // (if any) are sequential after it anyway.
+            prefetch_ids_.push_back(entry.ref / object_block_size_);
+          }
+        } else if (prefetch_children) {
+          // Children are visited in entry order here, which is exactly
+          // their allocation order under DFS placement — the batch below
+          // coalesces into one sequential sibling run.
+          for (uint32_t b = 0; b < child_blocks; ++b) {
+            prefetch_ids_.push_back(entry.ref + b);
+          }
         }
+      }
+      if ((prefetch_objects || prefetch_children) && !prefetch_ids_.empty()) {
+        (prefetch_children ? prefetch_.node_scheduler
+                           : prefetch_.object_scheduler)
+            ->PrefetchBatch(prefetch_ids_);
       }
     }
     return std::optional<Neighbor>();
@@ -183,6 +246,11 @@ class IncrementalNNCursorT {
   Filter filter_;
   std::vector<NNQueueItem> own_heap_;
   std::vector<NNQueueItem>* heap_;  // Scratch-donated, or &own_heap_.
+  NNPrefetchOptions prefetch_;
+  size_t object_block_size_;
+  // Scratch for the prefetch paths; only ever grows when prefetching is
+  // enabled, so the prefetch-off traversal stays allocation-free.
+  std::vector<BlockId> prefetch_ids_;
   uint64_t seq_ = 0;
   uint64_t nodes_visited_ = 0;
   uint64_t objects_enqueued_ = 0;

@@ -152,6 +152,20 @@ class RTreeBase {
   // with ancestor payloads recomputed (Figure 8 of the paper).
   StatusOr<bool> Delete(ObjectRef ref, const Rect& rect);
 
+  // Offline compaction pass: rewrites this (fully built) tree into `dst`
+  // with locality-aware placement — a preorder copy in which every node's
+  // children are allocated contiguously in entry order, the DFS layout
+  // BulkLoad produces natively. Gives incrementally built trees (whose
+  // splits scatter siblings across the file) sequential sibling runs that
+  // the prefetch scheduler can coalesce. Structure, entry order, and
+  // payloads are copied verbatim; only block ids change.
+  //
+  // `dst` must be a freshly Init()-ed empty tree of the same shape:
+  // identical dims, node capacity, and per-level payload widths (in
+  // practice: the same subclass constructed with the same options over an
+  // empty device). The source tree is not modified.
+  Status CompactInto(RTreeBase* dst) const;
+
   // Flushes superblock + dirty pages to the device.
   Status Flush();
 
@@ -297,6 +311,11 @@ class RTreeBase {
 
   // Grows the tree: new root above `left` and `right`.
   Status GrowRoot(const Node& left, const Node& right);
+
+  // Copies the subtree rooted at `src_id` (in this tree) to the
+  // already-allocated node `dst_id` of `dst`, allocating children of each
+  // node contiguously (CompactInto's recursion).
+  Status CopySubtreeInto(BlockId src_id, BlockId dst_id, RTreeBase* dst) const;
 
   // Allocates blocks for a new node at `level`.
   StatusOr<BlockId> AllocateNode(uint32_t level);

@@ -122,11 +122,20 @@ class BlockDevice {
 
   // Forgets the calling thread's sequential-access cursor so its next
   // access counts as random — the state a cold query starts from.
-  void ResetThreadCursor();
+  //
+  // Cursors are strictly per thread: a prefetch (or any background) thread
+  // advancing its own cursor with a long sequential run can never donate
+  // sequential-read credit to — or steal it from — a query thread, and
+  // resetting one thread's cursor never disturbs another's. Layered devices
+  // (BufferPool) override this to also reset the calling thread's cursor on
+  // the backing device, so one call restores the whole stack of a query
+  // thread to the cold state (see ThreadCursorIsolation in storage_test).
+  virtual void ResetThreadCursor();
 
   // Zeroes every thread's counters and cursors. Call only while no I/O is
-  // in flight (between build and measurement phases).
-  void ResetStats();
+  // in flight (between build and measurement phases). Layered devices
+  // cascade to their backing device.
+  virtual void ResetStats();
 
   uint64_t SizeBytes() const { return NumBlocks() * block_size_; }
 

@@ -31,7 +31,9 @@ size_t PickShardCount(size_t capacity_blocks, size_t requested) {
 
 BufferPool::BufferPool(BlockDevice* device, size_t capacity_blocks,
                        size_t num_shards)
-    : device_(device), capacity_(capacity_blocks) {
+    : BlockDevice(device->block_size()),
+      device_(device),
+      capacity_(capacity_blocks) {
   IR2_CHECK(device != nullptr);
   const size_t shards = PickShardCount(capacity_blocks, num_shards);
   shards_.reserve(shards);
@@ -58,6 +60,10 @@ BufferPool::Shard& BufferPool::ShardOf(BlockId id) {
   return *shards_[Mix64(id) % shards_.size()];
 }
 
+const BufferPool::Shard& BufferPool::ShardOf(BlockId id) const {
+  return const_cast<BufferPool*>(this)->ShardOf(id);
+}
+
 BufferPool::Page& BufferPool::Touch(Shard& shard, LruList::iterator it) {
   shard.lru.splice(shard.lru.begin(), shard.lru, it);
   return shard.lru.front();
@@ -76,10 +82,16 @@ Status BufferPool::EvictIfFull(Shard& shard) {
   return Status::Ok();
 }
 
-Status BufferPool::Read(BlockId id, std::span<uint8_t> out) {
-  if (out.size() != block_size()) {
-    return Status::InvalidArgument("Read buffer size != block size");
+bool BufferPool::Contains(BlockId id) const {
+  if (capacity_ == 0) {
+    return false;
   }
+  const Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.index.find(id) != shard.index.end();
+}
+
+Status BufferPool::ReadImpl(BlockId id, std::span<uint8_t> out) {
   if (capacity_ == 0) {
     return device_->Read(id, out);
   }
@@ -102,10 +114,7 @@ Status BufferPool::Read(BlockId id, std::span<uint8_t> out) {
   return Status::Ok();
 }
 
-Status BufferPool::Write(BlockId id, std::span<const uint8_t> data) {
-  if (data.size() != block_size()) {
-    return Status::InvalidArgument("Write buffer size != block size");
-  }
+Status BufferPool::WriteImpl(BlockId id, std::span<const uint8_t> data) {
   if (capacity_ == 0) {
     return device_->Write(id, data);
   }
@@ -166,6 +175,16 @@ Status BufferPool::Clear() {
     shard->evictions = 0;
   }
   return Status::Ok();
+}
+
+void BufferPool::ResetThreadCursor() {
+  BlockDevice::ResetThreadCursor();
+  device_->ResetThreadCursor();
+}
+
+void BufferPool::ResetStats() {
+  BlockDevice::ResetStats();
+  device_->ResetStats();
 }
 
 BufferPoolStats BufferPool::Stats() const {

@@ -37,13 +37,24 @@ struct BufferPoolStats {
   }
 };
 
-// Sharded write-back LRU page cache in front of a BlockDevice.
+// Sharded write-back LRU page cache in front of a BlockDevice — itself a
+// BlockDevice, so it stacks: readers address the pool exactly like a raw
+// device, and the inherited per-thread accounting now exists at *two*
+// levels with distinct meanings:
 //
-// Index structures read and write through the pool; pages cached here do not
-// touch the device and therefore do not count as disk accesses. Query
-// benchmarks call Clear() before each query so every query starts cold, the
-// regime the paper measures. Index construction keeps the pool warm, which
-// makes building the 100k+ object indexes fast.
+//   pool.thread_stats()      logical block requests this thread issued
+//                            (demand I/O, independent of cache state and of
+//                            any prefetching — what QueryStats.demand_io
+//                            reports),
+//   device->thread_stats()   physical accesses that actually reached the
+//                            backing device (what QueryStats.io reports).
+//
+// Index structures read and write through the pool; pages cached here do
+// not touch the device and therefore do not count as physical disk
+// accesses. Query benchmarks call Clear() before each query so every query
+// starts cold, the regime the paper measures — in that regime every logical
+// request misses, so the two levels agree exactly. Index construction keeps
+// the pool warm, which makes building the 100k+ object indexes fast.
 //
 // Thread-safety: the pool is safe for concurrent use. Pages are partitioned
 // into N shards by a hash of their BlockId; each shard has its own mutex,
@@ -51,11 +62,13 @@ struct BufferPoolStats {
 // shards never contend. Because every access to a given block always lands
 // in the same shard, same-block operations are serialized by that shard's
 // lock — which also serializes the underlying device accesses for that
-// block. LRU order and eviction are per shard.
+// block (an IoScheduler prefetch and a demand read racing for one block
+// perform exactly one device read between them). LRU order and eviction are
+// per shard.
 //
 // Pages are copied in and out rather than pinned; for a simulator the copy
 // cost is irrelevant and it rules out dangling page pointers by construction.
-class BufferPool {
+class BufferPool : public BlockDevice {
  public:
   // `device` must outlive the pool. `capacity_blocks` == 0 disables caching
   // entirely (every access goes to the device). `num_shards` == 0 picks
@@ -64,20 +77,19 @@ class BufferPool {
   // unsharded, large concurrent pools spread their locks.
   BufferPool(BlockDevice* device, size_t capacity_blocks,
              size_t num_shards = 0);
-  ~BufferPool();
+  ~BufferPool() override;
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  // Reads one block, from cache if resident.
-  Status Read(BlockId id, std::span<uint8_t> out);
-
-  // Writes one block into the cache (write-back). With caching disabled the
-  // write goes straight to the device.
-  Status Write(BlockId id, std::span<const uint8_t> data);
-
   // Allocates contiguous blocks on the underlying device.
-  StatusOr<BlockId> Allocate(uint32_t count);
+  StatusOr<BlockId> Allocate(uint32_t count) override;
+
+  uint64_t NumBlocks() const override { return device_->NumBlocks(); }
+
+  // True when `id` is resident in the cache. Touches no counters and no LRU
+  // state — used by IoScheduler to skip prefetching already-cached blocks.
+  bool Contains(BlockId id) const;
 
   // Writes all dirty pages back to the device (ascending block order, so
   // flush I/O is mostly sequential). Takes every shard lock.
@@ -86,11 +98,20 @@ class BufferPool {
   // Flushes, then drops every cached page and resets the hit/miss/eviction
   // counters: the next access of any block hits the device and Stats()
   // describes only the epoch after the Clear. Use before a measured query
-  // to simulate a cold cache.
+  // to simulate a cold cache. (The inherited per-thread request counters
+  // are NOT touched — demand accounting spans epochs like device
+  // accounting does.)
   Status Clear();
 
+  // Resets the calling thread's cursor at both levels — the pool's logical
+  // cursor and the backing device's physical cursor — so the next access is
+  // classified as random end to end, the state a cold query starts from.
+  void ResetThreadCursor() override;
+
+  // Zeroes both levels' counters and cursors.
+  void ResetStats() override;
+
   BlockDevice* device() { return device_; }
-  size_t block_size() const { return device_->block_size(); }
   size_t num_shards() const { return shards_.size(); }
 
   // Counter snapshot summed over all shards. Exact when no access is
@@ -99,6 +120,11 @@ class BufferPool {
 
   uint64_t hits() const { return Stats().hits; }
   uint64_t misses() const { return Stats().misses; }
+
+ protected:
+  // Cache lookup/fill behind the inherited accounting wrapper.
+  Status ReadImpl(BlockId id, std::span<uint8_t> out) override;
+  Status WriteImpl(BlockId id, std::span<const uint8_t> data) override;
 
  private:
   struct Page {
@@ -109,7 +135,7 @@ class BufferPool {
   using LruList = std::list<Page>;
 
   struct Shard {
-    std::mutex mu;
+    mutable std::mutex mu;
     size_t capacity = 0;
     LruList lru;  // Front = most recently used.
     std::unordered_map<BlockId, LruList::iterator> index;
@@ -119,6 +145,7 @@ class BufferPool {
   };
 
   Shard& ShardOf(BlockId id);
+  const Shard& ShardOf(BlockId id) const;
 
   // Moves the page to the MRU position and returns it. Caller holds the
   // shard lock.

@@ -1,0 +1,18 @@
+#include "storage/disk_model.h"
+
+#include <sstream>
+
+namespace ir2 {
+
+std::string DiskModel::ToString() const {
+  std::ostringstream os;
+  os << "disk(seek=" << params_.seek_ms
+     << "ms, rot=" << params_.rotational_latency_ms
+     << "ms, xfer=" << params_.transfer_mb_per_s
+     << "MB/s, block=" << block_size_ << "B => random="
+     << RandomAccessMs() << "ms, sequential=" << SequentialAccessMs()
+     << "ms)";
+  return os.str();
+}
+
+}  // namespace ir2

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "storage/io_scheduler.h"
 #include "storage/serializer.h"
 
 namespace ir2 {
@@ -62,15 +63,32 @@ class BlockAppender {
 };
 
 // Reads `length` bytes starting at absolute byte `offset`. Touches each
-// spanned block once: one random access, then sequential.
-Status ReadByteRange(BlockDevice* device, uint64_t offset, uint64_t length,
+// spanned block once, ascending: one random access, then sequential. With a
+// scheduler, the whole span goes through its ReadRun streaming path in one
+// call — the identical block sequence, so I/O accounting is unchanged.
+Status ReadByteRange(BlockDevice* device, IoScheduler* scheduler,
+                     uint64_t offset, uint64_t length,
                      std::vector<uint8_t>* out) {
   const size_t block_size = device->block_size();
   out->resize(length);
+  if (length == 0) {
+    return Status::Ok();
+  }
+  const BlockId first = offset / block_size;
+  const size_t in_first = static_cast<size_t>(offset % block_size);
+  if (scheduler != nullptr) {
+    const uint64_t end = offset + length;
+    const uint32_t count =
+        static_cast<uint32_t>((end + block_size - 1) / block_size - first);
+    std::vector<uint8_t> run;
+    IR2_RETURN_IF_ERROR(scheduler->ReadRun(first, count, &run));
+    std::memcpy(out->data(), run.data() + in_first, length);
+    return Status::Ok();
+  }
   std::vector<uint8_t> block(block_size);
   uint64_t pos = 0;
-  BlockId block_id = offset / block_size;
-  size_t in_block = static_cast<size_t>(offset % block_size);
+  BlockId block_id = first;
+  size_t in_block = in_first;
   while (pos < length) {
     IR2_RETURN_IF_ERROR(device->Read(block_id, block));
     size_t n = std::min<uint64_t>(block_size - in_block, length - pos);
@@ -213,8 +231,8 @@ StatusOr<std::unique_ptr<InvertedIndex>> InvertedIndex::Open(
   bool compressed = reader.GetU8() != 0;
 
   std::vector<uint8_t> dict_bytes;
-  IR2_RETURN_IF_ERROR(
-      ReadByteRange(device, dict_base, dict_length, &dict_bytes));
+  IR2_RETURN_IF_ERROR(ReadByteRange(device, /*scheduler=*/nullptr, dict_base,
+                                    dict_length, &dict_bytes));
   BufferReader dict(dict_bytes);
   uint64_t num_terms = dict.GetU64();
   std::unordered_map<std::string, TermInfo> dictionary;
@@ -251,8 +269,8 @@ StatusOr<std::vector<ObjectRef>> InvertedIndex::RetrieveList(
   }
   const TermInfo& info = it->second;
   std::vector<uint8_t> bytes;
-  IR2_RETURN_IF_ERROR(
-      ReadByteRange(device_, info.byte_offset, info.byte_length, &bytes));
+  IR2_RETURN_IF_ERROR(ReadByteRange(device_, scheduler_, info.byte_offset,
+                                    info.byte_length, &bytes));
   std::vector<ObjectRef> refs;
   refs.reserve(info.count);
   if (!compressed_) {

@@ -15,6 +15,8 @@
 
 namespace ir2 {
 
+class IoScheduler;
+
 // Disk-resident inverted index: the data structure behind the paper's IIO
 // baseline algorithm.
 //
@@ -47,6 +49,15 @@ class InvertedIndex {
 
   BlockDevice* device() const { return device_; }
 
+  // Streams subsequent posting-list reads through `scheduler`'s demand-side
+  // ReadRun path: a list spanning n blocks becomes one ascending run
+  // (1 random + (n-1) sequential accesses — the identical block sequence
+  // the direct path reads, so I/O accounting is unchanged). The scheduler
+  // must wrap this index's device and outlive the index; null restores
+  // direct device reads.
+  void SetScheduler(IoScheduler* scheduler) { scheduler_ = scheduler; }
+  IoScheduler* scheduler() const { return scheduler_; }
+
  private:
   struct TermInfo {
     uint64_t byte_offset;  // Absolute device byte offset of the list start.
@@ -64,6 +75,7 @@ class InvertedIndex {
         dictionary_(std::move(dictionary)) {}
 
   BlockDevice* device_;
+  IoScheduler* scheduler_ = nullptr;
   uint64_t num_objects_;
   double avg_doc_len_;
   bool compressed_;

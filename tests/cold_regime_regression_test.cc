@@ -69,6 +69,17 @@ class ColdRegimeRegressionTest : public ::testing::Test {
     EXPECT_EQ(stats.entries_pruned, golden.entries_pruned) << algo;
     EXPECT_EQ(stats.io.random_reads, golden.random_reads) << algo;
     EXPECT_EQ(stats.io.sequential_reads, golden.sequential_reads) << algo;
+    // Cold + prefetch off: every logical demand request reaches the device
+    // and is classified identically at both levels, so demand_io must equal
+    // the physical profile counter for counter (see docs/performance.md),
+    // and nothing may run speculatively.
+    EXPECT_EQ(stats.demand_io.random_reads, golden.random_reads) << algo;
+    EXPECT_EQ(stats.demand_io.sequential_reads, golden.sequential_reads)
+        << algo;
+    EXPECT_EQ(stats.speculative_io.TotalAccesses(), 0u) << algo;
+    // The disk model prices the physical accesses above; any profile this
+    // size costs real simulated time.
+    EXPECT_GT(stats.simulated_disk_ms, 0.0) << algo;
   }
 
   std::vector<StoredObject> objects_;

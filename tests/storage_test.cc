@@ -322,6 +322,50 @@ TEST(BlockDeviceTest, ThreadCursorsClassifyIndependently) {
   EXPECT_EQ(device.thread_stats().sequential_reads, 0u);
 }
 
+TEST(BlockDeviceTest, ThreadCursorIsolation) {
+  // The layered contract behind per-query cold starts and prefetch
+  // accounting (block_device.h): one ResetThreadCursor on a BufferPool
+  // restores the calling thread's whole stack — pool-level logical cursor
+  // AND backing-device physical cursor — while a background thread's long
+  // sequential sweep neither donates sequential credit to this thread nor
+  // loses its own to the reset.
+  MemoryBlockDevice device(512);
+  (void)device.Allocate(32).value();
+  BufferPool pool(&device, /*capacity_blocks=*/0);  // Bypass: both levels hit.
+
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(pool.Read(10, buf).ok());
+  ASSERT_TRUE(pool.Read(11, buf).ok());
+  EXPECT_EQ(pool.thread_stats().sequential_reads, 1u);
+  EXPECT_EQ(device.thread_stats().sequential_reads, 1u);
+
+  // A "prefetch" thread sweeps right past this thread's cursor position.
+  std::thread sweeper([&pool]() {
+    std::vector<uint8_t> local(512);
+    for (BlockId id = 8; id < 16; ++id) {
+      ASSERT_TRUE(pool.Read(id, local).ok());
+    }
+    EXPECT_EQ(pool.thread_stats().random_reads, 1u);
+    EXPECT_EQ(pool.thread_stats().sequential_reads, 7u);
+  });
+  sweeper.join();
+
+  // The sweep ended at block 15, but this thread's cursors still sit at 11:
+  // reading 12 stays sequential for *this* thread at both levels.
+  ASSERT_TRUE(pool.Read(12, buf).ok());
+  EXPECT_EQ(pool.thread_stats().sequential_reads, 2u);
+  EXPECT_EQ(device.thread_stats().sequential_reads, 2u);
+
+  // One pool-level reset cascades to the device: the next read is random
+  // end to end even though it is adjacent to the last one.
+  pool.ResetThreadCursor();
+  ASSERT_TRUE(pool.Read(13, buf).ok());
+  EXPECT_EQ(pool.thread_stats().random_reads, 2u);
+  EXPECT_EQ(device.thread_stats().random_reads, 2u);
+  EXPECT_EQ(pool.thread_stats().sequential_reads, 2u);
+  EXPECT_EQ(device.thread_stats().sequential_reads, 2u);
+}
+
 StoredObject MakeObject(uint32_t id, double x, double y, std::string text) {
   StoredObject object;
   object.id = id;
