@@ -15,7 +15,6 @@
 // BENCH_cold_latency.json in the working directory; check.sh runs the
 // --smoke variant and the checked-in JSON tracks the full run.
 
-#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -44,17 +43,9 @@ struct AlgoSeries {
   double speedup = 0;  // baseline.mean_ms / engine.mean_ms.
 };
 
-double Percentile(std::vector<double> values, double fraction) {
-  if (values.empty()) return 0;
-  std::sort(values.begin(), values.end());
-  size_t i = static_cast<size_t>(fraction * (values.size() - 1));
-  return values[i];
-}
-
 EngineResult RunEngine(SpatialKeywordDatabase& db, Algo algo,
                        const std::vector<DistanceFirstQuery>& queries) {
-  std::vector<double> latencies;
-  latencies.reserve(queries.size());
+  LatencyHistogram latencies;
   QueryStats total;
   for (const DistanceFirstQuery& query : queries) {
     QueryStats stats;
@@ -64,14 +55,14 @@ EngineResult RunEngine(SpatialKeywordDatabase& db, Algo algo,
         : algo == Algo::kIr2  ? db.QueryIr2(query, &stats)
                               : db.QueryMir2(query, &stats);
     IR2_CHECK(results.ok()) << results.status().ToString();
-    latencies.push_back(stats.simulated_disk_ms);
+    latencies.Record(stats.simulated_disk_ms);
     total += stats;
   }
   const double n = queries.empty() ? 1.0 : static_cast<double>(queries.size());
   EngineResult result;
   result.mean_ms = total.simulated_disk_ms / n;
-  result.p50_ms = Percentile(latencies, 0.50);
-  result.p95_ms = Percentile(latencies, 0.95);
+  result.p50_ms = latencies.P50();
+  result.p95_ms = latencies.P95();
   result.random_reads = static_cast<double>(total.io.random_reads) / n;
   result.sequential_reads =
       static_cast<double>(total.io.sequential_reads) / n;

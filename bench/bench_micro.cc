@@ -8,8 +8,12 @@
 #include <vector>
 
 #include "common/random.h"
+#include "core/database.h"
 #include "core/ir2_tree.h"
+#include "datagen/synthetic.h"
+#include "datagen/workload.h"
 #include "datagen/zipf.h"
+#include "obs/trace.h"
 #include "rtree/incremental_nn.h"
 #include "rtree/node_cache.h"
 #include "rtree/rtree.h"
@@ -217,6 +221,60 @@ void BM_NodeCacheHit(benchmark::State& state) {
   bench.tree.SetNodeCache(nullptr);
 }
 BENCHMARK(BM_NodeCacheHit);
+
+// The cost of span tracing on a whole warm query: BM_UntracedQuery is the
+// production configuration (one relaxed flag load per instrumentation
+// site); BM_TracedQuery installs a tracer, so every heap pop, node expand,
+// signature test and verification records into the ring. The delta between
+// the two is the price of turning tracing on — the untraced number must
+// stay indistinguishable from the pre-observability baseline.
+struct QueryBenchDb {
+  std::vector<StoredObject> objects;
+  std::unique_ptr<SpatialKeywordDatabase> db;
+  DistanceFirstQuery query;
+
+  QueryBenchDb() {
+    objects = GenerateDataset(HotelsLikeConfig(0.005));
+    DatabaseOptions options;
+    options.ir2_signature = SignatureConfig{512, 3};
+    options.cold_queries = false;  // Warm: isolate CPU cost from disk noise.
+    auto built = SpatialKeywordDatabase::Build(objects, options);
+    IR2_CHECK(built.ok()) << built.status().ToString();
+    db = std::move(built).value();
+    WorkloadConfig workload;
+    workload.seed = 3;
+    workload.num_queries = 1;
+    workload.num_keywords = 2;
+    workload.k = 10;
+    query = GenerateWorkload(objects, db->tokenizer(), workload).front();
+  }
+
+  static QueryBenchDb& Get() {
+    static QueryBenchDb instance;
+    return instance;
+  }
+};
+
+void BM_UntracedQuery(benchmark::State& state) {
+  QueryBenchDb& bench = QueryBenchDb::Get();
+  QueryStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.db->QueryIr2(bench.query, &stats));
+  }
+}
+BENCHMARK(BM_UntracedQuery);
+
+void BM_TracedQuery(benchmark::State& state) {
+  QueryBenchDb& bench = QueryBenchDb::Get();
+  obs::Tracer tracer;
+  obs::ScopedTracer scoped(&tracer);
+  QueryStats stats;
+  for (auto _ : state) {
+    tracer.Clear();  // Bound memory; keeps every Record on the fast path.
+    benchmark::DoNotOptimize(bench.db->QueryIr2(bench.query, &stats));
+  }
+}
+BENCHMARK(BM_TracedQuery);
 
 void BM_BufferPoolRead(benchmark::State& state) {
   MemoryBlockDevice device;

@@ -26,11 +26,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "core/batch_executor.h"
+#include "obs/trace.h"
 #include "rtree/node_cache.h"
 
 namespace ir2 {
@@ -40,6 +42,7 @@ namespace {
 struct RunConfig {
   bool warm = false;
   bool smoke = false;
+  std::string trace_path;  // --trace=FILE: write a Chrome trace here.
 };
 
 struct ThroughputPoint {
@@ -47,6 +50,8 @@ struct ThroughputPoint {
   double seconds = 0;
   double qps = 0;
   double speedup = 1.0;
+  double p50_ms = 0;      // Per-query latency inside the workers.
+  double p95_ms = 0;
   BufferPoolStats pool;   // Worker pools, summed over the batch.
   NodeCacheStats cache;   // Decoded-node cache (warm regime only).
 };
@@ -108,6 +113,12 @@ TreeSeries RunTree(SpatialKeywordDatabase& db, Algo algo,
     point.threads = threads;
     point.seconds = elapsed;
     point.qps = static_cast<double>(queries.size()) / elapsed;
+    LatencyHistogram latencies;
+    for (const QueryStats& stats : batch->per_query) {
+      latencies.Record(stats.seconds * 1000.0);
+    }
+    point.p50_ms = latencies.P50();
+    point.p95_ms = latencies.P95();
     point.pool = batch->pool_stats;
     point.cache = node_cache.Stats();
     if (threads == thread_counts.front()) {
@@ -225,17 +236,22 @@ void Main(const RunConfig& config) {
       "threads", x_names);
   FigurePrinter speedup_figure("Batch speedup vs 1 thread", "threads",
                                x_names);
+  FigurePrinter p95_figure("Per-query latency p95 (ms, inside workers)",
+                           "threads", x_names);
   for (const TreeSeries& series : trees) {
-    std::vector<double> qps, speedup;
+    std::vector<double> qps, speedup, p95;
     for (const ThroughputPoint& point : series.points) {
       qps.push_back(point.qps);
       speedup.push_back(point.speedup);
+      p95.push_back(point.p95_ms);
     }
     qps_figure.AddRow(series.tree, qps, "%12.1f");
     speedup_figure.AddRow(series.tree, speedup, "%12.2f");
+    p95_figure.AddRow(series.tree, p95, "%12.3f");
   }
   qps_figure.Print();
   speedup_figure.Print();
+  p95_figure.Print();
 
   std::printf("\nSingle-thread latency (ms/query): ");
   for (const TreeSeries& series : trees) {
@@ -267,6 +283,30 @@ void Main(const RunConfig& config) {
       config.warm ? "BENCH_throughput_warm.json" : "BENCH_throughput.json";
   WriteJson(path, dataset, queries.size(), config, trees);
   std::printf("wrote %s\n", path);
+
+  if (!config.trace_path.empty()) {
+    // One serial traced pass over the workload; the span ring captures the
+    // tail of the pass if the workload overflows it. Written as Chrome
+    // trace-event JSON — load in chrome://tracing or ui.perfetto.dev.
+    obs::Tracer tracer;
+    {
+      obs::ScopedTracer scoped(&tracer);
+      QueryStats stats;
+      for (const DistanceFirstQuery& query : queries) {
+        StatusOr<std::vector<QueryResult>> results =
+            dataset.db->QueryIr2(query, &stats);
+        IR2_CHECK(results.ok()) << results.status().ToString();
+      }
+    }
+    std::FILE* f = std::fopen(config.trace_path.c_str(), "w");
+    IR2_CHECK(f != nullptr) << "cannot write " << config.trace_path;
+    const std::string json = tracer.ToChromeTraceJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu trace events, %llu dropped)\n",
+                config.trace_path.c_str(), tracer.size(),
+                static_cast<unsigned long long>(tracer.dropped()));
+  }
 }
 
 }  // namespace
@@ -282,9 +322,13 @@ int main(int argc, char** argv) {
       config.warm = false;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       config.smoke = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      config.trace_path = argv[i] + 8;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--regime=cold|warm] [--smoke]\n", argv[0]);
+                   "usage: %s [--regime=cold|warm] [--smoke] "
+                   "[--trace=FILE]\n",
+                   argv[0]);
       return 2;
     }
   }

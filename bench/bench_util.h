@@ -20,6 +20,7 @@
 #include "core/database.h"
 #include "datagen/synthetic.h"
 #include "datagen/workload.h"
+#include "obs/metrics.h"
 
 namespace ir2 {
 namespace bench {
@@ -76,6 +77,23 @@ inline BenchDataset BuildRestaurants(
   double scale = DatasetScale(kDefaultScale) * scale_multiplier;
   return BuildDataset("Restaurants", RestaurantsLikeConfig(scale), options);
 }
+
+// Latency distribution shared by the bench binaries — replaces each
+// binary's own sort-and-index percentile code with the obs histogram.
+// Percentiles are bucket-interpolated (the sub-bucket layout bounds the
+// quantization error well below what the figure tables print).
+class LatencyHistogram {
+ public:
+  void Record(double value) { histogram_.Record(value); }
+  uint64_t Count() const { return histogram_.Count(); }
+  double Mean() const { return histogram_.Mean(); }
+  double P50() const { return histogram_.Percentile(0.50); }
+  double P95() const { return histogram_.Percentile(0.95); }
+  double P99() const { return histogram_.Percentile(0.99); }
+
+ private:
+  obs::Histogram histogram_;
+};
 
 enum class Algo { kRTree, kIio, kIr2, kMir2 };
 

@@ -13,7 +13,6 @@
 // p95), node decodes per query, and the NodeCache hit rate of the warm
 // pass. Written to BENCH_warm_path.json in the working directory.
 
-#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -43,18 +42,10 @@ struct WarmPathSeries {
   double warm_speedup = 0;  // warm.qps / cold.qps.
 };
 
-double PercentileMs(std::vector<double> seconds, double fraction) {
-  if (seconds.empty()) return 0;
-  std::sort(seconds.begin(), seconds.end());
-  size_t i = static_cast<size_t>(fraction * (seconds.size() - 1));
-  return seconds[i] * 1000.0;
-}
-
 PassResult RunPass(Ir2Tree* tree, SpatialKeywordDatabase& db,
                    const std::vector<DistanceFirstQuery>& queries, bool cold,
                    Ir2QueryScratch* scratch) {
-  std::vector<double> latencies;
-  latencies.reserve(queries.size());
+  LatencyHistogram latencies;
   const uint64_t decodes_before = RTreeBase::TotalNodeDecodes();
   Stopwatch total;
   for (const DistanceFirstQuery& query : queries) {
@@ -65,15 +56,15 @@ PassResult RunPass(Ir2Tree* tree, SpatialKeywordDatabase& db,
     StatusOr<std::vector<QueryResult>> results = Ir2TopK(
         *tree, db.object_store(), db.tokenizer(), query, nullptr, scratch);
     IR2_CHECK(results.ok()) << results.status().ToString();
-    latencies.push_back(watch.ElapsedSeconds());
+    latencies.Record(watch.ElapsedSeconds() * 1000.0);
   }
   PassResult pass;
   pass.seconds = total.ElapsedSeconds();
   const double n = static_cast<double>(queries.size());
   pass.qps = n / pass.seconds;
   pass.mean_ms = pass.seconds * 1000.0 / n;
-  pass.p50_ms = PercentileMs(latencies, 0.50);
-  pass.p95_ms = PercentileMs(latencies, 0.95);
+  pass.p50_ms = latencies.P50();
+  pass.p95_ms = latencies.P95();
   pass.decodes_per_query =
       static_cast<double>(RTreeBase::TotalNodeDecodes() - decodes_before) / n;
   return pass;

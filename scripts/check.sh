@@ -34,6 +34,32 @@ echo "== Bench smoke: cold-path I/O engine =="
 (cd build && ./bench/bench_cold_latency --smoke)
 
 echo
+echo "== Observability: EXPLAIN + trace + exporter goldens =="
+# One traced query end to end (see docs/observability.md): the EXPLAIN
+# report renders, the Chrome trace and the metrics dump are written, the
+# trace must parse as JSON, and the exporter goldens are re-diffed.
+(cd build && ./examples/explain_query --algo=ir2 \
+  --trace=explain_trace.json --metrics=explain_metrics.prom > /dev/null)
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool build/explain_trace.json > /dev/null
+  echo "explain trace: valid JSON ($(wc -c < build/explain_trace.json) bytes)"
+else
+  echo "explain trace: python3 unavailable, JSON validation skipped"
+fi
+grep -q '^ir2_queries_total [1-9]' build/explain_metrics.prom
+# Byte-exact exporter goldens (Prometheus text, JSON snapshot, Chrome
+# trace events) live in obs_test.
+./build/tests/obs_test --gtest_filter='*Golden*' > /dev/null && \
+  echo "exporter goldens: OK"
+# A traced throughput smoke must produce a Perfetto-loadable trace.
+(cd build && ./bench/bench_throughput --regime=warm --smoke \
+  --trace=throughput_trace.json > /dev/null)
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool build/throughput_trace.json > /dev/null
+  echo "throughput trace: valid JSON"
+fi
+
+echo
 echo "== ThreadSanitizer build =="
 cmake -B build-tsan -S . -DIR2_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 if [ "${IR2_CHECK_FULL:-0}" = "1" ]; then
@@ -41,14 +67,15 @@ if [ "${IR2_CHECK_FULL:-0}" = "1" ]; then
   ctest --test-dir build-tsan --output-on-failure
 else
   # The suites that exercise the concurrent machinery (sharded pool,
-  # decoded-node cache, per-thread I/O accounting, BatchExecutor, and the
-  # prefetch scheduler's worker thread) — the rest of the suite is
-  # single-threaded and covered by the Release run.
+  # decoded-node cache, per-thread I/O accounting, BatchExecutor, the
+  # prefetch scheduler's worker thread, and the sharded metrics/tracer
+  # hammers) — the rest of the suite is single-threaded and covered by
+  # the Release run.
   cmake --build build-tsan -j "$jobs" --target \
     concurrency_test batch_executor_test node_cache_test storage_test \
-    io_scheduler_test
+    io_scheduler_test obs_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'concurrency_test|batch_executor_test|node_cache_test|storage_test|io_scheduler_test'
+    -R 'concurrency_test|batch_executor_test|node_cache_test|storage_test|io_scheduler_test|obs_test'
 fi
 
 echo

@@ -1,9 +1,11 @@
 #ifndef IR2TREE_COMMON_LOGGING_H_
 #define IR2TREE_COMMON_LOGGING_H_
 
+#include <cctype>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 namespace ir2 {
 namespace internal_logging {
@@ -40,6 +42,55 @@ struct Voidify {
   void operator&(const CheckFailureStream&) const {}
 };
 
+// Buffers one leveled log line and writes it to stderr in a single <<,
+// so concurrent loggers (e.g. IoScheduler workers) never interleave
+// mid-line. Used only via IR2_LOG below.
+class LogMessageStream {
+ public:
+  LogMessageStream(const char* severity, const char* file, int line) {
+    stream_ << "[" << severity << "] " << file << ":" << line << ": ";
+  }
+
+  ~LogMessageStream() { std::cerr << stream_.str() << "\n"; }
+
+  template <typename T>
+  LogMessageStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct LogVoidify {
+  void operator&(const LogMessageStream&) const {}
+};
+
+// Severity ranks for the IR2_LOG threshold; higher is more severe.
+inline constexpr int kLogINFO = 0;
+inline constexpr int kLogWARN = 1;
+inline constexpr int kLogERROR = 2;
+
+// Threshold from IR2_LOG_LEVEL (INFO, WARN, ERROR, or OFF; default WARN),
+// resolved once per process.
+inline int LogThresholdFromEnv() {
+  const char* env = std::getenv("IR2_LOG_LEVEL");
+  if (env == nullptr) return kLogWARN;
+  std::string value(env);
+  for (char& c : value) c = static_cast<char>(std::toupper(c));
+  if (value == "INFO") return kLogINFO;
+  if (value == "WARN" || value == "WARNING") return kLogWARN;
+  if (value == "ERROR") return kLogERROR;
+  if (value == "OFF" || value == "NONE") return kLogERROR + 1;
+  return kLogWARN;
+}
+
+inline bool LogEnabled(int severity) {
+  static const int threshold = LogThresholdFromEnv();
+  return severity >= threshold;
+}
+
 }  // namespace internal_logging
 }  // namespace ir2
 
@@ -72,5 +123,19 @@ struct Voidify {
 #else
 #define IR2_DCHECK(condition) IR2_CHECK(condition)
 #endif
+
+// Leveled logging to stderr: IR2_LOG(INFO) << "built " << n << " nodes";
+// Severity is INFO, WARN, or ERROR. Lines below the IR2_LOG_LEVEL
+// environment threshold (default WARN; OFF silences everything) cost one
+// static-local read and are never formatted. Unlike IR2_CHECK this never
+// aborts — it is for runtime conditions worth surfacing (a prefetch
+// worker's failed read, a skipped optimization), not programmer errors.
+#define IR2_LOG(severity)                                                  \
+  !::ir2::internal_logging::LogEnabled(                                    \
+      ::ir2::internal_logging::kLog##severity)                             \
+      ? (void)0                                                            \
+      : ::ir2::internal_logging::LogVoidify() &                            \
+            ::ir2::internal_logging::LogMessageStream(#severity, __FILE__, \
+                                                      __LINE__)
 
 #endif  // IR2TREE_COMMON_LOGGING_H_

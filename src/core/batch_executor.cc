@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 #include "rtree/rtree_base.h"
 #include "storage/buffer_pool.h"
 
@@ -110,6 +111,15 @@ StatusOr<BatchResults> BatchExecutor::Run(
     // query signatures stop allocating once their capacities have grown.
     Ir2QueryScratch scratch;
     BufferPoolStats pool_accum;
+    // Private registry so the batch counters cost no cross-worker
+    // coordination while queries run; merged into the global registry once
+    // when the worker drains.
+    obs::MetricsRegistry local_metrics;
+    obs::Counter* batch_queries = local_metrics.GetCounter(
+        "ir2_batch_queries_total", "Queries completed by batch workers.");
+    obs::Histogram* batch_latency = local_metrics.GetHistogram(
+        "ir2_batch_query_latency_ms",
+        "Per-query wall-clock latency inside batch workers (ms).");
     while (!failed.load(std::memory_order_relaxed)) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= queries.size()) {
@@ -125,8 +135,11 @@ StatusOr<BatchResults> BatchExecutor::Run(
         failed.store(true, std::memory_order_relaxed);
         break;
       }
+      batch_queries->Add();
+      batch_latency->Record(out.per_query[i].seconds * 1000.0);
     }
     pool_accum += local_pool.Stats();
+    obs::MetricsRegistry::Global().MergeFrom(local_metrics);
     std::lock_guard<std::mutex> lock(stats_mu);
     out.pool_stats += pool_accum;
   };

@@ -11,6 +11,9 @@
 #include "core/iio.h"
 #include "core/ir2_search.h"
 #include "core/rtree_baseline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rtree/node_cache.h"
 
 namespace ir2 {
 
@@ -429,6 +432,9 @@ StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::RunQuery(
   const IoStats demand_before = PoolThreadIo();
   const IoStats physical_before = DeviceThreadIo();
   const IoStats speculative_before = SchedulerIo();
+  // One kQuery span per query (covering the algorithm and the drain);
+  // free when no tracer is installed.
+  obs::TraceSpan query_span(obs::SpanKind::kQuery);
   Stopwatch watch;
   QueryStats local;
   IR2_ASSIGN_OR_RETURN(std::vector<QueryResult> results, fn(&local));
@@ -444,6 +450,12 @@ StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::RunQuery(
   const DiskModel model(options_.disk_model);
   local.simulated_disk_ms =
       model.Ms(local.io) + model.Ms(local.speculative_io);
+  const obs::CoreMetrics& metrics = obs::DefaultMetrics();
+  metrics.queries_total->Add();
+  metrics.query_latency_ms->Record(local.seconds * 1000.0);
+  metrics.query_sim_disk_ms->Record(local.simulated_disk_ms);
+  metrics.query_demand_blocks->Record(
+      static_cast<double>(local.demand_io.TotalReads()));
   if (stats != nullptr) {
     *stats += local;
   }
@@ -515,6 +527,271 @@ StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryMir2(
     return Ir2TopK(*mir2_, *object_store_, tokenizer_, q, local,
                    /*scratch=*/nullptr, prefetch);
   });
+}
+
+namespace {
+
+const char* ExplainAlgoName(SpatialKeywordDatabase::ExplainAlgo algo) {
+  switch (algo) {
+    case SpatialKeywordDatabase::ExplainAlgo::kRTree:
+      return "R-Tree";
+    case SpatialKeywordDatabase::ExplainAlgo::kIio:
+      return "IIO";
+    case SpatialKeywordDatabase::ExplainAlgo::kIr2:
+      return "IR2";
+    case SpatialKeywordDatabase::ExplainAlgo::kMir2:
+      return "MIR2";
+  }
+  return "?";
+}
+
+// Under cold_queries the query itself clears the pools (zeroing their
+// counters) before running, so a plain before/after diff can underflow;
+// when it would, the after value alone is the query's epoch.
+uint64_t CounterDelta(uint64_t after, uint64_t before) {
+  return after >= before ? after - before : after;
+}
+
+std::string JoinKeywords(const std::vector<std::string>& keywords) {
+  std::string out;
+  for (const std::string& keyword : keywords) {
+    if (!out.empty()) out += ", ";
+    out += keyword;
+  }
+  return out;
+}
+
+void AddIoRow(obs::ExplainSection* section, const char* label,
+              const IoStats& io) {
+  section->AddRow({label, obs::FormatCount(io.random_reads),
+                   obs::FormatCount(io.sequential_reads),
+                   obs::FormatCount(io.TotalReads())});
+}
+
+}  // namespace
+
+StatusOr<SpatialKeywordDatabase::ExplainResult> SpatialKeywordDatabase::
+    Explain(const DistanceFirstQuery& q, ExplainAlgo algo) {
+  struct PoolRow {
+    const char* name;
+    const BufferPool* pool;
+    BufferPoolStats before;
+  };
+  std::vector<PoolRow> pools;
+  for (const auto& [name, pool] :
+       {std::pair<const char*, const BufferPool*>{"objects",
+                                                  object_pool_.get()},
+        {"rtree", rtree_pool_.get()},
+        {"ir2", ir2_pool_.get()},
+        {"mir2", mir2_pool_.get()},
+        {"iio", iio_pool_.get()}}) {
+    if (pool != nullptr) {
+      pools.push_back(PoolRow{name, pool, pool->Stats()});
+    }
+  }
+  struct SchedulerRow {
+    const char* name;
+    const IoScheduler* scheduler;
+    IoSchedulerStats before;
+  };
+  std::vector<SchedulerRow> schedulers;
+  for (const auto& [name, scheduler] :
+       {std::pair<const char*, const IoScheduler*>{"objects",
+                                                   object_scheduler_.get()},
+        {"rtree", rtree_scheduler_.get()},
+        {"ir2", ir2_scheduler_.get()},
+        {"mir2", mir2_scheduler_.get()},
+        {"iio", iio_scheduler_.get()}}) {
+    if (scheduler != nullptr) {
+      schedulers.push_back(SchedulerRow{name, scheduler, scheduler->stats()});
+    }
+  }
+
+  // Run the query through the regular path with a tracer installed; the
+  // instrumentation adds no I/O, so every count matches an untraced run.
+  ExplainResult out;
+  obs::Tracer tracer;
+  StatusOr<std::vector<QueryResult>> results(std::vector<QueryResult>{});
+  {
+    obs::ScopedTracer scoped(&tracer);
+    switch (algo) {
+      case ExplainAlgo::kRTree:
+        results = QueryRTree(q, &out.stats);
+        break;
+      case ExplainAlgo::kIio:
+        results = QueryIio(q, &out.stats);
+        break;
+      case ExplainAlgo::kIr2:
+        results = QueryIr2(q, &out.stats);
+        break;
+      case ExplainAlgo::kMir2:
+        results = QueryMir2(q, &out.stats);
+        break;
+    }
+  }
+  IR2_RETURN_IF_ERROR(results.status());
+  out.results = std::move(results).value();
+  out.trace_json = tracer.ToChromeTraceJson();
+  const QueryStats& stats = out.stats;
+
+  obs::ExplainReport& report = out.report;
+  report.title = std::string("EXPLAIN ") + ExplainAlgoName(algo) +
+                 " distance-first top-" + std::to_string(q.k);
+
+  obs::ExplainSection* query = report.AddSection("Query");
+  query->AddRow("algorithm", ExplainAlgoName(algo));
+  if (q.area.has_value()) {
+    query->AddRow("target", "area (MINDIST to rectangle)");
+  } else {
+    std::string target;
+    for (uint32_t d = 0; d < q.point.dims(); ++d) {
+      target += (d > 0 ? ", " : "(") + obs::FormatMs(q.point[d]);
+    }
+    query->AddRow("target", target + ")");
+  }
+  query->AddRow("keywords", JoinKeywords(q.keywords));
+  query->AddRow("k", std::to_string(q.k));
+  query->AddRow("regime", options_.cold_queries ? "cold (caches dropped)"
+                                                : "warm");
+  query->AddRow("prefetch", options_.prefetch ? "on" : "off");
+
+  obs::ExplainSection* answers = report.AddSection("Results");
+  answers->columns = {"rank", "ref", "object_id", "distance"};
+  for (size_t i = 0; i < out.results.size(); ++i) {
+    const QueryResult& r = out.results[i];
+    answers->AddRow({std::to_string(i + 1), std::to_string(r.ref),
+                     std::to_string(r.object_id), obs::FormatMs(r.distance)});
+  }
+
+  obs::ExplainSection* traversal = report.AddSection("Traversal");
+  traversal->AddRow("nodes visited", obs::FormatCount(stats.nodes_visited));
+  traversal->AddRow("entries pruned (signature)",
+                    obs::FormatCount(stats.entries_pruned));
+  traversal->AddRow("objects loaded", obs::FormatCount(stats.objects_loaded));
+  traversal->AddRow("false positives",
+                    obs::FormatCount(stats.false_positives));
+  traversal->AddRow("wall clock ms", obs::FormatMs(stats.seconds * 1000.0));
+
+  if (!stats.entries_pruned_per_level.empty()) {
+    obs::ExplainSection* pruning = report.AddSection(
+        "Signature pruning per level (0 = leaf entries -> objects skipped)");
+    pruning->columns = {"level", "entries pruned"};
+    for (size_t level = 0; level < stats.entries_pruned_per_level.size();
+         ++level) {
+      pruning->AddRow({std::to_string(level),
+                       obs::FormatCount(stats.entries_pruned_per_level[level])});
+    }
+  }
+
+  obs::ExplainSection* io = report.AddSection("Block I/O");
+  io->columns = {"class", "random", "sequential", "total"};
+  AddIoRow(io, "demand (pool-level requests)", stats.demand_io);
+  AddIoRow(io, "physical, query thread", stats.io);
+  AddIoRow(io, "speculative (prefetch threads)", stats.speculative_io);
+
+  const DiskModel model(options_.disk_model);
+  obs::ExplainSection* disk = report.AddSection("DiskModel time breakdown");
+  disk->columns = {"component", "accesses", "ms"};
+  const double demand_random_ms =
+      static_cast<double>(stats.io.random_reads) * model.RandomAccessMs();
+  const double demand_seq_ms = static_cast<double>(stats.io.sequential_reads) *
+                               model.SequentialAccessMs();
+  const double spec_random_ms =
+      static_cast<double>(stats.speculative_io.random_reads) *
+      model.RandomAccessMs();
+  const double spec_seq_ms =
+      static_cast<double>(stats.speculative_io.sequential_reads) *
+      model.SequentialAccessMs();
+  disk->AddRow({"demand random (seek+rotation)",
+                obs::FormatCount(stats.io.random_reads),
+                obs::FormatMs(demand_random_ms)});
+  disk->AddRow({"demand sequential (transfer)",
+                obs::FormatCount(stats.io.sequential_reads),
+                obs::FormatMs(demand_seq_ms)});
+  disk->AddRow({"speculative random",
+                obs::FormatCount(stats.speculative_io.random_reads),
+                obs::FormatMs(spec_random_ms)});
+  disk->AddRow({"speculative sequential",
+                obs::FormatCount(stats.speculative_io.sequential_reads),
+                obs::FormatMs(spec_seq_ms)});
+  disk->AddRow({"total simulated", "",
+                obs::FormatMs(stats.simulated_disk_ms)});
+  disk->AddRow(
+      {"model", "",
+       obs::FormatMs(model.RandomAccessMs()) + " ms/random, " +
+           obs::FormatMs(model.SequentialAccessMs()) + " ms/sequential"});
+
+  obs::ExplainSection* pool_section =
+      report.AddSection("Buffer pools (this query)");
+  pool_section->columns = {"pool", "hits", "misses", "hit ratio"};
+  for (const PoolRow& row : pools) {
+    const BufferPoolStats after = row.pool->Stats();
+    const uint64_t hits = CounterDelta(after.hits, row.before.hits);
+    const uint64_t misses = CounterDelta(after.misses, row.before.misses);
+    pool_section->AddRow({row.name, obs::FormatCount(hits),
+                          obs::FormatCount(misses),
+                          obs::FormatRatio(hits, hits + misses)});
+  }
+
+  struct TreeRow {
+    const char* name;
+    RTreeBase* tree;
+  };
+  bool any_node_cache = false;
+  for (const TreeRow& row :
+       {TreeRow{"rtree", rtree_.get()}, TreeRow{"ir2", ir2_.get()},
+        TreeRow{"mir2", mir2_.get()}}) {
+    if (row.tree != nullptr && row.tree->node_cache() != nullptr) {
+      if (!any_node_cache) {
+        obs::ExplainSection* caches = report.AddSection("Node caches");
+        caches->columns = {"tree", "hits", "misses", "hit ratio", "pinned"};
+        any_node_cache = true;
+      }
+      const NodeCacheStats s = row.tree->node_cache()->Stats();
+      report.sections.back().AddRow(
+          {row.name, obs::FormatCount(s.hits), obs::FormatCount(s.misses),
+           obs::FormatRatio(s.hits, s.hits + s.misses),
+           obs::FormatCount(s.pinned)});
+    }
+  }
+
+  if (options_.prefetch) {
+    obs::ExplainSection* sched_section =
+        report.AddSection("Prefetch schedulers (this query)");
+    sched_section->columns = {"scheduler", "requested", "deduped", "runs",
+                              "blocks fetched"};
+    for (const SchedulerRow& row : schedulers) {
+      const IoSchedulerStats after = row.scheduler->stats();
+      sched_section->AddRow(
+          {row.name,
+           obs::FormatCount(CounterDelta(after.requested, row.before.requested)),
+           obs::FormatCount(CounterDelta(after.deduped, row.before.deduped)),
+           obs::FormatCount(CounterDelta(after.runs, row.before.runs)),
+           obs::FormatCount(
+               CounterDelta(after.blocks_fetched, row.before.blocks_fetched))});
+    }
+  }
+
+  obs::ExplainSection* spans = report.AddSection("Trace spans");
+  spans->columns = {"span", "count", "total ms"};
+  uint64_t counts[obs::kNumSpanKinds] = {};
+  double total_us[obs::kNumSpanKinds] = {};
+  for (const obs::TraceEvent& event : tracer.Events()) {
+    const int kind = static_cast<int>(event.kind);
+    ++counts[kind];
+    total_us[kind] += static_cast<double>(event.dur_us);
+  }
+  for (int kind = 0; kind < obs::kNumSpanKinds; ++kind) {
+    if (counts[kind] == 0) continue;
+    spans->AddRow({obs::SpanKindName(static_cast<obs::SpanKind>(kind)),
+                   obs::FormatCount(counts[kind]),
+                   obs::FormatMs(total_us[kind] / 1000.0)});
+  }
+  if (tracer.dropped() > 0) {
+    spans->AddRow({"(dropped, ring full)", obs::FormatCount(tracer.dropped()),
+                   "-"});
+  }
+  return out;
 }
 
 StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryGeneral(

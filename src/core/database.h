@@ -9,6 +9,7 @@
 
 #include "common/status_or.h"
 #include "core/ir2_tree.h"
+#include "obs/explain.h"
 #include "core/mir2_tree.h"
 #include "core/query.h"
 #include "rtree/rtree.h"
@@ -149,6 +150,28 @@ class SpatialKeywordDatabase {
                                               QueryStats* stats = nullptr);
   StatusOr<std::vector<QueryResult>> QueryMir2(const DistanceFirstQuery& q,
                                                QueryStats* stats = nullptr);
+
+  // ---- EXPLAIN (see docs/observability.md) ----
+  enum class ExplainAlgo { kRTree, kIio, kIr2, kMir2 };
+
+  struct ExplainResult {
+    // Where the query's work and simulated milliseconds went; render with
+    // report.ToString().
+    obs::ExplainReport report;
+    QueryStats stats;
+    std::vector<QueryResult> results;
+    // Chrome trace-event JSON of this one query (Perfetto-loadable).
+    std::string trace_json;
+  };
+
+  // Runs `q` under `algo` with a per-query tracer installed and reports
+  // QueryStats, per-level pruning, pool/cache hit ratios, the
+  // demand/physical/speculative I/O split, the DiskModel time breakdown,
+  // and a span summary. Exactly the same execution path as the Query*
+  // methods — tracing adds no I/O, so the reported counts match an
+  // untraced run of the same query.
+  StatusOr<ExplainResult> Explain(const DistanceFirstQuery& q,
+                                  ExplainAlgo algo = ExplainAlgo::kIr2);
 
   // General ranking-function query (Section V-C) over the IR2- or
   // MIR2-Tree. Requires build_iio (for keyword idfs).

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "geo/point.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "text/signature.h"
 
 namespace ir2 {
 
@@ -18,6 +21,8 @@ StatusOr<std::vector<QueryResult>> IioTopK(const InvertedIndex& index,
   std::vector<std::vector<ObjectRef>> lists;
   lists.reserve(keywords.size());
   for (const std::string& keyword : keywords) {
+    obs::TraceSpan span(obs::SpanKind::kPostingListRead,
+                        HashWord(keyword));
     IR2_ASSIGN_OR_RETURN(std::vector<ObjectRef> list,
                          index.RetrieveList(keyword));
     lists.push_back(std::move(list));
@@ -77,6 +82,8 @@ StatusOr<std::vector<QueryResult>> IioTopK(const InvertedIndex& index,
   std::vector<QueryResult> candidates;
   candidates.reserve(intersection.size());
   for (ObjectRef ref : intersection) {
+    obs::TraceSpan verify_span(obs::SpanKind::kObjectVerify, ref);
+    obs::DefaultMetrics().objects_verified->Add();
     IR2_ASSIGN_OR_RETURN(StoredObject object, objects.Load(ref));
     if (stats != nullptr) {
       ++stats->objects_loaded;

@@ -56,6 +56,8 @@ class Ir2TopKCursor::Impl {
       // queries for a warm worker) and the containment test matches the
       // already-normalized keywords in place — the whole verification loop
       // allocates nothing at steady state.
+      obs::TraceSpan verify_span(obs::SpanKind::kObjectVerify, neighbor->ref);
+      obs::DefaultMetrics().objects_verified->Add();
       IR2_RETURN_IF_ERROR(
           objects_->LoadInto(neighbor->ref, candidate_, record_line_));
       if (stats_ != nullptr) {
@@ -67,6 +69,7 @@ class Ir2TopKCursor::Impl {
             QueryResult{neighbor->ref, candidate_->id, neighbor->distance, 0.0,
                         -neighbor->distance});
       }
+      obs::DefaultMetrics().verification_false_positives->Add();
       if (stats_ != nullptr) {
         ++stats_->false_positives;
       }

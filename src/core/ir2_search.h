@@ -23,6 +23,8 @@ struct SignatureEntryFilter {
   QueryStats* stats = nullptr;
 
   bool operator()(const Node& node, const Entry& entry) const {
+    obs::TraceSpan span(obs::SpanKind::kSignatureTest, entry.ref);
+    obs::DefaultMetrics().signature_tests->Add();
     // Clamp defensively: a corrupted node's level byte must not index
     // past the signatures prepared for the tree's real height.
     const size_t level =
@@ -31,6 +33,7 @@ struct SignatureEntryFilter {
     if (PayloadContainsSignature(entry.payload, query_sig)) {
       return true;
     }
+    obs::DefaultMetrics().signature_prunes->Add();
     if (stats != nullptr) {
       ++stats->entries_pruned;
       if (stats->entries_pruned_per_level.size() <= level) {

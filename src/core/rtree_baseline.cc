@@ -18,6 +18,8 @@ StatusOr<std::vector<QueryResult>> RTreeTopK(const RTreeBase& tree,
     if (!neighbor.has_value()) {
       break;  // Dataset exhausted before k matches.
     }
+    obs::TraceSpan verify_span(obs::SpanKind::kObjectVerify, neighbor->ref);
+    obs::DefaultMetrics().objects_verified->Add();
     IR2_ASSIGN_OR_RETURN(StoredObject object, objects.Load(neighbor->ref));
     if (stats != nullptr) {
       ++stats->objects_loaded;
@@ -26,8 +28,11 @@ StatusOr<std::vector<QueryResult>> RTreeTopK(const RTreeBase& tree,
       results.push_back(QueryResult{neighbor->ref, object.id,
                                     neighbor->distance, 0.0,
                                     -neighbor->distance});
-    } else if (stats != nullptr) {
-      ++stats->false_positives;
+    } else {
+      obs::DefaultMetrics().verification_false_positives->Add();
+      if (stats != nullptr) {
+        ++stats->false_positives;
+      }
     }
   }
   if (stats != nullptr) {

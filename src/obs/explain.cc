@@ -1,0 +1,122 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+
+namespace ir2 {
+namespace obs {
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty() || cell == "-") return !cell.empty();
+  for (char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' &&
+        c != '-' && c != '+' && c != '%' && c != 'x' && c != ' ' && c != '(' &&
+        c != ')' && c != '/' && c != 'e') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Pad(const std::string& cell, size_t width, bool right_align) {
+  if (cell.size() >= width) return cell;
+  const std::string padding(width - cell.size(), ' ');
+  return right_align ? padding + cell : cell + padding;
+}
+
+}  // namespace
+
+void ExplainSection::AddRow(std::string label, std::string value) {
+  rows.push_back({std::move(label), std::move(value)});
+}
+
+void ExplainSection::AddRow(std::vector<std::string> cells) {
+  rows.push_back(std::move(cells));
+}
+
+ExplainSection* ExplainReport::AddSection(std::string title) {
+  sections.emplace_back();
+  sections.back().title = std::move(title);
+  return &sections.back();
+}
+
+std::string ExplainReport::ToString() const {
+  std::string out;
+  out += title + "\n";
+  out += std::string(title.size(), '=') + "\n";
+  for (const ExplainSection& section : sections) {
+    out += "\n" + section.title + "\n";
+    out += std::string(section.title.size(), '-') + "\n";
+
+    // Column widths over header + all rows.
+    const size_t num_columns = std::max(
+        section.columns.size(),
+        section.rows.empty()
+            ? size_t{0}
+            : std::max_element(section.rows.begin(), section.rows.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.size() < b.size();
+                               })
+                  ->size());
+    std::vector<size_t> widths(num_columns, 0);
+    for (size_t c = 0; c < section.columns.size(); ++c) {
+      widths[c] = std::max(widths[c], section.columns[c].size());
+    }
+    for (const auto& row : section.rows) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+
+    if (!section.columns.empty()) {
+      std::string header;
+      std::string rule;
+      for (size_t c = 0; c < num_columns; ++c) {
+        const std::string& name =
+            c < section.columns.size() ? section.columns[c] : std::string();
+        if (c > 0) {
+          header += "  ";
+          rule += "  ";
+        }
+        header += Pad(name, widths[c], c > 0);
+        rule += std::string(widths[c], '-');
+      }
+      out += header + "\n" + rule + "\n";
+    }
+    for (const auto& row : section.rows) {
+      std::string line;
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) line += "  ";
+        line += Pad(row[c], widths[c], c > 0 && LooksNumeric(row[c]));
+      }
+      // Trailing spaces from left-aligned last cells are noise.
+      while (!line.empty() && line.back() == ' ') line.pop_back();
+      out += line + "\n";
+    }
+  }
+  return out;
+}
+
+std::string FormatCount(uint64_t value) { return std::to_string(value); }
+
+std::string FormatMs(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", value);
+  return buf;
+}
+
+std::string FormatRatio(uint64_t hits, uint64_t total) {
+  if (total == 0) return "-";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%llu/%llu (%.1f%%)",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(total),
+                100.0 * static_cast<double>(hits) / static_cast<double>(total));
+  return buf;
+}
+
+}  // namespace obs
+}  // namespace ir2

@@ -1,0 +1,43 @@
+#ifndef IR2TREE_OBS_EXPLAIN_H_
+#define IR2TREE_OBS_EXPLAIN_H_
+
+// Human-readable report rendering for Database::Explain. The obs layer
+// only knows how to lay out titled sections of label/value rows or small
+// column tables; core fills in the query-specific content (QueryStats,
+// per-level pruning, pool hit ratios, DiskModel breakdown).
+
+#include <string>
+#include <vector>
+
+namespace ir2 {
+namespace obs {
+
+struct ExplainSection {
+  std::string title;
+  // Empty -> rows are [label, value] pairs rendered as "label  value".
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  void AddRow(std::string label, std::string value);
+  void AddRow(std::vector<std::string> cells);
+};
+
+struct ExplainReport {
+  std::string title;
+  std::vector<ExplainSection> sections;
+
+  ExplainSection* AddSection(std::string title);
+  // Fixed-width ASCII tables; numeric-looking cells right-aligned.
+  std::string ToString() const;
+};
+
+// Formatting helpers shared by report builders.
+std::string FormatCount(uint64_t value);
+std::string FormatMs(double value);
+// "hits/total (pct%)" hit-ratio cell; "-" when total is 0.
+std::string FormatRatio(uint64_t hits, uint64_t total);
+
+}  // namespace obs
+}  // namespace ir2
+
+#endif  // IR2TREE_OBS_EXPLAIN_H_

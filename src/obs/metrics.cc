@@ -1,0 +1,401 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace ir2 {
+namespace obs {
+namespace internal {
+
+size_t ThisThreadCellIndex() {
+  // Dense per-thread indices (modulo kMetricCells) beat hashing the thread
+  // id: the first kMetricCells threads are guaranteed collision-free.
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricCells;
+  return index;
+}
+
+}  // namespace internal
+
+namespace {
+
+// Shortest %g form that round-trips typical metric values; matches what
+// the benches print, so goldens stay readable.
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const internal::MetricCell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (internal::MetricCell& cell : cells_) {
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+int Histogram::BucketFor(double value) {
+  if (!(value > 0)) return 0;  // Also catches NaN.
+  int exponent;
+  const double mantissa = std::frexp(value, &exponent);  // [0.5, 1).
+  --exponent;                                            // value in [2^e, 2^(e+1)).
+  if (exponent < kMinExponent) return 0;
+  if (exponent >= kMaxExponent) return kNumBuckets - 1;
+  const int sub = static_cast<int>((mantissa * 2.0 - 1.0) * kSubBuckets);
+  return 1 + (exponent - kMinExponent) * kSubBuckets +
+         (sub < kSubBuckets ? sub : kSubBuckets - 1);
+}
+
+double Histogram::BucketLowerBound(int index) {
+  if (index <= 0) return 0;
+  const int slot = index - 1;
+  const int exponent = kMinExponent + slot / kSubBuckets;
+  const int sub = slot % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, exponent);
+}
+
+void Histogram::Record(double value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  const size_t cell = internal::ThisThreadCellIndex();
+  count_cells_[cell].value.fetch_add(1, std::memory_order_relaxed);
+  sum_cells_[cell].value.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const internal::MetricCell& cell : count_cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0;
+  for (const SumCell& cell : sum_cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double Histogram::Percentile(double fraction) const {
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    total += BucketCount(i);
+  }
+  if (total == 0) return 0;
+  if (fraction < 0) fraction = 0;
+  if (fraction > 1) fraction = 1;
+  // Rank of the requested order statistic, 1-based.
+  const uint64_t rank = static_cast<uint64_t>(
+      std::ceil(fraction * static_cast<double>(total - 1))) + 1;
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t in_bucket = BucketCount(i);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= rank) {
+      const double lower = BucketLowerBound(i);
+      const double upper = i + 1 < kNumBuckets ? BucketLowerBound(i + 1)
+                                               : lower * 2.0;
+      const double within =
+          static_cast<double>(rank - cumulative) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * within;
+    }
+    cumulative += in_bucket;
+  }
+  return BucketLowerBound(kNumBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (std::atomic<uint64_t>& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  for (internal::MetricCell& cell : count_cells_) {
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+  for (SumCell& cell : sum_cells_) {
+    cell.value.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[std::string(name)];
+  if (entry.counter == nullptr) {
+    entry.counter = std::make_unique<Counter>();
+    if (entry.help.empty()) entry.help = std::string(help);
+  }
+  return entry.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[std::string(name)];
+  if (entry.gauge == nullptr) {
+    entry.gauge = std::make_unique<Gauge>();
+    if (entry.help.empty()) entry.help = std::string(help);
+  }
+  return entry.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[std::string(name)];
+  if (entry.histogram == nullptr) {
+    entry.histogram = std::make_unique<Histogram>();
+    if (entry.help.empty()) entry.help = std::string(help);
+  }
+  return entry.histogram.get();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.counter != nullptr) {
+      if (!entry.help.empty()) out += "# HELP " + name + " " + entry.help + "\n";
+      out += "# TYPE " + name + " counter\n";
+      out += name + " " + std::to_string(entry.counter->Value()) + "\n";
+    }
+    if (entry.gauge != nullptr) {
+      if (!entry.help.empty()) out += "# HELP " + name + " " + entry.help + "\n";
+      out += "# TYPE " + name + " gauge\n";
+      out += name + " " + std::to_string(entry.gauge->Value()) + "\n";
+    }
+    if (entry.histogram != nullptr) {
+      if (!entry.help.empty()) out += "# HELP " + name + " " + entry.help + "\n";
+      out += "# TYPE " + name + " histogram\n";
+      const Histogram& h = *entry.histogram;
+      uint64_t cumulative = 0;
+      for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+        const uint64_t in_bucket = h.BucketCount(i);
+        if (in_bucket == 0) continue;
+        cumulative += in_bucket;
+        // Upper bound of the landing bucket = lower bound of the next.
+        const double upper = i + 1 < Histogram::kNumBuckets
+                                 ? Histogram::BucketLowerBound(i + 1)
+                                 : Histogram::BucketLowerBound(i) * 2.0;
+        out += name + "_bucket{le=\"" + FormatDouble(upper) + "\"} " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+      out += name + "_sum " + FormatDouble(h.Sum()) + "\n";
+      out += name + "_count " + std::to_string(h.Count()) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.counter == nullptr) continue;
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":";
+    out += std::to_string(entry.counter->Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.gauge == nullptr) continue;
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":";
+    out += std::to_string(entry.gauge->Value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.histogram == nullptr) continue;
+    if (!first) out += ",";
+    first = false;
+    const Histogram& h = *entry.histogram;
+    AppendJsonString(&out, name);
+    out += ":{\"count\":" + std::to_string(h.Count());
+    out += ",\"sum\":" + FormatDouble(h.Sum());
+    out += ",\"p50\":" + FormatDouble(h.Percentile(0.50));
+    out += ",\"p95\":" + FormatDouble(h.Percentile(0.95));
+    out += ",\"p99\":" + FormatDouble(h.Percentile(0.99));
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      const uint64_t in_bucket = h.BucketCount(i);
+      if (in_bucket == 0) continue;
+      if (!first_bucket) out += ",";
+      first_bucket = false;
+      const double upper = i + 1 < Histogram::kNumBuckets
+                               ? Histogram::BucketLowerBound(i + 1)
+                               : Histogram::BucketLowerBound(i) * 2.0;
+      out += "[" + FormatDouble(upper) + "," + std::to_string(in_bucket) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  // Snapshot `other` under its lock, then fold in under ours (never both:
+  // Get* takes our lock and could be called re-entrantly by instrumented
+  // allocator-free code, and lock order vs. other would be ambiguous).
+  struct Flat {
+    std::string name;
+    std::string help;
+    uint64_t counter = 0;
+    bool has_counter = false;
+    int64_t gauge = 0;
+    bool has_gauge = false;
+    std::vector<uint64_t> buckets;
+    uint64_t hist_count = 0;
+    double hist_sum = 0;
+    bool has_histogram = false;
+  };
+  std::vector<Flat> flats;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    for (const auto& [name, entry] : other.entries_) {
+      Flat flat;
+      flat.name = name;
+      flat.help = entry.help;
+      if (entry.counter != nullptr) {
+        flat.has_counter = true;
+        flat.counter = entry.counter->Value();
+      }
+      if (entry.gauge != nullptr) {
+        flat.has_gauge = true;
+        flat.gauge = entry.gauge->Value();
+      }
+      if (entry.histogram != nullptr) {
+        flat.has_histogram = true;
+        flat.buckets.resize(Histogram::kNumBuckets);
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          flat.buckets[i] = entry.histogram->BucketCount(i);
+        }
+        flat.hist_count = entry.histogram->Count();
+        flat.hist_sum = entry.histogram->Sum();
+      }
+      flats.push_back(std::move(flat));
+    }
+  }
+  for (const Flat& flat : flats) {
+    if (flat.has_counter && flat.counter > 0) {
+      GetCounter(flat.name, flat.help)->Add(flat.counter);
+    }
+    if (flat.has_gauge && flat.gauge != 0) {
+      GetGauge(flat.name, flat.help)->Add(flat.gauge);
+    }
+    if (flat.has_histogram && flat.hist_count > 0) {
+      Histogram* h = GetHistogram(flat.name, flat.help);
+      for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+        if (flat.buckets[i] > 0) {
+          h->buckets_[i].fetch_add(flat.buckets[i], std::memory_order_relaxed);
+        }
+      }
+      const size_t cell = internal::ThisThreadCellIndex();
+      h->count_cells_[cell].value.fetch_add(flat.hist_count,
+                                            std::memory_order_relaxed);
+      h->sum_cells_[cell].value.fetch_add(flat.hist_sum,
+                                          std::memory_order_relaxed);
+    }
+  }
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    if (entry.counter != nullptr) entry.counter->Reset();
+    if (entry.gauge != nullptr) entry.gauge->Set(0);
+    if (entry.histogram != nullptr) entry.histogram->Reset();
+  }
+}
+
+const CoreMetrics& DefaultMetrics() {
+  static const CoreMetrics* metrics = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    auto* m = new CoreMetrics;
+    m->pool_hits = r.GetCounter("ir2_pool_hits_total",
+                                "BufferPool reads served from a shard");
+    m->pool_misses = r.GetCounter("ir2_pool_misses_total",
+                                  "BufferPool reads that went to the device");
+    m->pool_evictions =
+        r.GetCounter("ir2_pool_evictions_total", "BufferPool LRU evictions");
+    m->node_cache_hits = r.GetCounter(
+        "ir2_node_cache_hits_total", "Decoded-node cache hits (decode skipped)");
+    m->node_cache_misses =
+        r.GetCounter("ir2_node_cache_misses_total", "Decoded-node cache misses");
+    m->node_decodes =
+        r.GetCounter("ir2_node_decodes_total", "R-Tree node deserializations");
+    m->sched_runs = r.GetCounter("ir2_sched_runs_total",
+                                 "Coalesced prefetch runs issued by workers");
+    m->sched_blocks_fetched = r.GetCounter(
+        "ir2_sched_blocks_fetched_total", "Blocks read by prefetch workers");
+    m->sched_read_errors = r.GetCounter("ir2_sched_read_errors_total",
+                                        "Failed prefetch worker reads");
+    m->nn_heap_pops = r.GetCounter("ir2_nn_heap_pops_total",
+                                   "Incremental-NN priority queue pops");
+    m->nn_nodes_expanded = r.GetCounter("ir2_nn_nodes_expanded_total",
+                                        "R-Tree nodes expanded during NN");
+    m->signature_tests = r.GetCounter("ir2_signature_tests_total",
+                                      "Entry signature containment tests");
+    m->signature_prunes = r.GetCounter(
+        "ir2_signature_prunes_total", "Entries pruned by a signature test");
+    m->objects_verified = r.GetCounter(
+        "ir2_objects_verified_total", "Objects loaded and checked for keywords");
+    m->verification_false_positives =
+        r.GetCounter("ir2_verification_false_positives_total",
+                     "Verified objects that failed the keyword check");
+    m->queries_total =
+        r.GetCounter("ir2_queries_total", "Top-k queries executed");
+    m->query_latency_ms = r.GetHistogram("ir2_query_latency_ms",
+                                         "Wall-clock query latency (ms)");
+    m->query_sim_disk_ms = r.GetHistogram(
+        "ir2_query_sim_disk_ms", "DiskModel-priced query time (ms)");
+    m->query_demand_blocks = r.GetHistogram(
+        "ir2_query_demand_blocks", "Demand block reads per query");
+    return m;
+  }();
+  return *metrics;
+}
+
+}  // namespace obs
+}  // namespace ir2

@@ -1,0 +1,138 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace ir2 {
+namespace obs {
+
+std::atomic<int> Tracer::enabled_{0};
+std::atomic<Tracer*> Tracer::active_{nullptr};
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kQuery:
+      return "query";
+    case SpanKind::kHeapPop:
+      return "heap_pop";
+    case SpanKind::kNodeExpand:
+      return "node_expand";
+    case SpanKind::kSignatureTest:
+      return "signature_test";
+    case SpanKind::kObjectVerify:
+      return "object_verify";
+    case SpanKind::kDemandIoWait:
+      return "demand_io_wait";
+    case SpanKind::kPrefetchComplete:
+      return "prefetch_complete";
+    case SpanKind::kPostingListRead:
+      return "posting_list_read";
+  }
+  return "unknown";
+}
+
+uint32_t TraceThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+bool& SpeculativeThreadFlag() {
+  thread_local bool speculative = false;
+  return speculative;
+}
+
+Tracer::Tracer(size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<size_t>(capacity_, 4096));
+}
+
+uint64_t Tracer::NowUs() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - epoch_).count());
+}
+
+void Tracer::Record(SpanKind kind, uint64_t ts_us, uint64_t dur_us,
+                    uint64_t arg) {
+  TraceEvent event;
+  event.kind = kind;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.arg = arg;
+  event.tid = TraceThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ - ring_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events;
+  events.reserve(ring_.size());
+  // Once the ring wrapped, `next_` is the oldest surviving event.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    events.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return events;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    if (i > 0) out += ",";
+    out += "\n{\"name\":\"";
+    out += SpanKindName(event.kind);
+    out += "\",\"cat\":\"ir2\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(event.ts_us);
+    out += ",\"dur\":";
+    out += std::to_string(event.dur_us);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(event.tid);
+    out += ",\"args\":{\"id\":";
+    out += std::to_string(event.arg);
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+// Scopes are strictly nested and installed from one thread at a time
+// (queries that trace install around their own execution), so the flag is
+// a plain mirror of active_ != nullptr.
+ScopedTracer::ScopedTracer(Tracer* tracer) {
+  previous_ = Tracer::active_.exchange(tracer, std::memory_order_acq_rel);
+  Tracer::enabled_.store(tracer != nullptr ? 1 : 0, std::memory_order_relaxed);
+}
+
+ScopedTracer::~ScopedTracer() {
+  Tracer::active_.store(previous_, std::memory_order_release);
+  Tracer::enabled_.store(previous_ != nullptr ? 1 : 0,
+                         std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace ir2

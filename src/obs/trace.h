@@ -1,0 +1,149 @@
+#ifndef IR2TREE_OBS_TRACE_H_
+#define IR2TREE_OBS_TRACE_H_
+
+// Per-query span tracing into a bounded ring buffer, emitted as Chrome
+// trace-event JSON (chrome://tracing or https://ui.perfetto.dev). When no
+// tracer is installed the hot-path cost is a single branch on a relaxed
+// atomic flag — TraceSpan's constructor loads the flag and returns.
+//
+// Installation is process-wide (ScopedTracer), not thread-local, because
+// spans are recorded on threads the query owner never sees: IoScheduler
+// prefetch workers record kPrefetchComplete while the query thread is
+// inside the traversal. RunQuery drains the schedulers before its caller
+// uninstalls the tracer, so no worker records after the scope ends.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ir2 {
+namespace obs {
+
+enum class SpanKind : uint8_t {
+  kQuery = 0,            // One top-k query end to end.
+  kHeapPop,              // Incremental-NN priority queue pop.
+  kNodeExpand,           // R-Tree node load + entry scan.
+  kSignatureTest,        // Signature containment test on one entry.
+  kObjectVerify,         // Object load + keyword containment check.
+  kDemandIoWait,         // BufferPool miss waiting on the device.
+  kPrefetchComplete,     // IoScheduler worker finished one coalesced run.
+  kPostingListRead,      // IIO posting-list retrieval for one keyword.
+};
+inline constexpr int kNumSpanKinds = 8;
+
+const char* SpanKindName(SpanKind kind);
+
+struct TraceEvent {
+  uint64_t ts_us = 0;   // Start, microseconds since the tracer's epoch.
+  uint64_t dur_us = 0;
+  uint64_t arg = 0;     // Kind-specific: block/node id, object ref, count.
+  uint32_t tid = 0;
+  SpanKind kind = SpanKind::kQuery;
+};
+
+// Bounded ring of TraceEvents. Record() overwrites the oldest event when
+// full and counts the overwritten events as dropped.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 1 << 16);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Microseconds since this tracer was constructed (steady clock).
+  uint64_t NowUs() const;
+  void Record(SpanKind kind, uint64_t ts_us, uint64_t dur_us, uint64_t arg);
+
+  size_t size() const;
+  uint64_t dropped() const;
+  void Clear();
+
+  // Oldest-first copy of the buffered events.
+  std::vector<TraceEvent> Events() const;
+  // {"displayTimeUnit":"ms","traceEvents":[...]} with "ph":"X" complete
+  // events — loadable by Perfetto as-is.
+  std::string ToChromeTraceJson() const;
+
+  // True iff some tracer is installed; one relaxed load, the only cost
+  // instrumentation pays when tracing is off.
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed) != 0;
+  }
+  static Tracer* Active() {
+    return active_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class ScopedTracer;
+  static std::atomic<int> enabled_;
+  static std::atomic<Tracer*> active_;
+
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t capacity_;
+  size_t next_ = 0;        // Ring write position once full.
+  uint64_t recorded_ = 0;  // Total Record() calls.
+};
+
+// Installs `tracer` as the process-wide active sink for its lifetime.
+// Nestable; the previous tracer is restored on destruction.
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(Tracer* tracer);
+  ~ScopedTracer();
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+ private:
+  Tracer* previous_;
+};
+
+// Small per-thread id for trace events (dense, first-use order).
+uint32_t TraceThreadId();
+
+// Set (for the thread's lifetime) by IoScheduler workers: their pool
+// reads are speculative, so BufferPool suppresses kDemandIoWait spans
+// for them — the worker's own kPrefetchComplete span covers the time.
+bool& SpeculativeThreadFlag();
+
+// RAII span: captures the start on construction, records on destruction.
+// All cost is behind the Enabled() branch.
+class TraceSpan {
+ public:
+  explicit TraceSpan(SpanKind kind, uint64_t arg = 0, bool enabled = true) {
+    if (!enabled || !Tracer::Enabled()) return;
+    tracer_ = Tracer::Active();
+    if (tracer_ == nullptr) return;
+    kind_ = kind;
+    arg_ = arg;
+    start_us_ = tracer_->NowUs();
+  }
+  ~TraceSpan() {
+    if (tracer_ == nullptr) return;
+    tracer_->Record(kind_, start_us_, tracer_->NowUs() - start_us_, arg_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  uint64_t start_us_ = 0;
+  uint64_t arg_ = 0;
+  SpanKind kind_ = SpanKind::kQuery;
+};
+
+// Zero-duration event (heap pops and other points in time).
+inline void TraceInstant(SpanKind kind, uint64_t arg = 0) {
+  if (!Tracer::Enabled()) return;
+  Tracer* tracer = Tracer::Active();
+  if (tracer == nullptr) return;
+  tracer->Record(kind, tracer->NowUs(), 0, arg);
+}
+
+}  // namespace obs
+}  // namespace ir2
+
+#endif  // IR2TREE_OBS_TRACE_H_

@@ -11,6 +11,8 @@
 
 #include "common/status_or.h"
 #include "geo/point.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rtree/rtree_base.h"
 #include "storage/io_scheduler.h"
 
@@ -174,14 +176,18 @@ class IncrementalNNCursorT {
   StatusOr<std::optional<Neighbor>> Next() {
     while (!heap_->empty()) {
       const NNQueueItem item = PopTop();
+      obs::TraceInstant(obs::SpanKind::kHeapPop, item.id);
+      obs::DefaultMetrics().nn_heap_pops->Add();
       if (item.is_object) {
         // "Return E as next nearest object pointer to p."
         return std::optional<Neighbor>(Neighbor{
             static_cast<ObjectRef>(item.id), item.distance, item.rect});
       }
+      obs::TraceSpan expand_span(obs::SpanKind::kNodeExpand, item.id);
       IR2_ASSIGN_OR_RETURN(std::shared_ptr<const Node> node,
                            tree_->LoadNodeShared(item.id));
       ++nodes_visited_;
+      obs::DefaultMetrics().nn_nodes_expanded->Add();
       const bool is_leaf = node->is_leaf();
       const bool prefetch_objects =
           is_leaf && prefetch_.object_scheduler != nullptr;

@@ -4,6 +4,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace ir2 {
 namespace {
@@ -60,14 +61,17 @@ NodeCache::NodeRef NodeCache::Lookup(BlockId id, uint64_t version) {
   ReconcileVersion(shard, version);
   if (auto pinned = shard.pinned.find(id); pinned != shard.pinned.end()) {
     ++shard.hits;
+    obs::DefaultMetrics().node_cache_hits->Add();
     return pinned->second;
   }
   if (auto it = shard.index.find(id); it != shard.index.end()) {
     ++shard.hits;
+    obs::DefaultMetrics().node_cache_hits->Add();
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return shard.lru.front().node;
   }
   ++shard.misses;
+  obs::DefaultMetrics().node_cache_misses->Add();
   return nullptr;
 }
 

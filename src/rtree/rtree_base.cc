@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "storage/serializer.h"
 
 namespace ir2 {
@@ -253,6 +254,7 @@ StatusOr<Node> RTreeBase::LoadNode(BlockId id) const {
     }
   }
   g_node_decodes.fetch_add(1, std::memory_order_relaxed);
+  obs::DefaultMetrics().node_decodes->Add();
   BufferReader reader(buffer);
   Node node;
   node.id = id;

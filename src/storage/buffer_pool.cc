@@ -5,6 +5,8 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ir2 {
 
@@ -78,6 +80,7 @@ Status BufferPool::EvictIfFull(Shard& shard) {
     shard.index.erase(victim.id);
     shard.lru.pop_back();
     ++shard.evictions;
+    obs::DefaultMetrics().pool_evictions->Add();
   }
   return Status::Ok();
 }
@@ -93,6 +96,10 @@ bool BufferPool::Contains(BlockId id) const {
 
 Status BufferPool::ReadImpl(BlockId id, std::span<uint8_t> out) {
   if (capacity_ == 0) {
+    // Bypass mode still waits on the device; trace it like a miss but
+    // leave the hit/miss metrics alone (Stats() does not count bypass).
+    obs::TraceSpan span(obs::SpanKind::kDemandIoWait, id,
+                        !obs::SpeculativeThreadFlag());
     return device_->Read(id, out);
   }
   Shard& shard = ShardOf(id);
@@ -100,12 +107,18 @@ Status BufferPool::ReadImpl(BlockId id, std::span<uint8_t> out) {
   auto it = shard.index.find(id);
   if (it != shard.index.end()) {
     ++shard.hits;
+    obs::DefaultMetrics().pool_hits->Add();
     Page& page = Touch(shard, it->second);
     std::memcpy(out.data(), page.data.data(), block_size());
     return Status::Ok();
   }
   ++shard.misses;
-  IR2_RETURN_IF_ERROR(device_->Read(id, out));
+  obs::DefaultMetrics().pool_misses->Add();
+  {
+    obs::TraceSpan span(obs::SpanKind::kDemandIoWait, id,
+                        !obs::SpeculativeThreadFlag());
+    IR2_RETURN_IF_ERROR(device_->Read(id, out));
+  }
   IR2_RETURN_IF_ERROR(EvictIfFull(shard));
   shard.lru.push_front(
       Page{id, /*dirty=*/false,

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ir2 {
 
@@ -139,6 +141,7 @@ Status IoScheduler::last_error() const {
 }
 
 void IoScheduler::WorkerLoop() {
+  obs::SpeculativeThreadFlag() = true;
   BlockDevice* device = pool_->device();
   std::vector<uint8_t> block(pool_->block_size());
   std::unique_lock<std::mutex> lock(mu_);
@@ -168,15 +171,29 @@ void IoScheduler::WorkerLoop() {
         ++j;
       }
       ++runs;
-      for (size_t at = i; at < j; ++at) {
-        Status s = pool_->Read(ids[at], block);
-        if (!s.ok() && error.ok()) {
-          error = s;
+      {
+        obs::TraceSpan span(obs::SpanKind::kPrefetchComplete, ids[i]);
+        for (size_t at = i; at < j; ++at) {
+          Status s = pool_->Read(ids[at], block);
+          if (!s.ok()) {
+            obs::DefaultMetrics().sched_read_errors->Add();
+            if (error.ok()) {
+              error = s;
+            }
+          }
         }
       }
       i = j;
     }
     const IoStats done = device->thread_stats();
+    obs::DefaultMetrics().sched_runs->Add(runs);
+    obs::DefaultMetrics().sched_blocks_fetched->Add(ids.size());
+    if (!error.ok()) {
+      // Speculation failing is not a query error (demand reads will retry
+      // and surface their own Status), but it should never be silent.
+      IR2_LOG(ERROR) << "IoScheduler worker: prefetch read failed: "
+                     << error.ToString();
+    }
 
     lock.lock();
     speculative_ += done - before;

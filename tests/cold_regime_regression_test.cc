@@ -16,6 +16,7 @@
 
 #include "core/database.h"
 #include "datagen/workload.h"
+#include "obs/trace.h"
 #include "tests/test_util.h"
 
 namespace ir2 {
@@ -110,6 +111,29 @@ TEST_F(ColdRegimeRegressionTest, RTreeCountsMatchGolden) {
       });
   ExpectProfile(stats, GoldenProfile{14236, 14032, 1554, 0, 14578, 1457},
                 "R-Tree");
+}
+
+// The observability layer must be free of observer effects on the disk
+// accounting: with a tracer installed (spans recorded on every heap pop,
+// node expand, signature test, verification and demand read) and the
+// metrics registry active, every cold-regime count must still match the
+// same goldens byte for byte.
+TEST_F(ColdRegimeRegressionTest, TracingPerturbsNoColdCounts) {
+  obs::Tracer tracer;
+  obs::ScopedTracer scoped(&tracer);
+  QueryStats ir2_stats =
+      RunAll([&](const DistanceFirstQuery& q, QueryStats* s) {
+        return db_->QueryIr2(q, s);
+      });
+  ExpectProfile(ir2_stats, GoldenProfile{217, 13, 992, 10596, 1171, 41},
+                "IR2 traced");
+  QueryStats mir2_stats =
+      RunAll([&](const DistanceFirstQuery& q, QueryStats* s) {
+        return db_->QueryMir2(q, s);
+      });
+  ExpectProfile(mir2_stats, GoldenProfile{215, 11, 885, 9374, 1067, 36},
+                "MIR2 traced");
+  EXPECT_GT(tracer.size(), 0u);  // The instrumentation actually fired.
 }
 
 TEST_F(ColdRegimeRegressionTest, IioCountsMatchGolden) {
