@@ -49,11 +49,7 @@ EngineResult RunEngine(SpatialKeywordDatabase& db, Algo algo,
   QueryStats total;
   for (const DistanceFirstQuery& query : queries) {
     QueryStats stats;
-    StatusOr<std::vector<QueryResult>> results =
-        algo == Algo::kRTree  ? db.QueryRTree(query, &stats)
-        : algo == Algo::kIio  ? db.QueryIio(query, &stats)
-        : algo == Algo::kIr2  ? db.QueryIr2(query, &stats)
-                              : db.QueryMir2(query, &stats);
+    StatusOr<std::vector<QueryResult>> results = db.Query(query, algo, &stats);
     IR2_CHECK(results.ok()) << results.status().ToString();
     latencies.Record(stats.simulated_disk_ms);
     total += stats;
@@ -113,7 +109,7 @@ void WriteJson(const char* path, const BenchDataset& dataset,
   std::fclose(f);
 }
 
-void Main(bool smoke) {
+void Main(bool smoke, const std::vector<Algo>& algos) {
   const double scale =
       DatasetScale(kDefaultScale) * (smoke ? 0.3 : 1.0);
   SyntheticConfig config = HotelsLikeConfig(scale);
@@ -146,13 +142,15 @@ void Main(bool smoke) {
   std::vector<DistanceFirstQuery> queries = GenerateWorkload(
       dataset.objects, dataset.db->tokenizer(), workload_config);
 
-  const std::vector<Algo> algos = {Algo::kIio, Algo::kRTree, Algo::kIr2,
-                                   Algo::kMir2};
   std::vector<AlgoSeries> series;
   for (Algo algo : algos) {
     AlgoSeries s;
     s.algo = AlgoName(algo);
+    // Auto plans from feedback-corrected costs; reset so each engine's run
+    // (and each invocation of this bench) prices from the static model.
+    if (algo == Algo::kAuto) dataset.db->planner()->feedback().Reset();
     s.baseline = RunEngine(*dataset.db, algo, queries);
+    if (algo == Algo::kAuto) (*engine_db)->planner()->feedback().Reset();
     s.engine = RunEngine(**engine_db, algo, queries);
     s.speedup = s.engine.mean_ms > 0 ? s.baseline.mean_ms / s.engine.mean_ms
                                      : 0;
@@ -205,14 +203,26 @@ void Main(bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::vector<ir2::bench::Algo> algos = {
+      ir2::bench::Algo::kIio, ir2::bench::Algo::kRTree,
+      ir2::bench::Algo::kIr2, ir2::bench::Algo::kMir2};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strncmp(argv[i], "--algo=", 7) == 0) {
+      ir2::Algorithm algo;
+      if (!ir2::ParseAlgorithm(argv[i] + 7, &algo)) {
+        std::fprintf(stderr, "unknown --algo: %s\n", argv[i] + 7);
+        return 2;
+      }
+      algos = {algo};
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--algo=rtree|iio|ir2|mir2|auto]\n",
+                   argv[0]);
       return 2;
     }
   }
-  ir2::bench::Main(smoke);
+  ir2::bench::Main(smoke, algos);
   return 0;
 }

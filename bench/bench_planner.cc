@@ -1,0 +1,272 @@
+// Adaptive planner bench: Algorithm::kAuto vs every fixed algorithm vs the
+// offline per-query oracle, on frequency-skewed workloads where no single
+// algorithm wins every query (docs/planner.md).
+//
+// The workload mixes co-occurring keyword pairs (GenerateWorkload), head
+// vocabulary words — selectivity so high that IIO must load a fat posting
+// list plus nearly the whole object file while a tree finds k neighbours
+// immediately — and tail words, where a tree chases signature-pruned
+// subtrees for nothing and IIO answers from one short posting list. Every
+// query runs cold (the paper's regime), so per-query simulated disk time is
+// a pure function of the query and the index, and the fixed-algorithm
+// passes double as the planner's ground truth: the oracle is the per-query
+// minimum over the four fixed runs.
+//
+// Reported per dataset: total cold simulated disk time per fixed
+// algorithm, for auto, and for the oracle; auto's decision counts; and the
+// oracle match rate (fraction of queries where auto's observed cost is
+// within 10% of the oracle's). The acceptance bar — auto strictly below
+// every fixed total and within 15% of the oracle — is evaluated and
+// printed. Written to BENCH_planner.json; check.sh runs the --smoke
+// variant and the checked-in JSON tracks the full run.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/planner.h"
+#include "datagen/synthetic.h"
+
+namespace ir2 {
+namespace bench {
+namespace {
+
+constexpr Algo kFixedAlgos[] = {Algo::kRTree, Algo::kIio, Algo::kIr2,
+                                Algo::kMir2};
+constexpr size_t kNumFixed = 4;
+
+struct DatasetReport {
+  std::string name;
+  size_t num_objects = 0;
+  size_t num_queries = 0;
+  double fixed_total_ms[kNumFixed] = {};
+  double auto_total_ms = 0;
+  double oracle_total_ms = 0;
+  uint64_t decisions[kNumFixed] = {};
+  uint64_t mispredicts = 0;
+  double oracle_match_rate = 0;
+  bool beats_all_fixed = false;
+  double auto_vs_oracle = 0;  // auto_total / oracle_total.
+};
+
+// GenerateWorkload queries plus head- and tail-vocabulary queries, so the
+// workload spans the selectivity range the planner has to arbitrate.
+std::vector<DistanceFirstQuery> BuildPlannerWorkload(
+    const BenchDataset& dataset, bool smoke) {
+  WorkloadConfig config;
+  config.seed = 4242;
+  config.num_queries = smoke ? 16 : 60;
+  config.num_keywords = 2;
+  config.k = 20;
+  std::vector<DistanceFirstQuery> queries = GenerateWorkload(
+      dataset.objects, dataset.db->tokenizer(), config);
+
+  const uint64_t vocab_seed = dataset.config.seed;
+  const uint32_t vocab = dataset.config.vocabulary_size;
+  const size_t extremes = smoke ? 4 : 12;
+  const size_t base = queries.size();
+  for (size_t i = 0; i < extremes && base > 0; ++i) {
+    // Head words: rank i and i+1 are among the most frequent the generator
+    // spells, so the conjunction stays fat.
+    DistanceFirstQuery frequent = queries[i % base];
+    frequent.keywords = {VocabularyWord(vocab_seed, static_cast<uint32_t>(i)),
+                         VocabularyWord(vocab_seed,
+                                        static_cast<uint32_t>(i + 1))};
+    queries.push_back(frequent);
+
+    // Tail words: near-zero document frequency (often zero matches).
+    DistanceFirstQuery rare = queries[(i + extremes) % base];
+    uint32_t tail_rank = vocab > 1 + i * 7
+                             ? vocab - 1 - static_cast<uint32_t>(i) * 7
+                             : vocab - 1;
+    rare.keywords = {VocabularyWord(vocab_seed, tail_rank)};
+    queries.push_back(rare);
+  }
+  return queries;
+}
+
+DatasetReport RunDataset(BenchDataset& dataset, bool smoke) {
+  DatasetReport report;
+  report.name = dataset.name;
+  report.num_objects = dataset.objects.size();
+
+  std::vector<DistanceFirstQuery> queries =
+      BuildPlannerWorkload(dataset, smoke);
+  report.num_queries = queries.size();
+  SpatialKeywordDatabase& db = *dataset.db;
+  IR2_CHECK(db.planner() != nullptr) << "planner disabled";
+
+  // Fixed passes: per-query cold simulated disk time for each algorithm.
+  // These do not touch the planner's feedback (only auto records), so they
+  // double as unbiased ground truth for the oracle.
+  std::vector<std::vector<double>> fixed_ms(
+      kNumFixed, std::vector<double>(queries.size(), 0.0));
+  for (size_t a = 0; a < kNumFixed; ++a) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      QueryStats stats;
+      StatusOr<std::vector<QueryResult>> results =
+          db.Query(queries[i], kFixedAlgos[a], &stats);
+      IR2_CHECK(results.ok()) << results.status().ToString();
+      fixed_ms[a][i] = stats.simulated_disk_ms;
+      report.fixed_total_ms[a] += stats.simulated_disk_ms;
+    }
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    double best = fixed_ms[0][i];
+    for (size_t a = 1; a < kNumFixed; ++a) {
+      if (fixed_ms[a][i] < best) best = fixed_ms[a][i];
+    }
+    report.oracle_total_ms += best;
+  }
+
+  // Auto pass, from a clean static model (no feedback from earlier runs).
+  db.planner()->feedback().Reset();
+  size_t matches = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryStats stats;
+    QueryPlan plan;
+    StatusOr<std::vector<QueryResult>> results =
+        db.QueryAuto(queries[i], &stats, &plan);
+    IR2_CHECK(results.ok()) << results.status().ToString();
+    report.auto_total_ms += stats.simulated_disk_ms;
+    size_t chosen = static_cast<size_t>(plan.chosen);
+    if (chosen < kNumFixed) ++report.decisions[chosen];
+    if (stats.simulated_disk_ms > plan.best_rejected_predicted_ms) {
+      ++report.mispredicts;
+    }
+    double oracle = fixed_ms[0][i];
+    for (size_t a = 1; a < kNumFixed; ++a) {
+      if (fixed_ms[a][i] < oracle) oracle = fixed_ms[a][i];
+    }
+    if (stats.simulated_disk_ms <= 1.10 * oracle + 1e-9) ++matches;
+  }
+  report.oracle_match_rate =
+      queries.empty() ? 0.0
+                      : static_cast<double>(matches) /
+                            static_cast<double>(queries.size());
+
+  report.beats_all_fixed = true;
+  for (size_t a = 0; a < kNumFixed; ++a) {
+    if (!(report.auto_total_ms < report.fixed_total_ms[a])) {
+      report.beats_all_fixed = false;
+    }
+  }
+  report.auto_vs_oracle = report.oracle_total_ms > 0
+                              ? report.auto_total_ms / report.oracle_total_ms
+                              : 0.0;
+  return report;
+}
+
+void PrintReport(const DatasetReport& report) {
+  std::vector<std::string> columns;
+  for (Algo algo : kFixedAlgos) columns.push_back(AlgoName(algo));
+  columns.push_back("Auto");
+  columns.push_back("Oracle");
+  FigurePrinter totals(
+      report.name + ": total cold simulated disk time (ms, " +
+          std::to_string(report.num_queries) + " queries)",
+      "plan", columns);
+  std::vector<double> row(report.fixed_total_ms,
+                          report.fixed_total_ms + kNumFixed);
+  row.push_back(report.auto_total_ms);
+  row.push_back(report.oracle_total_ms);
+  totals.AddRow("sim ms", row, "%12.1f");
+  totals.Print();
+
+  std::printf("  decisions:");
+  for (size_t a = 0; a < kNumFixed; ++a) {
+    std::printf(" %s=%llu", AlgoName(kFixedAlgos[a]),
+                static_cast<unsigned long long>(report.decisions[a]));
+  }
+  std::printf("  mispredicts=%llu\n",
+              static_cast<unsigned long long>(report.mispredicts));
+  std::printf(
+      "  auto vs oracle: %.3fx (match rate %.0f%%); beats every fixed "
+      "algorithm: %s\n",
+      report.auto_vs_oracle, 100.0 * report.oracle_match_rate,
+      report.beats_all_fixed ? "yes" : "NO");
+  std::printf("  acceptance: %s\n",
+              report.beats_all_fixed && report.auto_vs_oracle <= 1.15
+                  ? "PASS (auto < every fixed, within 15% of oracle)"
+                  : "FAIL");
+}
+
+void WriteJson(const char* path, bool smoke,
+               const std::vector<DatasetReport>& reports) {
+  std::FILE* f = std::fopen(path, "w");
+  IR2_CHECK(f != nullptr) << "cannot write " << path;
+  std::fprintf(f, "{\n  \"bench\": \"planner\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"datasets\": [\n");
+  for (size_t d = 0; d < reports.size(); ++d) {
+    const DatasetReport& r = reports[d];
+    std::fprintf(f, "    {\n      \"dataset\": \"%s\",\n", r.name.c_str());
+    std::fprintf(f, "      \"num_objects\": %zu,\n", r.num_objects);
+    std::fprintf(f, "      \"num_queries\": %zu,\n", r.num_queries);
+    std::fprintf(f, "      \"fixed_total_sim_ms\": {");
+    for (size_t a = 0; a < kNumFixed; ++a) {
+      std::fprintf(f, "\"%s\": %.2f%s", AlgorithmName(kFixedAlgos[a]),
+                   r.fixed_total_ms[a], a + 1 < kNumFixed ? ", " : "");
+    }
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "      \"auto_total_sim_ms\": %.2f,\n", r.auto_total_ms);
+    std::fprintf(f, "      \"oracle_total_sim_ms\": %.2f,\n",
+                 r.oracle_total_ms);
+    std::fprintf(f, "      \"auto_vs_oracle\": %.4f,\n", r.auto_vs_oracle);
+    std::fprintf(f, "      \"oracle_match_rate\": %.4f,\n",
+                 r.oracle_match_rate);
+    std::fprintf(f, "      \"decisions\": {");
+    for (size_t a = 0; a < kNumFixed; ++a) {
+      std::fprintf(f, "\"%s\": %llu%s", AlgorithmName(kFixedAlgos[a]),
+                   static_cast<unsigned long long>(r.decisions[a]),
+                   a + 1 < kNumFixed ? ", " : "");
+    }
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "      \"mispredicts\": %llu,\n",
+                 static_cast<unsigned long long>(r.mispredicts));
+    std::fprintf(f, "      \"auto_beats_all_fixed\": %s\n    }%s\n",
+                 r.beats_all_fixed ? "true" : "false",
+                 d + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+void Main(bool smoke) {
+  const double multiplier = smoke ? 0.3 : 1.0;
+  std::vector<DatasetReport> reports;
+  {
+    BenchDataset hotels = BuildHotels(
+        DefaultOptions(kHotelsSignatureBytes), multiplier);
+    reports.push_back(RunDataset(hotels, smoke));
+    PrintReport(reports.back());
+  }
+  {
+    BenchDataset restaurants = BuildRestaurants(
+        DefaultOptions(kRestaurantsSignatureBytes), multiplier);
+    reports.push_back(RunDataset(restaurants, smoke));
+    PrintReport(reports.back());
+  }
+  WriteJson("BENCH_planner.json", smoke, reports);
+  std::printf("wrote BENCH_planner.json\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ir2
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  ir2::bench::Main(smoke);
+  return 0;
+}

@@ -43,6 +43,10 @@ struct RunConfig {
   bool warm = false;
   bool smoke = false;
   std::string trace_path;  // --trace=FILE: write a Chrome trace here.
+  // --algo=NAME: run one algorithm through the database-mode BatchExecutor
+  // (auto plans per query) instead of the IR2/MIR2 tree-mode pair.
+  bool has_algo = false;
+  Algo algo = Algo::kAuto;
 };
 
 struct ThroughputPoint {
@@ -143,6 +147,65 @@ TreeSeries RunTree(SpatialKeywordDatabase& db, Algo algo,
   return series;
 }
 
+// Database-mode variant of RunTree: the executor plans/dispatches per query
+// via the database, so any Algorithm — including kAuto — can be batched.
+TreeSeries RunDatabaseSeries(SpatialKeywordDatabase& db, Algo algo,
+                             const std::vector<DistanceFirstQuery>& queries,
+                             const RunConfig& config,
+                             const std::vector<size_t>& thread_counts) {
+  TreeSeries series;
+  series.tree = AlgoName(algo);
+
+  // Auto plans from feedback-corrected costs; start each series (and each
+  // thread point, below) from the static model so every point makes the
+  // same decisions and the determinism check stays meaningful.
+  if (algo == Algo::kAuto) db.planner()->feedback().Reset();
+  AlgoResult serial = RunWorkload(db, algo, queries);
+  series.serial_mean_ms = serial.ms;
+
+  BatchExecutorOptions options;
+  options.cold_queries = !config.warm;
+  options.algorithm = algo;
+  std::vector<QueryStats> reference;
+  for (size_t threads : thread_counts) {
+    options.num_threads = threads;
+    if (algo == Algo::kAuto) db.planner()->feedback().Reset();
+    BatchExecutor executor(&db, options);
+    Stopwatch watch;
+    StatusOr<BatchResults> batch = executor.Run(queries);
+    const double elapsed = watch.ElapsedSeconds();
+    IR2_CHECK(batch.ok()) << batch.status().ToString();
+
+    ThroughputPoint point;
+    point.threads = threads;
+    point.seconds = elapsed;
+    point.qps = static_cast<double>(queries.size()) / elapsed;
+    LatencyHistogram latencies;
+    for (const QueryStats& stats : batch->per_query) {
+      latencies.Record(stats.seconds * 1000.0);
+    }
+    point.p50_ms = latencies.P50();
+    point.p95_ms = latencies.P95();
+    point.pool = batch->pool_stats;
+    if (threads == thread_counts.front()) {
+      reference = batch->per_query;
+      series.batch1_mean_ms =
+          batch->Aggregate().seconds * 1000.0 / queries.size();
+    } else if (!config.warm) {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        if (!SameProfile(reference[i], batch->per_query[i])) {
+          ++series.profile_mismatches;
+        }
+      }
+    }
+    point.speedup = series.points.empty()
+                        ? 1.0
+                        : series.points.front().seconds / elapsed;
+    series.points.push_back(point);
+  }
+  return series;
+}
+
 void WriteJson(const char* path, const BenchDataset& dataset,
                size_t num_queries, const RunConfig& config,
                const std::vector<TreeSeries>& trees) {
@@ -221,10 +284,15 @@ void Main(const RunConfig& config) {
                    : std::vector<size_t>{1, 2, 4, 8};
 
   std::vector<TreeSeries> trees;
-  trees.push_back(
-      RunTree(*dataset.db, Algo::kIr2, queries, config, thread_counts));
-  trees.push_back(
-      RunTree(*dataset.db, Algo::kMir2, queries, config, thread_counts));
+  if (config.has_algo) {
+    trees.push_back(RunDatabaseSeries(*dataset.db, config.algo, queries,
+                                      config, thread_counts));
+  } else {
+    trees.push_back(
+        RunTree(*dataset.db, Algo::kIr2, queries, config, thread_counts));
+    trees.push_back(
+        RunTree(*dataset.db, Algo::kMir2, queries, config, thread_counts));
+  }
 
   std::vector<std::string> x_names;
   for (size_t threads : thread_counts) {
@@ -324,10 +392,16 @@ int main(int argc, char** argv) {
       config.smoke = true;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       config.trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--algo=", 7) == 0) {
+      if (!ir2::ParseAlgorithm(argv[i] + 7, &config.algo)) {
+        std::fprintf(stderr, "unknown --algo: %s\n", argv[i] + 7);
+        return 2;
+      }
+      config.has_algo = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--regime=cold|warm] [--smoke] "
-                   "[--trace=FILE]\n",
+                   "[--trace=FILE] [--algo=rtree|iio|ir2|mir2|auto]\n",
                    argv[0]);
       return 2;
     }

@@ -95,8 +95,12 @@ class LatencyHistogram {
   obs::Histogram histogram_;
 };
 
-enum class Algo { kRTree, kIio, kIr2, kMir2 };
+// The bench binaries historically had their own algorithm enum; it is now
+// the core one, so every bench (and its --algo flag) understands kAuto.
+using Algo = ir2::Algorithm;
 
+// Display names for the figure tables (the CLI spelling is
+// AlgorithmName(): "rtree", "iio", "ir2", "mir2", "auto").
 inline const char* AlgoName(Algo algo) {
   switch (algo) {
     case Algo::kRTree:
@@ -107,6 +111,8 @@ inline const char* AlgoName(Algo algo) {
       return "IR2";
     case Algo::kMir2:
       return "MIR2";
+    case Algo::kAuto:
+      return "Auto";
   }
   return "?";
 }
@@ -130,11 +136,7 @@ inline AlgoResult RunWorkload(SpatialKeywordDatabase& db, Algo algo,
                               const std::vector<DistanceFirstQuery>& queries) {
   QueryStats total;
   for (const DistanceFirstQuery& query : queries) {
-    StatusOr<std::vector<QueryResult>> results =
-        algo == Algo::kRTree  ? db.QueryRTree(query, &total)
-        : algo == Algo::kIio  ? db.QueryIio(query, &total)
-        : algo == Algo::kIr2  ? db.QueryIr2(query, &total)
-                              : db.QueryMir2(query, &total);
+    StatusOr<std::vector<QueryResult>> results = db.Query(query, algo, &total);
     IR2_CHECK(results.ok()) << results.status().ToString();
   }
   double n = queries.empty() ? 1.0 : static_cast<double>(queries.size());

@@ -5,7 +5,7 @@
 // DiskModel time breakdown, pool and cache hit ratios, and a span
 // summary. See docs/observability.md.
 //
-//   ./explain_query [--algo=rtree|iio|ir2|mir2] [--k=N]
+//   ./explain_query [--algo=rtree|iio|ir2|mir2|auto] [--k=N]
 //                   [--keywords=word1,word2] [--prefetch]
 //                   [--trace=FILE]    write the query's Chrome trace JSON
 //                   [--metrics=FILE]  write the Prometheus metrics dump
@@ -49,7 +49,7 @@ bool WriteFile(const std::string& path, const std::string& contents) {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--algo=rtree|iio|ir2|mir2] [--k=N]\n"
+               "usage: %s [--algo=rtree|iio|ir2|mir2|auto] [--k=N]\n"
                "          [--keywords=word1,word2] [--prefetch]\n"
                "          [--trace=FILE] [--metrics=FILE]\n",
                argv0);
@@ -67,16 +67,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--algo=", 7) == 0) {
-      const char* name = arg + 7;
-      if (std::strcmp(name, "rtree") == 0) {
-        algo = SpatialKeywordDatabase::ExplainAlgo::kRTree;
-      } else if (std::strcmp(name, "iio") == 0) {
-        algo = SpatialKeywordDatabase::ExplainAlgo::kIio;
-      } else if (std::strcmp(name, "ir2") == 0) {
-        algo = SpatialKeywordDatabase::ExplainAlgo::kIr2;
-      } else if (std::strcmp(name, "mir2") == 0) {
-        algo = SpatialKeywordDatabase::ExplainAlgo::kMir2;
-      } else {
+      if (!ir2::ParseAlgorithm(arg + 7, &algo)) {
         return Usage(argv[0]);
       }
     } else if (std::strncmp(arg, "--k=", 4) == 0) {

@@ -34,6 +34,19 @@ echo "== Bench smoke: cold-path I/O engine =="
 (cd build && ./bench/bench_cold_latency --smoke)
 
 echo
+echo "== Bench smoke: cost-based planner =="
+# Auto vs every fixed algorithm vs the per-query oracle on the skewed
+# workloads (see docs/planner.md); the JSON must parse, and an auto-mode
+# EXPLAIN must render the planner's candidate table.
+(cd build && ./bench/bench_planner --smoke)
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool build/BENCH_planner.json > /dev/null
+  echo "planner bench json: valid"
+fi
+(cd build && ./examples/explain_query --algo=auto) | grep -q 'Planner' \
+  && echo "auto EXPLAIN: planner section present"
+
+echo
 echo "== Observability: EXPLAIN + trace + exporter goldens =="
 # One traced query end to end (see docs/observability.md): the EXPLAIN
 # report renders, the Chrome trace and the metrics dump are written, the
@@ -68,14 +81,15 @@ if [ "${IR2_CHECK_FULL:-0}" = "1" ]; then
 else
   # The suites that exercise the concurrent machinery (sharded pool,
   # decoded-node cache, per-thread I/O accounting, BatchExecutor, the
-  # prefetch scheduler's worker thread, and the sharded metrics/tracer
-  # hammers) — the rest of the suite is single-threaded and covered by
+  # prefetch scheduler's worker thread, the sharded metrics/tracer
+  # hammers, and the planner's lock-free feedback under database-mode
+  # batches) — the rest of the suite is single-threaded and covered by
   # the Release run.
   cmake --build build-tsan -j "$jobs" --target \
     concurrency_test batch_executor_test node_cache_test storage_test \
-    io_scheduler_test obs_test
+    io_scheduler_test obs_test planner_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'concurrency_test|batch_executor_test|node_cache_test|storage_test|io_scheduler_test|obs_test'
+    -R 'concurrency_test|batch_executor_test|node_cache_test|storage_test|io_scheduler_test|obs_test|planner_test'
 fi
 
 echo

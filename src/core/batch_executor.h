@@ -8,12 +8,15 @@
 #include "common/status_or.h"
 #include "core/ir2_tree.h"
 #include "core/ir2_search.h"
+#include "core/planner.h"
 #include "core/query.h"
 #include "storage/buffer_pool.h"
 #include "storage/object_store.h"
 #include "text/tokenizer.h"
 
 namespace ir2 {
+
+class SpatialKeywordDatabase;
 
 struct BatchExecutorOptions {
   // Worker threads; 0 picks std::thread::hardware_concurrency(). Capped at
@@ -30,6 +33,14 @@ struct BatchExecutorOptions {
   // Capacity (blocks) of each worker's private node cache. Matches
   // DatabaseOptions::pool_blocks so batch and serial runs cache alike.
   size_t pool_blocks = 1 << 16;
+
+  // Algorithm executed by the database-mode constructor (ignored in tree
+  // mode). kAuto plans per query: workers read corrections from the
+  // planner's feedback — effectively frozen for the batch, keeping
+  // decisions independent of thread count and arrival order — and record
+  // outcomes into worker-private PlannerFeedback instances merged into the
+  // planner once on drain, exactly like the private metrics registries.
+  Algorithm algorithm = Algorithm::kAuto;
 };
 
 // Everything a Run produces: results[i] and per_query[i] answer queries[i],
@@ -69,14 +80,28 @@ class BatchExecutor {
   BatchExecutor(const Ir2Tree* tree, const ObjectStore* objects,
                 const Tokenizer* tokenizer, BatchExecutorOptions options = {});
 
+  // Database mode: runs options.algorithm (kAuto by default, planned per
+  // query by db->planner()) over every structure the database holds.
+  // Workers open private pools over each tree's device (ScopedReadPool) so
+  // node reads never contend; object and posting reads go through the
+  // database's bypass pools, which is why this mode requires
+  // db->options().prefetch == false (a shared caching pool would break
+  // per-query cold isolation across workers). `db` must outlive the
+  // executor; its planner receives the merged feedback after Run.
+  BatchExecutor(SpatialKeywordDatabase* db, BatchExecutorOptions options = {});
+
   StatusOr<BatchResults> Run(std::span<const DistanceFirstQuery> queries) const;
 
   const BatchExecutorOptions& options() const { return options_; }
 
  private:
-  const Ir2Tree* tree_;
-  const ObjectStore* objects_;
-  const Tokenizer* tokenizer_;
+  StatusOr<BatchResults> RunDatabase(
+      std::span<const DistanceFirstQuery> queries) const;
+
+  const Ir2Tree* tree_ = nullptr;
+  const ObjectStore* objects_ = nullptr;
+  const Tokenizer* tokenizer_ = nullptr;
+  SpatialKeywordDatabase* db_ = nullptr;
   BatchExecutorOptions options_;
 };
 

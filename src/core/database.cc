@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <unordered_set>
@@ -11,9 +12,11 @@
 #include "core/iio.h"
 #include "core/ir2_search.h"
 #include "core/rtree_baseline.h"
+#include "core/stats.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rtree/node_cache.h"
+#include "rtree/tree_stats.h"
 
 namespace ir2 {
 
@@ -244,8 +247,67 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
   db->scorer_ = std::make_unique<IrScorer>(
       CorpusStats{stats.num_objects, stats.AvgDocLen()});
   db->WireIoEngine();
+  // The planner's tree-shape snapshot reads nodes; take it before the
+  // stats reset so measurements start from zero.
+  IR2_RETURN_IF_ERROR(db->WirePlanner());
   db->ResetIoStats();
   return db;
+}
+
+namespace {
+
+// One tree's shape as the planner prices it. `signatures` supplies the
+// per-level signature scheme ((M)IR2-Trees); null for the plain R-Tree,
+// whose levels keep signature_bits == 0 (no filter, fp = 1).
+StatusOr<PlannerTreeShape> SnapshotTreeShape(const RTreeBase& tree,
+                                             const Ir2Tree* signatures) {
+  IR2_ASSIGN_OR_RETURN(TreeStatsReport report, ComputeTreeStats(tree));
+  PlannerTreeShape shape;
+  shape.levels.reserve(report.levels.size());
+  for (const LevelStats& level : report.levels) {
+    PlannerLevel out;
+    out.nodes = level.nodes;
+    out.entries = level.entries;
+    out.blocks_per_node =
+        level.nodes == 0 ? 1.0
+                         : static_cast<double>(level.blocks_used) /
+                               static_cast<double>(level.nodes);
+    if (signatures != nullptr) {
+      const SignatureConfig config = signatures->LevelConfig(level.level);
+      out.signature_bits = config.bits;
+      out.hashes_per_word = config.hashes_per_word;
+      out.payload_density = level.PayloadDensity();
+    }
+    shape.levels.push_back(out);
+  }
+  return shape;
+}
+
+}  // namespace
+
+Status SpatialKeywordDatabase::WirePlanner() {
+  if (!options_.build_planner) {
+    return Status::Ok();
+  }
+  PlannerInputs inputs;
+  inputs.num_objects = stats_.num_objects;
+  inputs.avg_blocks_per_object = std::max(stats_.AvgBlocksPerObject(), 1.0);
+  inputs.object_file_blocks = stats_.object_file_blocks;
+  inputs.iio_present = iio_ != nullptr;
+  inputs.disk_model = options_.disk_model;
+  inputs.block_size = object_device_->block_size();
+  if (rtree_ != nullptr) {
+    IR2_ASSIGN_OR_RETURN(inputs.rtree, SnapshotTreeShape(*rtree_, nullptr));
+  }
+  if (ir2_ != nullptr) {
+    IR2_ASSIGN_OR_RETURN(inputs.ir2, SnapshotTreeShape(*ir2_, ir2_.get()));
+  }
+  if (mir2_ != nullptr) {
+    IR2_ASSIGN_OR_RETURN(inputs.mir2, SnapshotTreeShape(*mir2_, mir2_.get()));
+  }
+  planner_ = std::make_unique<QueryPlanner>(std::move(inputs), iio_.get(),
+                                            &tokenizer_);
+  return Status::Ok();
 }
 
 void SpatialKeywordDatabase::WireIoEngine() {
@@ -378,25 +440,19 @@ void SpatialKeywordDatabase::MaybeSweepObjectFile(
   // A distance-first top-k query keeps loading candidates until k of them
   // pass keyword verification, so it performs about k / p object loads —
   // each one a seek — where p is the selectivity of the keyword
-  // conjunction. The inverted index's in-memory dictionary prices p from
-  // document frequencies (independence assumption, the paper's Section VI
-  // cost-model style) without any I/O; a keyword with zero frequency
-  // matches nothing, which forces the traversal to verify (and load) its
-  // way through everything. Without the IIO the estimate degrades to the
-  // bare lower bound of k loads.
+  // conjunction (core/stats.h, the same estimate the planner prices
+  // traversals with). The inverted index's in-memory dictionary prices p
+  // from document frequencies without any I/O. Without the IIO the
+  // estimate degrades to the bare lower bound of k loads.
   double expected_loads = static_cast<double>(q.k);
   if (iio_ != nullptr && stats_.num_objects > 0) {
-    const double num_objects = static_cast<double>(stats_.num_objects);
-    double selectivity = 1.0;
-    for (const std::string& keyword :
-         tokenizer_.NormalizeKeywords(q.keywords)) {
-      selectivity *=
-          static_cast<double>(iio_->DocumentFrequency(keyword)) / num_objects;
-    }
+    const std::vector<std::string> keywords =
+        tokenizer_.NormalizeKeywords(q.keywords);
+    const ConjunctionEstimate estimate =
+        EstimateConjunction(*iio_, keywords, stats_.num_objects);
     expected_loads =
-        selectivity > 0.0
-            ? std::min(static_cast<double>(q.k) / selectivity, num_objects)
-            : num_objects;
+        ExpectedVerificationLoads(estimate.selectivity, q.k,
+                                  stats_.num_objects);
   }
   const double seek_ms = expected_loads * model.RandomAccessMs();
   if (sweep_ms < seek_ms) {
@@ -529,6 +585,65 @@ StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryMir2(
   });
 }
 
+StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryAuto(
+    const DistanceFirstQuery& q, QueryStats* stats, QueryPlan* plan_out) {
+  if (planner_ == nullptr) {
+    return Status::FailedPrecondition("Planner was not built");
+  }
+  // Planning is pure in-memory arithmetic (pinned by
+  // cold_regime_regression_test), so the executed query's disk profile is
+  // exactly what a direct call to the chosen algorithm would produce.
+  const QueryPlan plan = planner_->Plan(q);
+  if (plan_out != nullptr) {
+    *plan_out = plan;
+  }
+  if (!plan.has_choice) {
+    return Status::FailedPrecondition(
+        "No structure available to answer the query");
+  }
+  QueryStats local;
+  StatusOr<std::vector<QueryResult>> results(std::vector<QueryResult>{});
+  switch (plan.chosen) {
+    case Algorithm::kRTree:
+      results = QueryRTree(q, &local);
+      break;
+    case Algorithm::kIio:
+      results = QueryIio(q, &local);
+      break;
+    case Algorithm::kIr2:
+      results = QueryIr2(q, &local);
+      break;
+    case Algorithm::kMir2:
+      results = QueryMir2(q, &local);
+      break;
+    case Algorithm::kAuto:
+      return Status::Internal("Planner chose kAuto");
+  }
+  IR2_RETURN_IF_ERROR(results.status());
+  planner_->RecordOutcome(plan, local.simulated_disk_ms);
+  if (stats != nullptr) {
+    *stats += local;
+  }
+  return results;
+}
+
+StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::Query(
+    const DistanceFirstQuery& q, Algorithm algo, QueryStats* stats) {
+  switch (algo) {
+    case Algorithm::kRTree:
+      return QueryRTree(q, stats);
+    case Algorithm::kIio:
+      return QueryIio(q, stats);
+    case Algorithm::kIr2:
+      return QueryIr2(q, stats);
+    case Algorithm::kMir2:
+      return QueryMir2(q, stats);
+    case Algorithm::kAuto:
+      return QueryAuto(q, stats);
+  }
+  return Status::InvalidArgument("Unknown algorithm");
+}
+
 namespace {
 
 const char* ExplainAlgoName(SpatialKeywordDatabase::ExplainAlgo algo) {
@@ -541,8 +656,18 @@ const char* ExplainAlgoName(SpatialKeywordDatabase::ExplainAlgo algo) {
       return "IR2";
     case SpatialKeywordDatabase::ExplainAlgo::kMir2:
       return "MIR2";
+    case SpatialKeywordDatabase::ExplainAlgo::kAuto:
+      return "AUTO";
   }
   return "?";
+}
+
+// Selectivities span many decades; %.3g keeps 1e-7 readable where FormatMs
+// would render 0.00.
+std::string FormatSelectivity(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", value);
+  return buf;
 }
 
 // Under cold_queries the query itself clears the pools (zeroing their
@@ -611,6 +736,7 @@ StatusOr<SpatialKeywordDatabase::ExplainResult> SpatialKeywordDatabase::
   // instrumentation adds no I/O, so every count matches an untraced run.
   ExplainResult out;
   obs::Tracer tracer;
+  QueryPlan plan;
   StatusOr<std::vector<QueryResult>> results(std::vector<QueryResult>{});
   {
     obs::ScopedTracer scoped(&tracer);
@@ -627,6 +753,9 @@ StatusOr<SpatialKeywordDatabase::ExplainResult> SpatialKeywordDatabase::
       case ExplainAlgo::kMir2:
         results = QueryMir2(q, &out.stats);
         break;
+      case ExplainAlgo::kAuto:
+        results = QueryAuto(q, &out.stats, &plan);
+        break;
     }
   }
   IR2_RETURN_IF_ERROR(results.status());
@@ -639,7 +768,13 @@ StatusOr<SpatialKeywordDatabase::ExplainResult> SpatialKeywordDatabase::
                  " distance-first top-" + std::to_string(q.k);
 
   obs::ExplainSection* query = report.AddSection("Query");
-  query->AddRow("algorithm", ExplainAlgoName(algo));
+  if (algo == ExplainAlgo::kAuto) {
+    query->AddRow("algorithm", std::string("auto -> ") +
+                                   AlgorithmName(plan.chosen) +
+                                   " (cost-based)");
+  } else {
+    query->AddRow("algorithm", ExplainAlgoName(algo));
+  }
   if (q.area.has_value()) {
     query->AddRow("target", "area (MINDIST to rectangle)");
   } else {
@@ -654,6 +789,36 @@ StatusOr<SpatialKeywordDatabase::ExplainResult> SpatialKeywordDatabase::
   query->AddRow("regime", options_.cold_queries ? "cold (caches dropped)"
                                                 : "warm");
   query->AddRow("prefetch", options_.prefetch ? "on" : "off");
+
+  if (algo == ExplainAlgo::kAuto) {
+    // How the decision was made (docs/planner.md): every candidate's
+    // static DiskModel estimate, the feedback-corrected prediction the
+    // choice minimized, and how the chosen plan's prediction compared to
+    // what execution actually cost.
+    obs::ExplainSection* plan_section =
+        report.AddSection("Planner (cost-based candidate pricing)");
+    plan_section->columns = {"candidate", "feasible", "static est ms",
+                             "predicted ms", ""};
+    for (const PlanCandidate& candidate : plan.candidates) {
+      plan_section->AddRow(
+          {AlgorithmName(candidate.algo), candidate.feasible ? "yes" : "no",
+           candidate.feasible ? obs::FormatMs(candidate.static_ms) : "-",
+           candidate.feasible ? obs::FormatMs(candidate.predicted_ms) : "-",
+           candidate.algo == plan.chosen ? "<- chosen" : ""});
+    }
+    plan_section->AddRow({"conjunction selectivity",
+                          FormatSelectivity(plan.estimate.selectivity),
+                          "bucket " + std::to_string(plan.bucket), "", ""});
+    plan_section->AddRow({"estimated vs actual",
+                          obs::FormatMs(plan.chosen_predicted_ms) + " est",
+                          obs::FormatMs(stats.simulated_disk_ms) + " actual",
+                          plan.chosen_predicted_ms > 0.0
+                              ? FormatSelectivity(stats.simulated_disk_ms /
+                                                  plan.chosen_predicted_ms) +
+                                    "x"
+                              : "-",
+                          ""});
+  }
 
   obs::ExplainSection* answers = report.AddSection("Results");
   answers->columns = {"rank", "ref", "object_id", "distance"};
@@ -1099,6 +1264,8 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
   db->scorer_ = std::make_unique<IrScorer>(
       CorpusStats{stats.num_objects, stats.AvgDocLen()});
   db->WireIoEngine();
+  // As in Build: snapshot the planner's tree shapes before zeroing stats.
+  IR2_RETURN_IF_ERROR(db->WirePlanner());
   db->ResetIoStats();
   return db;
 }

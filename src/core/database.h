@@ -11,6 +11,7 @@
 #include "core/ir2_tree.h"
 #include "obs/explain.h"
 #include "core/mir2_tree.h"
+#include "core/planner.h"
 #include "core/query.h"
 #include "rtree/rtree.h"
 #include "storage/buffer_pool.h"
@@ -83,6 +84,10 @@ struct DatabaseOptions {
   bool build_ir2 = true;
   bool build_mir2 = true;
   bool build_iio = true;
+  // Cost-based planner behind Algorithm::kAuto (docs/planner.md). Built at
+  // Build/Open time from a one-time tree-stats snapshot; per-query planning
+  // is pure in-memory arithmetic.
+  bool build_planner = true;
 
   // ---- Cold-path I/O engine (see docs/performance.md) ----
 
@@ -151,8 +156,25 @@ class SpatialKeywordDatabase {
   StatusOr<std::vector<QueryResult>> QueryMir2(const DistanceFirstQuery& q,
                                                QueryStats* stats = nullptr);
 
+  // ---- Cost-based auto mode (see docs/planner.md) ----
+  // Prices every candidate algorithm under the DiskModel (zero I/O — tree
+  // shapes are snapshotted at Build/Open and keyword frequencies come from
+  // the IIO's resident dictionary), executes the cheapest plan, and feeds
+  // the observed simulated-disk time back into the planner's EWMA
+  // corrections. `plan_out` (optional) receives the full decision.
+  StatusOr<std::vector<QueryResult>> QueryAuto(const DistanceFirstQuery& q,
+                                               QueryStats* stats = nullptr,
+                                               QueryPlan* plan_out = nullptr);
+
+  // Uniform dispatcher over the four fixed algorithms plus kAuto.
+  StatusOr<std::vector<QueryResult>> Query(const DistanceFirstQuery& q,
+                                           Algorithm algo,
+                                           QueryStats* stats = nullptr);
+
   // ---- EXPLAIN (see docs/observability.md) ----
-  enum class ExplainAlgo { kRTree, kIio, kIr2, kMir2 };
+  // Historical spelling: EXPLAIN predates Algorithm/kAuto and kept its
+  // enumerator set when the planner subsumed it.
+  using ExplainAlgo = Algorithm;
 
   struct ExplainResult {
     // Where the query's work and simulated milliseconds went; render with
@@ -202,6 +224,10 @@ class SpatialKeywordDatabase {
   Ir2Tree* ir2_tree() { return ir2_.get(); }
   Mir2Tree* mir2_tree() { return mir2_.get(); }
   InvertedIndex* inverted_index() { return iio_.get(); }
+  // Cost-based planner behind Algorithm::kAuto (null iff build_planner was
+  // disabled). Thread-safe: Plan and RecordOutcome may run concurrently
+  // from BatchExecutor workers.
+  QueryPlanner* planner() { return planner_.get(); }
   const IrScorer& scorer() const { return *scorer_; }
   // The simulated-disk cost model QueryStats.simulated_disk_ms is priced
   // under (shared by all devices; they use one block size).
@@ -226,6 +252,12 @@ class SpatialKeywordDatabase {
   // Creates the per-structure prefetch schedulers over the existing pools
   // and attaches the IIO streaming scheduler; shared tail of Build/Open.
   void WireIoEngine();
+
+  // Snapshots the planner's inputs (tree shapes via ComputeTreeStats —
+  // which reads every node, so this runs once here, never per query) and
+  // constructs the planner. Runs before ResetIoStats in Build/Open so the
+  // snapshot's reads never appear in any measurement.
+  Status WirePlanner();
 
   // Shared prologue/epilogue of every query method: optional cache drop,
   // timing, three-way I/O diffing (demand / physical / speculative) and
@@ -285,6 +317,7 @@ class SpatialKeywordDatabase {
   std::unique_ptr<Mir2Tree> mir2_;
   std::unique_ptr<InvertedIndex> iio_;
   std::unique_ptr<IrScorer> scorer_;
+  std::unique_ptr<QueryPlanner> planner_;
 
   // Schedulers last: destroyed first, so their worker threads stop touching
   // the pools before anything above is torn down.

@@ -1,0 +1,37 @@
+#include "core/stats.h"
+
+#include <algorithm>
+
+namespace ir2 {
+
+ConjunctionEstimate EstimateConjunction(
+    const InvertedIndex& index,
+    std::span<const std::string> normalized_keywords, uint64_t num_objects) {
+  ConjunctionEstimate estimate;
+  estimate.dfs.reserve(normalized_keywords.size());
+  if (num_objects == 0) {
+    estimate.selectivity = 0.0;
+    for (const std::string& keyword : normalized_keywords) {
+      estimate.dfs.push_back(index.DocumentFrequency(keyword));
+    }
+    return estimate;
+  }
+  const double n = static_cast<double>(num_objects);
+  for (const std::string& keyword : normalized_keywords) {
+    const uint64_t df = index.DocumentFrequency(keyword);
+    estimate.dfs.push_back(df);
+    estimate.selectivity *= static_cast<double>(df) / n;
+  }
+  return estimate;
+}
+
+double ExpectedVerificationLoads(double selectivity, uint32_t k,
+                                 uint64_t num_objects) {
+  const double n = static_cast<double>(num_objects);
+  if (selectivity <= 0.0) {
+    return n;
+  }
+  return std::min(static_cast<double>(k) / selectivity, n);
+}
+
+}  // namespace ir2

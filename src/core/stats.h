@@ -1,0 +1,62 @@
+#ifndef IR2TREE_CORE_STATS_H_
+#define IR2TREE_CORE_STATS_H_
+
+// Shared selectivity arithmetic for conjunctive keyword queries. Both the
+// scan-vs-seek object-file sweep (database.cc) and the cost-based query
+// planner (planner.cc) need the same two quantities — the selectivity of
+// the keyword conjunction and the object loads a distance-first top-k
+// traversal is expected to perform — so the formula lives here once.
+// Everything is computed from the inverted index's in-memory dictionary:
+// no I/O.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "text/inverted_index.h"
+
+namespace ir2 {
+
+// Selectivity of a conjunctive (AND) keyword query under the independence
+// assumption, Section VI cost-model style: the probability that a random
+// object contains every keyword is the product of the per-keyword document
+// frequencies over the corpus size. A keyword with zero frequency matches
+// nothing and zeroes the whole conjunction.
+struct ConjunctionEstimate {
+  // Product over keywords of df/N; 1.0 for an empty conjunction (every
+  // object matches a keyword-less query), 0.0 when any keyword is absent.
+  double selectivity = 1.0;
+  // Document frequency per keyword, in input order.
+  std::vector<uint64_t> dfs;
+
+  // Rarest keyword's document frequency (the galloping intersection's
+  // driver list); N for an empty conjunction.
+  uint64_t MinDf(uint64_t num_objects) const {
+    uint64_t min_df = num_objects;
+    for (uint64_t df : dfs) min_df = df < min_df ? df : min_df;
+    return min_df;
+  }
+  // Expected number of objects containing every keyword.
+  double ExpectedMatches(uint64_t num_objects) const {
+    return selectivity * static_cast<double>(num_objects);
+  }
+};
+
+// Estimates the conjunction of `normalized_keywords` (the output of
+// Tokenizer::NormalizeKeywords) from the index's in-memory dictionary.
+ConjunctionEstimate EstimateConjunction(
+    const InvertedIndex& index, std::span<const std::string> normalized_keywords,
+    uint64_t num_objects);
+
+// Expected LoadObject calls a distance-first top-k traversal performs when
+// every distance-ordered candidate is verified until k pass the keyword
+// check: k / selectivity, capped at the corpus size. Zero selectivity (a
+// keyword matching nothing) forces the traversal to verify its way through
+// everything.
+double ExpectedVerificationLoads(double selectivity, uint32_t k,
+                                 uint64_t num_objects);
+
+}  // namespace ir2
+
+#endif  // IR2TREE_CORE_STATS_H_

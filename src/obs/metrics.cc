@@ -386,6 +386,18 @@ const CoreMetrics& DefaultMetrics() {
                      "Verified objects that failed the keyword check");
     m->queries_total =
         r.GetCounter("ir2_queries_total", "Top-k queries executed");
+    m->plan_chosen_rtree = r.GetCounter(
+        "ir2_plan_chosen_rtree_total", "Auto plans won by the R-Tree baseline");
+    m->plan_chosen_iio =
+        r.GetCounter("ir2_plan_chosen_iio_total", "Auto plans won by IIO");
+    m->plan_chosen_ir2 =
+        r.GetCounter("ir2_plan_chosen_ir2_total", "Auto plans won by IR2");
+    m->plan_chosen_mir2 =
+        r.GetCounter("ir2_plan_chosen_mir2_total", "Auto plans won by MIR2");
+    m->plan_mispredict = r.GetCounter(
+        "ir2_plan_mispredict_total",
+        "Executed auto plans whose observed cost exceeded a rejected "
+        "candidate's prediction");
     m->query_latency_ms = r.GetHistogram("ir2_query_latency_ms",
                                          "Wall-clock query latency (ms)");
     m->query_sim_disk_ms = r.GetHistogram(

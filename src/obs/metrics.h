@@ -169,6 +169,15 @@ struct CoreMetrics {
   Counter* objects_verified;
   Counter* verification_false_positives;
   Counter* queries_total;
+  // Cost-based planner decisions (one counter per winning algorithm; the
+  // registry carries no label dimension, so the algorithm is in the name)
+  // and hindsight mispredictions (observed cost exceeded a rejected
+  // candidate's prediction). See docs/planner.md.
+  Counter* plan_chosen_rtree;
+  Counter* plan_chosen_iio;
+  Counter* plan_chosen_ir2;
+  Counter* plan_chosen_mir2;
+  Counter* plan_mispredict;
   Histogram* query_latency_ms;
   Histogram* query_sim_disk_ms;
   Histogram* query_demand_blocks;

@@ -310,6 +310,18 @@ uint64_t InvertedIndex::DocumentFrequency(std::string_view word) const {
   return it == dictionary_.end() ? 0 : it->second.count;
 }
 
+uint64_t InvertedIndex::PostingBlocks(std::string_view word) const {
+  auto it = dictionary_.find(std::string(word));
+  if (it == dictionary_.end() || it->second.byte_length == 0) {
+    return 0;
+  }
+  const TermInfo& info = it->second;
+  const uint64_t block_size = device_->block_size();
+  const uint64_t first = info.byte_offset / block_size;
+  const uint64_t last = (info.byte_offset + info.byte_length - 1) / block_size;
+  return last - first + 1;
+}
+
 namespace {
 
 // First position in [first, last) not less than `value`, found by

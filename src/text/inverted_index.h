@@ -43,6 +43,11 @@ class InvertedIndex {
   // Document frequency from the in-memory dictionary (no I/O).
   uint64_t DocumentFrequency(std::string_view word) const;
 
+  // Device blocks the word's posting list spans — the exact read cost of
+  // RetrieveList (1 random + (n-1) sequential accesses). Answered from the
+  // in-memory dictionary (no I/O); 0 if the word is not in the dictionary.
+  uint64_t PostingBlocks(std::string_view word) const;
+
   uint64_t num_terms() const { return dictionary_.size(); }
   uint64_t num_objects() const { return num_objects_; }
   double avg_doc_len() const { return avg_doc_len_; }

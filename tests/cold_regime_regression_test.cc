@@ -144,5 +144,76 @@ TEST_F(ColdRegimeRegressionTest, IioCountsMatchGolden) {
   ExpectProfile(stats, GoldenProfile{302, 0, 0, 0, 232, 140}, "IIO");
 }
 
+// Physical accesses this thread has performed against every device the
+// database holds, planner-visible structures included.
+IoStats AggregateThreadIo(SpatialKeywordDatabase& db) {
+  IoStats io;
+  io += db.object_store().device()->thread_stats();
+  if (db.inverted_index() != nullptr) {
+    io += db.inverted_index()->device()->thread_stats();
+  }
+  if (db.rtree() != nullptr) io += db.rtree()->pool()->device()->thread_stats();
+  if (db.ir2_tree() != nullptr) {
+    io += db.ir2_tree()->pool()->device()->thread_stats();
+  }
+  if (db.mir2_tree() != nullptr) {
+    io += db.mir2_tree()->pool()->device()->thread_stats();
+  }
+  return io;
+}
+
+// The random/sequential split of a cold query depends on where the
+// previous query left the simulated disk head, so profile comparisons
+// between two runs of the same query must start both from a parked head.
+void ResetCursors(SpatialKeywordDatabase& db) {
+  db.object_store().device()->ResetThreadCursor();
+  if (db.inverted_index() != nullptr) {
+    db.inverted_index()->device()->ResetThreadCursor();
+  }
+  for (RTreeBase* tree : {static_cast<RTreeBase*>(db.rtree()),
+                          static_cast<RTreeBase*>(db.ir2_tree()),
+                          static_cast<RTreeBase*>(db.mir2_tree())}) {
+    if (tree != nullptr) tree->pool()->device()->ResetThreadCursor();
+  }
+}
+
+// Planning must be pure in-memory arithmetic: the tree shapes were
+// snapshotted at Build time and document frequencies come from the IIO's
+// resident dictionary, so pricing all four candidates for a whole workload
+// may not touch a device once.
+TEST_F(ColdRegimeRegressionTest, PlanningPerformsNoDeviceReads) {
+  ASSERT_NE(db_->planner(), nullptr);
+  const IoStats before = AggregateThreadIo(*db_);
+  for (const DistanceFirstQuery& query : queries_) {
+    const QueryPlan plan = db_->planner()->Plan(query);
+    EXPECT_TRUE(plan.has_choice);
+  }
+  EXPECT_EQ(AggregateThreadIo(*db_), before);
+}
+
+// Auto mode's cold disk profile must be exactly the chosen algorithm's —
+// planning adds zero blocks to any counter the goldens above pin.
+TEST_F(ColdRegimeRegressionTest, AutoModePerturbsNoColdCounts) {
+  ASSERT_NE(db_->planner(), nullptr);
+  for (const DistanceFirstQuery& query : queries_) {
+    db_->planner()->feedback().Reset();
+    QueryStats auto_stats;
+    QueryPlan plan;
+    ResetCursors(*db_);
+    auto auto_results = db_->QueryAuto(query, &auto_stats, &plan);
+    ASSERT_TRUE(auto_results.ok()) << auto_results.status().ToString();
+    QueryStats fixed_stats;
+    ResetCursors(*db_);
+    auto fixed_results = db_->Query(query, plan.chosen, &fixed_stats);
+    ASSERT_TRUE(fixed_results.ok()) << fixed_results.status().ToString();
+    EXPECT_EQ(auto_stats.io, fixed_stats.io);
+    EXPECT_EQ(auto_stats.demand_io, fixed_stats.demand_io);
+    EXPECT_EQ(auto_stats.objects_loaded, fixed_stats.objects_loaded);
+    EXPECT_EQ(auto_stats.nodes_visited, fixed_stats.nodes_visited);
+    EXPECT_EQ(auto_stats.false_positives, fixed_stats.false_positives);
+    EXPECT_EQ(auto_stats.speculative_io.TotalAccesses(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace ir2
