@@ -47,6 +47,19 @@ fi
   && echo "auto EXPLAIN: planner section present"
 
 echo
+echo "== SIMD kernels: dispatch smoke + scalar-tier golden diff =="
+# bench_kernels reports each kernel scalar-vs-dispatched and evaluates
+# the >=2x acceptance in its JSON (see docs/performance.md). The golden
+# diff is the regression binaries re-run with dispatch forced to the
+# scalar tier: the embedded cold-regime disk counts must pass untouched,
+# which pins that the kernels change where cycles go and nothing else.
+(cd build && ./bench/bench_kernels --smoke)
+IR2_DISABLE_SIMD=1 ./build/tests/simd_test > /dev/null \
+  && echo "simd_test (scalar forced): OK"
+IR2_DISABLE_SIMD=1 ./build/tests/cold_regime_regression_test > /dev/null \
+  && echo "cold-regime goldens (scalar forced): OK"
+
+echo
 echo "== Observability: EXPLAIN + trace + exporter goldens =="
 # One traced query end to end (see docs/observability.md): the EXPLAIN
 # report renders, the Chrome trace and the metrics dump are written, the
@@ -81,15 +94,16 @@ if [ "${IR2_CHECK_FULL:-0}" = "1" ]; then
 else
   # The suites that exercise the concurrent machinery (sharded pool,
   # decoded-node cache, per-thread I/O accounting, BatchExecutor, the
-  # prefetch scheduler's worker thread, the sharded metrics/tracer
-  # hammers, and the planner's lock-free feedback under database-mode
-  # batches) — the rest of the suite is single-threaded and covered by
-  # the Release run.
+  # prefetch scheduler's worker thread, the async I/O backend's
+  # submit/reap ring under demand+prefetch races, the sharded
+  # metrics/tracer hammers, and the planner's lock-free feedback under
+  # database-mode batches) — the rest of the suite is single-threaded
+  # and covered by the Release run.
   cmake --build build-tsan -j "$jobs" --target \
     concurrency_test batch_executor_test node_cache_test storage_test \
-    io_scheduler_test obs_test planner_test
+    io_scheduler_test file_device_async_test obs_test planner_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'concurrency_test|batch_executor_test|node_cache_test|storage_test|io_scheduler_test|obs_test|planner_test'
+    -R 'concurrency_test|batch_executor_test|node_cache_test|storage_test|io_scheduler_test|file_device_async_test|obs_test|planner_test'
 fi
 
 echo
@@ -102,9 +116,13 @@ cmake -B build-ubsan -S . -DIR2_SANITIZE=undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-ubsan -j "$jobs" --target \
   io_scheduler_test prefetch_invariance_test cold_regime_regression_test \
-  storage_test bulk_load_test
+  storage_test bulk_load_test simd_test
+# Twice: dispatched kernels (wide loads, unaligned pointers) and the
+# scalar tier both have to be UB-clean.
 ctest --test-dir build-ubsan --output-on-failure \
-  -R 'io_scheduler_test|prefetch_invariance_test|cold_regime_regression_test|storage_test|bulk_load_test'
+  -R 'io_scheduler_test|prefetch_invariance_test|cold_regime_regression_test|storage_test|bulk_load_test|simd_test'
+IR2_DISABLE_SIMD=1 ctest --test-dir build-ubsan --output-on-failure \
+  -R 'cold_regime_regression_test|simd_test'
 
 if [ "${IR2_CHECK_ASAN:-0}" = "1" ]; then
   echo
@@ -113,9 +131,14 @@ if [ "${IR2_CHECK_ASAN:-0}" = "1" ]; then
     -DCMAKE_BUILD_TYPE=Debug
   cmake --build build-asan -j "$jobs" --target \
     node_cache_test cold_regime_regression_test ir2_tree_test rtree_test \
-    algorithms_test
+    algorithms_test simd_test file_device_async_test
+  # Both SIMD ways here too: the dispatched kernels read signature and
+  # posting buffers in wide chunks, exactly where an out-of-bounds read
+  # would hide from the scalar tier.
   ctest --test-dir build-asan --output-on-failure \
-    -R 'node_cache_test|cold_regime_regression_test|ir2_tree_test|rtree_test|algorithms_test'
+    -R 'node_cache_test|cold_regime_regression_test|ir2_tree_test|rtree_test|algorithms_test|simd_test|file_device_async_test'
+  IR2_DISABLE_SIMD=1 ctest --test-dir build-asan --output-on-failure \
+    -R 'cold_regime_regression_test|simd_test'
 fi
 
 echo

@@ -1,0 +1,523 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define IR2_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+#if defined(__aarch64__)
+#define IR2_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace ir2::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference tier. These are the semantics every other tier must
+// reproduce bit for bit; simd_test cross-checks them on random and
+// adversarial inputs.
+// ---------------------------------------------------------------------------
+
+// Word loop + zero-extended byte tail starting at `byte_off` (a multiple of
+// 8). The vector tiers delegate their sub-register remainders here so the
+// tail semantics exist in exactly one place.
+inline bool BytesContainTail(const uint8_t* bytes, size_t num_bytes,
+                             const uint64_t* query_words, size_t byte_off) {
+  size_t w = byte_off / sizeof(uint64_t);
+  const size_t full_words = num_bytes / sizeof(uint64_t);
+  for (; w < full_words; ++w) {
+    uint64_t word;
+    std::memcpy(&word, bytes + w * sizeof(uint64_t), sizeof(uint64_t));
+    if ((word & query_words[w]) != query_words[w]) {
+      return false;
+    }
+  }
+  const size_t tail = num_bytes - full_words * sizeof(uint64_t);
+  if (tail != 0) {
+    uint64_t word = 0;
+    std::memcpy(&word, bytes + full_words * sizeof(uint64_t), tail);
+    if ((word & query_words[full_words]) != query_words[full_words]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Decodes one varint at in[pos]; returns false on truncation or a value
+// wider than 5 bytes (shift > 28), the exact corruption conditions of the
+// historical posting-list decoder.
+inline bool DecodeOneVarint(const uint8_t* in, size_t in_size, size_t* pos,
+                            uint32_t* gap_out) {
+  uint32_t gap = 0;
+  int shift = 0;
+  while (true) {
+    if (*pos >= in_size || shift > 28) {
+      return false;
+    }
+    const uint8_t b = in[(*pos)++];
+    gap |= static_cast<uint32_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  *gap_out = gap;
+  return true;
+}
+
+}  // namespace
+
+bool WordsContainAllScalar(const uint64_t* data, const uint64_t* query,
+                           size_t num_words) {
+  for (size_t i = 0; i < num_words; ++i) {
+    if ((data[i] & query[i]) != query[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BytesContainWordsScalar(const uint8_t* bytes, size_t num_bytes,
+                             const uint64_t* query_words) {
+  return BytesContainTail(bytes, num_bytes, query_words, 0);
+}
+
+uint64_t PopcountWordsScalar(const uint64_t* words, size_t num_words) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < num_words; ++i) {
+    count += static_cast<uint64_t>(std::popcount(words[i]));
+  }
+  return count;
+}
+
+size_t DecodeDGapVarintsScalar(const uint8_t* in, size_t in_size,
+                               uint32_t count, uint32_t* out) {
+  uint32_t previous = 0;
+  size_t pos = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t gap;
+    if (!DecodeOneVarint(in, in_size, &pos, &gap)) {
+      return kDecodeError;
+    }
+    previous += gap;
+    out[i] = previous;
+  }
+  return pos;
+}
+
+// ---------------------------------------------------------------------------
+// x86 tiers. SSE2 is the x86-64 baseline (no target attribute needed); AVX2
+// kernels carry a target attribute so the file compiles without -mavx2 and
+// the instructions only execute behind the CPUID dispatch below.
+// ---------------------------------------------------------------------------
+#if IR2_SIMD_X86
+
+namespace {
+
+bool WordsContainAllSse2(const uint64_t* data, const uint64_t* query,
+                         size_t num_words) {
+  size_t i = 0;
+  for (; i + 2 <= num_words; i += 2) {
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    const __m128i q =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(query + i));
+    const __m128i eq = _mm_cmpeq_epi8(_mm_and_si128(d, q), q);
+    if (_mm_movemask_epi8(eq) != 0xFFFF) {
+      return false;
+    }
+  }
+  return WordsContainAllScalar(data + i, query + i, num_words - i);
+}
+
+bool BytesContainWordsSse2(const uint8_t* bytes, size_t num_bytes,
+                           const uint64_t* query_words) {
+  const uint8_t* q = reinterpret_cast<const uint8_t*>(query_words);
+  size_t off = 0;
+  for (; off + 16 <= num_bytes; off += 16) {
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + off));
+    const __m128i qv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + off));
+    const __m128i eq = _mm_cmpeq_epi8(_mm_and_si128(d, qv), qv);
+    if (_mm_movemask_epi8(eq) != 0xFFFF) {
+      return false;
+    }
+  }
+  return BytesContainTail(bytes, num_bytes, query_words, off & ~size_t{7});
+}
+
+size_t DecodeDGapVarintsSse2(const uint8_t* in, size_t in_size, uint32_t count,
+                             uint32_t* out) {
+  uint32_t previous = 0;
+  size_t pos = 0;
+  uint32_t i = 0;
+  while (count - i >= 16 && in_size - pos >= 16) {
+    const __m128i chunk =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + pos));
+    if (_mm_movemask_epi8(chunk) == 0) {
+      // Sixteen single-byte gaps: accumulate without the per-byte
+      // continuation branch of the reference decoder.
+      for (int j = 0; j < 16; ++j) {
+        previous += in[pos + static_cast<size_t>(j)];
+        out[i + static_cast<uint32_t>(j)] = previous;
+      }
+      pos += 16;
+      i += 16;
+      continue;
+    }
+    const size_t limit = pos + 16;
+    while (pos < limit && i < count) {
+      uint32_t gap;
+      if (!DecodeOneVarint(in, in_size, &pos, &gap)) {
+        return kDecodeError;
+      }
+      previous += gap;
+      out[i++] = previous;
+    }
+  }
+  for (; i < count; ++i) {
+    uint32_t gap;
+    if (!DecodeOneVarint(in, in_size, &pos, &gap)) {
+      return kDecodeError;
+    }
+    previous += gap;
+    out[i] = previous;
+  }
+  return pos;
+}
+
+__attribute__((target("avx2"))) bool WordsContainAllAvx2(
+    const uint64_t* data, const uint64_t* query, size_t num_words) {
+  size_t i = 0;
+  for (; i + 4 <= num_words; i += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const __m256i q =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(query + i));
+    // testc: CF = ((~d) & q) == 0, i.e. d contains every bit of q.
+    if (!_mm256_testc_si256(d, q)) {
+      return false;
+    }
+  }
+  return WordsContainAllScalar(data + i, query + i, num_words - i);
+}
+
+__attribute__((target("avx2"))) bool BytesContainWordsAvx2(
+    const uint8_t* bytes, size_t num_bytes, const uint64_t* query_words) {
+  // The query backing store spans ceil(num_bytes / 8) words >= num_bytes
+  // bytes, so every 32-byte load below stays inside both buffers.
+  const uint8_t* q = reinterpret_cast<const uint8_t*>(query_words);
+  size_t off = 0;
+  for (; off + 32 <= num_bytes; off += 32) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bytes + off));
+    const __m256i qv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q + off));
+    if (!_mm256_testc_si256(d, qv)) {
+      return false;
+    }
+  }
+  return BytesContainTail(bytes, num_bytes, query_words, off);
+}
+
+__attribute__((target("avx2,popcnt"))) uint64_t PopcountWordsAvx2(
+    const uint64_t* words, size_t num_words) {
+  // Hardware popcnt, four independent accumulator chains. This beats the
+  // default-codegen std::popcount loop (which cannot assume the POPCNT
+  // feature bit and emits the SWAR sequence) by well over 2x on
+  // signature-sized arrays.
+  uint64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= num_words; i += 4) {
+    c0 += static_cast<uint64_t>(__builtin_popcountll(words[i]));
+    c1 += static_cast<uint64_t>(__builtin_popcountll(words[i + 1]));
+    c2 += static_cast<uint64_t>(__builtin_popcountll(words[i + 2]));
+    c3 += static_cast<uint64_t>(__builtin_popcountll(words[i + 3]));
+  }
+  for (; i < num_words; ++i) {
+    c0 += static_cast<uint64_t>(__builtin_popcountll(words[i]));
+  }
+  return c0 + c1 + c2 + c3;
+}
+
+__attribute__((target("avx2"))) size_t DecodeDGapVarintsAvx2(
+    const uint8_t* in, size_t in_size, uint32_t count, uint32_t* out) {
+  uint32_t previous = 0;
+  size_t pos = 0;
+  uint32_t i = 0;
+  while (count - i >= 32 && in_size - pos >= 32) {
+    const __m256i chunk =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + pos));
+    if (_mm256_movemask_epi8(chunk) == 0) {
+      // Thirty-two single-byte gaps (the common case for dense posting
+      // lists): widen eight at a time and prefix-sum in-register. The two
+      // in-lane shift-adds produce per-lane prefix sums; the permute
+      // broadcasts the low lane's total into the high lane to complete the
+      // cross-lane carry.
+      for (int g = 0; g < 4; ++g) {
+        const __m128i raw = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(in + pos + 8 * g));
+        __m256i v = _mm256_cvtepu8_epi32(raw);
+        v = _mm256_add_epi32(v, _mm256_slli_si256(v, 4));
+        v = _mm256_add_epi32(v, _mm256_slli_si256(v, 8));
+        const __m256i low = _mm256_permute2x128_si256(v, v, 0x08);
+        v = _mm256_add_epi32(v, _mm256_shuffle_epi32(low, 0xFF));
+        v = _mm256_add_epi32(v,
+                             _mm256_set1_epi32(static_cast<int>(previous)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+        previous = static_cast<uint32_t>(_mm256_extract_epi32(v, 7));
+        i += 8;
+      }
+      pos += 32;
+      continue;
+    }
+    // Multi-byte gaps present: decode values until the chunk is consumed,
+    // re-aligning pos to a value boundary for the next vector probe.
+    const size_t limit = pos + 32;
+    while (pos < limit && i < count) {
+      uint32_t gap;
+      if (!DecodeOneVarint(in, in_size, &pos, &gap)) {
+        return kDecodeError;
+      }
+      previous += gap;
+      out[i++] = previous;
+    }
+  }
+  for (; i < count; ++i) {
+    uint32_t gap;
+    if (!DecodeOneVarint(in, in_size, &pos, &gap)) {
+      return kDecodeError;
+    }
+    previous += gap;
+    out[i] = previous;
+  }
+  return pos;
+}
+
+}  // namespace
+
+#endif  // IR2_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// NEON tier (AArch64; NEON is architecturally guaranteed there).
+// ---------------------------------------------------------------------------
+#if IR2_SIMD_NEON
+
+namespace {
+
+bool WordsContainAllNeon(const uint64_t* data, const uint64_t* query,
+                         size_t num_words) {
+  size_t i = 0;
+  for (; i + 2 <= num_words; i += 2) {
+    const uint64x2_t d = vld1q_u64(data + i);
+    const uint64x2_t q = vld1q_u64(query + i);
+    const uint64x2_t miss = vbicq_u64(q, d);  // q & ~d
+    if (vmaxvq_u32(vreinterpretq_u32_u64(miss)) != 0) {
+      return false;
+    }
+  }
+  return WordsContainAllScalar(data + i, query + i, num_words - i);
+}
+
+bool BytesContainWordsNeon(const uint8_t* bytes, size_t num_bytes,
+                           const uint64_t* query_words) {
+  const uint8_t* q = reinterpret_cast<const uint8_t*>(query_words);
+  size_t off = 0;
+  for (; off + 16 <= num_bytes; off += 16) {
+    const uint8x16_t d = vld1q_u8(bytes + off);
+    const uint8x16_t qv = vld1q_u8(q + off);
+    if (vmaxvq_u8(vbicq_u8(qv, d)) != 0) {
+      return false;
+    }
+  }
+  return BytesContainTail(bytes, num_bytes, query_words, off & ~size_t{7});
+}
+
+uint64_t PopcountWordsNeon(const uint64_t* words, size_t num_words) {
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 2 <= num_words; i += 2) {
+    const uint8x16_t bits = vcntq_u8(vreinterpretq_u8_u64(vld1q_u64(words + i)));
+    count += vaddvq_u8(bits);
+  }
+  for (; i < num_words; ++i) {
+    count += static_cast<uint64_t>(std::popcount(words[i]));
+  }
+  return count;
+}
+
+size_t DecodeDGapVarintsNeon(const uint8_t* in, size_t in_size, uint32_t count,
+                             uint32_t* out) {
+  uint32_t previous = 0;
+  size_t pos = 0;
+  uint32_t i = 0;
+  while (count - i >= 16 && in_size - pos >= 16) {
+    const uint8x16_t chunk = vld1q_u8(in + pos);
+    if (vmaxvq_u8(chunk) < 0x80) {
+      for (int j = 0; j < 16; ++j) {
+        previous += in[pos + static_cast<size_t>(j)];
+        out[i + static_cast<uint32_t>(j)] = previous;
+      }
+      pos += 16;
+      i += 16;
+      continue;
+    }
+    const size_t limit = pos + 16;
+    while (pos < limit && i < count) {
+      uint32_t gap;
+      if (!DecodeOneVarint(in, in_size, &pos, &gap)) {
+        return kDecodeError;
+      }
+      previous += gap;
+      out[i++] = previous;
+    }
+  }
+  for (; i < count; ++i) {
+    uint32_t gap;
+    if (!DecodeOneVarint(in, in_size, &pos, &gap)) {
+      return kDecodeError;
+    }
+    previous += gap;
+    out[i] = previous;
+  }
+  return pos;
+}
+
+}  // namespace
+
+#endif  // IR2_SIMD_NEON
+
+// ---------------------------------------------------------------------------
+// Dispatch. One kernel table per tier; the active table is resolved once
+// from CPUID / the environment and cached in an atomic pointer so every hot
+// call is a single relaxed load plus an indirect call.
+// ---------------------------------------------------------------------------
+namespace {
+
+struct KernelTable {
+  Level level;
+  bool (*words_contain_all)(const uint64_t*, const uint64_t*, size_t);
+  bool (*bytes_contain)(const uint8_t*, size_t, const uint64_t*);
+  uint64_t (*popcount)(const uint64_t*, size_t);
+  size_t (*decode_dgaps)(const uint8_t*, size_t, uint32_t, uint32_t*);
+};
+
+constexpr KernelTable kScalarTable = {
+    Level::kScalar,        WordsContainAllScalar, BytesContainWordsScalar,
+    PopcountWordsScalar,   DecodeDGapVarintsScalar,
+};
+
+#if IR2_SIMD_X86
+constexpr KernelTable kSse2Table = {
+    Level::kSse2,        WordsContainAllSse2, BytesContainWordsSse2,
+    PopcountWordsScalar,  // POPCNT is not in the SSE2 baseline.
+    DecodeDGapVarintsSse2,
+};
+constexpr KernelTable kAvx2Table = {
+    Level::kAvx2,      WordsContainAllAvx2, BytesContainWordsAvx2,
+    PopcountWordsAvx2, DecodeDGapVarintsAvx2,
+};
+#endif
+
+#if IR2_SIMD_NEON
+constexpr KernelTable kNeonTable = {
+    Level::kNeon,      WordsContainAllNeon, BytesContainWordsNeon,
+    PopcountWordsNeon, DecodeDGapVarintsNeon,
+};
+#endif
+
+const KernelTable* TableForLevel(Level level) {
+  switch (level) {
+#if IR2_SIMD_X86
+    case Level::kAvx2:
+      if (__builtin_cpu_supports("avx2")) return &kAvx2Table;
+      return &kScalarTable;
+    case Level::kSse2:
+      return &kSse2Table;
+#endif
+#if IR2_SIMD_NEON
+    case Level::kNeon:
+      return &kNeonTable;
+#endif
+    default:
+      return &kScalarTable;
+  }
+}
+
+const KernelTable* DetectTable() {
+  const char* disable = std::getenv("IR2_DISABLE_SIMD");
+  if (disable != nullptr && disable[0] != '\0' && disable[0] != '0') {
+    return &kScalarTable;
+  }
+#if IR2_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) {
+    return &kAvx2Table;
+  }
+  return &kSse2Table;  // SSE2 is the x86-64 baseline.
+#elif IR2_SIMD_NEON
+  return &kNeonTable;
+#else
+  return &kScalarTable;
+#endif
+}
+
+std::atomic<const KernelTable*> g_table{nullptr};
+
+inline const KernelTable& ActiveTable() {
+  const KernelTable* table = g_table.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    table = DetectTable();
+    g_table.store(table, std::memory_order_release);
+  }
+  return *table;
+}
+
+}  // namespace
+
+Level ActiveLevel() { return ActiveTable().level; }
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+void ForceLevelForTest(Level level) {
+  g_table.store(TableForLevel(level), std::memory_order_release);
+}
+
+bool WordsContainAll(const uint64_t* data, const uint64_t* query,
+                     size_t num_words) {
+  return ActiveTable().words_contain_all(data, query, num_words);
+}
+
+bool BytesContainWords(const uint8_t* bytes, size_t num_bytes,
+                       const uint64_t* query_words) {
+  return ActiveTable().bytes_contain(bytes, num_bytes, query_words);
+}
+
+BytesContainFn ActiveBytesContainFn() { return ActiveTable().bytes_contain; }
+
+uint64_t PopcountWords(const uint64_t* words, size_t num_words) {
+  return ActiveTable().popcount(words, num_words);
+}
+
+size_t DecodeDGapVarints(const uint8_t* in, size_t in_size, uint32_t count,
+                         uint32_t* out) {
+  return ActiveTable().decode_dgaps(in, in_size, count, out);
+}
+
+}  // namespace ir2::simd

@@ -1,0 +1,80 @@
+#ifndef IR2TREE_COMMON_SIMD_H_
+#define IR2TREE_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Runtime-dispatched vector kernels for the two hot inner loops the paper's
+// cost model says dominate query time: signature containment tests (IR2/MIR2
+// node scans and the sequential signature-file scan) and d-gap varint
+// posting-list decode (the IIO baseline). Dispatch is resolved once per
+// process from CPUID (x86) or the target architecture (NEON) and can be
+// forced to the scalar reference with IR2_DISABLE_SIMD=1 in the environment,
+// which scripts/check.sh uses to golden-diff the two paths.
+//
+// Every kernel is a pure function of its inputs with bit-identical results
+// across tiers — the dispatched entry points and the *Scalar references may
+// be cross-checked on arbitrary inputs (simd_test does, including unaligned
+// tails and adversarial bit patterns).
+namespace ir2::simd {
+
+enum class Level {
+  kScalar,  // Portable reference, also the IR2_DISABLE_SIMD=1 path.
+  kSse2,    // 128-bit x86 baseline.
+  kAvx2,    // 256-bit x86.
+  kNeon,    // 128-bit AArch64.
+};
+
+// The tier all dispatched kernels below currently run on.
+Level ActiveLevel();
+const char* LevelName(Level level);
+
+// Test/bench hook: force a specific tier (no-op fallback to scalar when the
+// CPU lacks it). Affects all subsequent dispatched calls process-wide; not
+// thread-safe against in-flight kernel calls, so only call at startup or
+// between single-threaded test cases.
+void ForceLevelForTest(Level level);
+
+// True iff every bit set in `query` is also set in `data`; both are
+// word-aligned arrays of `num_words` words (the Signature backing store,
+// bits past num_bits zeroed — no tail masking needed).
+bool WordsContainAll(const uint64_t* data, const uint64_t* query,
+                     size_t num_words);
+bool WordsContainAllScalar(const uint64_t* data, const uint64_t* query,
+                           size_t num_words);
+
+// True iff every bit set in the query words is also set in `bytes`, a raw
+// (possibly unaligned) little-endian bit string of `num_bytes` bytes.
+// `query_words` must hold ceil(num_bytes / 8) words with bits past
+// num_bytes * 8 zeroed — exactly Signature::words() of an equal-width query.
+bool BytesContainWords(const uint8_t* bytes, size_t num_bytes,
+                       const uint64_t* query_words);
+bool BytesContainWordsScalar(const uint8_t* bytes, size_t num_bytes,
+                             const uint64_t* query_words);
+
+// The function-pointer form of BytesContainWords for batched node scans:
+// resolving the tier once per node instead of once per entry keeps the
+// dispatch load and the query register warm across a whole entry array.
+using BytesContainFn = bool (*)(const uint8_t* bytes, size_t num_bytes,
+                                const uint64_t* query_words);
+BytesContainFn ActiveBytesContainFn();
+
+// Total set bits across `num_words` words (signature weight).
+uint64_t PopcountWords(const uint64_t* words, size_t num_words);
+uint64_t PopcountWordsScalar(const uint64_t* words, size_t num_words);
+
+// Decodes exactly `count` d-gap varints (7 data bits per byte, high bit =
+// continuation, at most 5 bytes per value) from in[0, in_size), writing the
+// running prefix sums (absolute ObjectRefs) to out[0, count). Returns the
+// number of input bytes consumed, or kDecodeError if a value is truncated
+// or longer than 5 bytes — the same corruption conditions the scalar
+// reference detects, so callers keep their existing error semantics.
+inline constexpr size_t kDecodeError = ~static_cast<size_t>(0);
+size_t DecodeDGapVarints(const uint8_t* in, size_t in_size, uint32_t count,
+                         uint32_t* out);
+size_t DecodeDGapVarintsScalar(const uint8_t* in, size_t in_size,
+                               uint32_t count, uint32_t* out);
+
+}  // namespace ir2::simd
+
+#endif  // IR2TREE_COMMON_SIMD_H_

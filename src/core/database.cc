@@ -1,12 +1,18 @@
 #include "core/database.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <unordered_set>
 
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "core/general_search.h"
 #include "core/iio.h"
@@ -311,10 +317,28 @@ Status SpatialKeywordDatabase::WirePlanner() {
 }
 
 void SpatialKeywordDatabase::WireIoEngine() {
-  const auto make_scheduler = [this](BufferPool* pool) {
-    return pool != nullptr
-               ? std::make_unique<IoScheduler>(pool, options_.scheduler)
-               : nullptr;
+  // Schedulers may hold pointers into async_backends_; tear them down first
+  // if this is ever re-run.
+  object_scheduler_.reset();
+  rtree_scheduler_.reset();
+  ir2_scheduler_.reset();
+  mir2_scheduler_.reset();
+  iio_scheduler_.reset();
+  async_backends_.clear();
+  const auto make_scheduler =
+      [this](BufferPool* pool) -> std::unique_ptr<IoScheduler> {
+    if (pool == nullptr) {
+      return nullptr;
+    }
+    auto scheduler = std::make_unique<IoScheduler>(pool, options_.scheduler);
+    if (options_.async_io_threads > 0) {
+      AsyncIoOptions async_options;
+      async_options.num_threads = options_.async_io_threads;
+      async_backends_.push_back(
+          std::make_unique<AsyncIoBackend>(pool, async_options));
+      scheduler->SetAsyncBackend(async_backends_.back().get());
+    }
+    return scheduler;
   };
   object_scheduler_ = make_scheduler(object_pool_.get());
   rtree_scheduler_ = make_scheduler(rtree_pool_.get());
@@ -789,6 +813,7 @@ StatusOr<SpatialKeywordDatabase::ExplainResult> SpatialKeywordDatabase::
   query->AddRow("regime", options_.cold_queries ? "cold (caches dropped)"
                                                 : "warm");
   query->AddRow("prefetch", options_.prefetch ? "on" : "off");
+  query->AddRow("simd", simd::LevelName(simd::ActiveLevel()));
 
   if (algo == ExplainAlgo::kAuto) {
     // How the decision was made (docs/planner.md): every candidate's
@@ -1043,7 +1068,9 @@ std::string DevicePath(const std::string& directory, const char* name) {
   return directory + "/" + name;
 }
 
-// Persists one (possibly absent) device to `<directory>/<name>.dat`.
+// Persists one (possibly absent) device to `<directory>/<name>.dat`,
+// ending with a write barrier: the bytes are on stable storage before the
+// manifest that references them is written.
 Status SaveDevice(BlockDevice* device, const std::string& directory,
                   const char* name) {
   if (device == nullptr) {
@@ -1052,7 +1079,25 @@ Status SaveDevice(BlockDevice* device, const std::string& directory,
   IR2_ASSIGN_OR_RETURN(std::unique_ptr<FileBlockDevice> file,
                        FileBlockDevice::Create(DevicePath(directory, name),
                                                device->block_size()));
-  return CopyBlocks(device, file.get());
+  IR2_RETURN_IF_ERROR(CopyBlocks(device, file.get()));
+  return file->Sync();
+}
+
+// Durability barrier on an already-written path. Fsyncing the directory
+// itself makes the dirents of freshly created files durable too.
+Status FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("open for fsync " + path + ": " +
+                           std::strerror(errno));
+  }
+  Status status = Status::Ok();
+  if (::fsync(fd) != 0) {
+    status =
+        Status::IoError("fsync " + path + ": " + std::strerror(errno));
+  }
+  ::close(fd);
+  return status;
 }
 
 }  // namespace
@@ -1120,12 +1165,27 @@ Status SpatialKeywordDatabase::Save(const std::string& directory) {
   if (!manifest) {
     return Status::IoError("manifest write failed in " + directory);
   }
+  // The manifest is the commit point: fsync it, then the directory, so a
+  // crash after Save() returns can never leave a manifest that references
+  // missing or partially written device files.
+  IR2_RETURN_IF_ERROR(FsyncPath(DevicePath(directory, kManifestName)));
+  IR2_RETURN_IF_ERROR(FsyncPath(directory));
   ResetIoStats();
   return Status::Ok();
 }
 
 StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
     Open(const std::string& directory) {
+  return OpenImpl(directory, nullptr);
+}
+
+StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
+    Open(const std::string& directory, const DatabaseOptions& runtime) {
+  return OpenImpl(directory, &runtime);
+}
+
+StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
+    OpenImpl(const std::string& directory, const DatabaseOptions* runtime) {
   std::ifstream manifest(DevicePath(directory, kManifestName));
   if (!manifest) {
     return Status::NotFound("no manifest in " + directory);
@@ -1201,12 +1261,25 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
   options.build_mir2 = built_mir2;
   options.build_iio = built_iio;
   options.mir2_scheme = mir2_scheme;
+  if (runtime != nullptr) {
+    // Runtime-class knobs come from the caller: how to read the database is
+    // the opener's choice, what is in it stays the manifest's.
+    options.pool_blocks = runtime->pool_blocks;
+    options.cold_queries = runtime->cold_queries;
+    options.prefetch = runtime->prefetch;
+    options.prefetch_objects = runtime->prefetch_objects;
+    options.scheduler = runtime->scheduler;
+    options.disk_model = runtime->disk_model;
+    options.file_device = runtime->file_device;
+    options.async_io_threads = runtime->async_io_threads;
+  }
   db->tokenizer_ = Tokenizer(options.stopwords);
 
   // Object file.
   IR2_ASSIGN_OR_RETURN(
       std::unique_ptr<FileBlockDevice> object_device,
-      FileBlockDevice::Open(DevicePath(directory, "objects.dat")));
+      FileBlockDevice::Open(DevicePath(directory, "objects.dat"),
+                            kDefaultBlockSize, options.file_device));
   db->object_device_ = std::move(object_device);
   db->object_pool_ = std::make_unique<BufferPool>(
       db->object_device_.get(), options.prefetch ? options.pool_blocks : 0);
@@ -1216,7 +1289,8 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
   if (built_rtree) {
     IR2_ASSIGN_OR_RETURN(
         std::unique_ptr<FileBlockDevice> device,
-        FileBlockDevice::Open(DevicePath(directory, "rtree.dat")));
+        FileBlockDevice::Open(DevicePath(directory, "rtree.dat"),
+                              kDefaultBlockSize, options.file_device));
     db->rtree_device_ = std::move(device);
     db->rtree_pool_ = std::make_unique<BufferPool>(db->rtree_device_.get(),
                                                    options.pool_blocks);
@@ -1227,7 +1301,8 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
   if (built_ir2) {
     IR2_ASSIGN_OR_RETURN(
         std::unique_ptr<FileBlockDevice> device,
-        FileBlockDevice::Open(DevicePath(directory, "ir2.dat")));
+        FileBlockDevice::Open(DevicePath(directory, "ir2.dat"),
+                              kDefaultBlockSize, options.file_device));
     db->ir2_device_ = std::move(device);
     db->ir2_pool_ = std::make_unique<BufferPool>(db->ir2_device_.get(),
                                                  options.pool_blocks);
@@ -1242,7 +1317,8 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
     }
     IR2_ASSIGN_OR_RETURN(
         std::unique_ptr<FileBlockDevice> device,
-        FileBlockDevice::Open(DevicePath(directory, "mir2.dat")));
+        FileBlockDevice::Open(DevicePath(directory, "mir2.dat"),
+                              kDefaultBlockSize, options.file_device));
     db->mir2_device_ = std::move(device);
     db->mir2_pool_ = std::make_unique<BufferPool>(db->mir2_device_.get(),
                                                   options.pool_blocks);
@@ -1255,7 +1331,8 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
   if (built_iio) {
     IR2_ASSIGN_OR_RETURN(
         std::unique_ptr<FileBlockDevice> device,
-        FileBlockDevice::Open(DevicePath(directory, "iio.dat")));
+        FileBlockDevice::Open(DevicePath(directory, "iio.dat"),
+                              kDefaultBlockSize, options.file_device));
     db->iio_device_ = std::move(device);
     db->iio_pool_ = std::make_unique<BufferPool>(
         db->iio_device_.get(), options.prefetch ? options.pool_blocks : 0);

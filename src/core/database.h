@@ -111,8 +111,24 @@ struct DatabaseOptions {
   IoSchedulerOptions scheduler;
 
   // Parameters of the simulated disk behind QueryStats.simulated_disk_ms.
-  // Defaults model the paper's testbed drive (see DiskModelParams).
+  // Defaults model the paper's testbed drive (see DiskModelParams); pass
+  // NvmeDiskModelParams() to price I/O like a modern SSD instead.
   DiskModelParams disk_model;
+
+  // ---- Real-file backend (Save/Open; see docs/performance.md) ----
+
+  // Applied to every FileBlockDevice an Open()ed database creates —
+  // direct_io asks for O_DIRECT (with graceful fallback on filesystems
+  // that refuse), so cold-regime runs measure the device, not the page
+  // cache. Save() always writes buffered and ends with a Sync() barrier.
+  FileBlockDeviceOptions file_device;
+
+  // When > 0, every IoScheduler drives its coalesced prefetch runs through
+  // a submission/completion AsyncIoBackend with this many worker threads
+  // (io_uring-shaped; storage/async_io.h), overlapping run reads against
+  // real files. 0 (default) keeps the deterministic single-worker inline
+  // path the golden tests pin.
+  uint32_t async_io_threads = 0;
 
   // After an incremental (non-bulk) build, rewrite each tree with
   // CompactInto so every node's children occupy one contiguous DFS run —
@@ -138,9 +154,21 @@ class SpatialKeywordDatabase {
   Status Save(const std::string& directory);
 
   // Opens a database previously Save()d. Indexes are file-backed; queries
-  // perform real file I/O.
+  // perform real file I/O. Structural options come from the manifest; the
+  // one-argument form also takes every runtime option (cold_queries,
+  // prefetch, schedulers, disk model, file-device flags) from the manifest
+  // or its defaults.
   static StatusOr<std::unique_ptr<SpatialKeywordDatabase>> Open(
       const std::string& directory);
+
+  // As above, but runtime options — cold_queries, prefetch /
+  // prefetch_objects, scheduler, disk_model, file_device, async_io_threads,
+  // pool_blocks — are taken from `runtime` instead, so one saved directory
+  // can serve cold and warm regimes, O_DIRECT on or off, with or without
+  // async prefetch. Structural fields (signatures, tree geometry, which
+  // indexes exist) still come from the manifest.
+  static StatusOr<std::unique_ptr<SpatialKeywordDatabase>> Open(
+      const std::string& directory, const DatabaseOptions& runtime);
 
   ~SpatialKeywordDatabase();
   SpatialKeywordDatabase(const SpatialKeywordDatabase&) = delete;
@@ -249,8 +277,15 @@ class SpatialKeywordDatabase {
  private:
   SpatialKeywordDatabase() = default;
 
-  // Creates the per-structure prefetch schedulers over the existing pools
-  // and attaches the IIO streaming scheduler; shared tail of Build/Open.
+  // Shared Open body. When `runtime` is non-null its runtime-class fields
+  // replace the manifest's; null keeps the manifest values (legacy form).
+  static StatusOr<std::unique_ptr<SpatialKeywordDatabase>> OpenImpl(
+      const std::string& directory, const DatabaseOptions* runtime);
+
+  // Creates the per-structure prefetch schedulers (plus, when
+  // async_io_threads > 0, an AsyncIoBackend per pool) over the existing
+  // pools and attaches the IIO streaming scheduler; shared tail of
+  // Build/Open.
   void WireIoEngine();
 
   // Snapshots the planner's inputs (tree shapes via ComputeTreeStats —
@@ -318,6 +353,11 @@ class SpatialKeywordDatabase {
   std::unique_ptr<InvertedIndex> iio_;
   std::unique_ptr<IrScorer> scorer_;
   std::unique_ptr<QueryPlanner> planner_;
+
+  // Async read backends (one per pool when async_io_threads > 0). Declared
+  // before the schedulers so they are destroyed after them — a scheduler's
+  // worker may be blocked in Submit/Reap on its backend until it stops.
+  std::vector<std::unique_ptr<AsyncIoBackend>> async_backends_;
 
   // Schedulers last: destroyed first, so their worker threads stop touching
   // the pools before anything above is torn down.

@@ -37,7 +37,11 @@ class Ir2TopKCursor::Impl {
       MakeSignatureFromHashesInto(hashes, tree->LevelConfig(level),
                                   &signatures[level]);
     }
-    cursor_.emplace(tree, target, SignatureEntryFilter{&signatures, stats},
+    SignatureBatchScratch* batch = scratch != nullptr
+                                       ? &scratch->signature_batch
+                                       : &own_signature_batch_;
+    cursor_.emplace(tree, target,
+                    SignatureEntryFilter{&signatures, stats, batch},
                     scratch != nullptr ? &scratch->nn : nullptr, prefetch);
   }
 
@@ -85,6 +89,7 @@ class Ir2TopKCursor::Impl {
   // Fallbacks used when no scratch donates the buffers.
   std::vector<uint64_t> own_keyword_hashes_;
   std::vector<Signature> own_level_signatures_;
+  SignatureBatchScratch own_signature_batch_;
   StoredObject own_candidate_;
   std::string own_record_line_;
   StoredObject* candidate_;     // Scratch-donated, or &own_candidate_.

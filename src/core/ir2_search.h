@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/status_or.h"
 #include "core/ir2_tree.h"
 #include "core/query.h"
@@ -13,14 +14,55 @@
 
 namespace ir2 {
 
+// Per-node buffer for the batched signature test: PrepareNode fills one
+// match flag per entry in a single kernel pass over the node's payloads.
+// Owned by the query scratch (or the cursor impl's fallback) so steady-state
+// queries stop allocating once the flag vector has grown to the tree's
+// fan-out.
+struct SignatureBatchScratch {
+  std::vector<uint8_t> flags;
+  const Entry* entries_base = nullptr;  // Identifies the prepared node.
+  size_t count = 0;
+};
+
 // The "S matches W" pruning test of IR2NearestNeighbor in concrete form:
 // handed to IncrementalNNCursorT as a statically-dispatched filter, so the
 // per-entry check is a direct (inlinable) call instead of the std::function
 // indirection the type-erased EntryFilter costs. Holds pointers only — the
 // cursor copies the filter by value.
+//
+// When `batch` is set, the cursor's PrepareNode hook precomputes the whole
+// node's match flags with one resolution of the dispatched kernel — the
+// batched multi-signature test — and operator() just reads its entry's
+// flag. All counting (metrics, QueryStats) stays in operator(), so the
+// per-entry accounting is bit-identical to the unbatched path.
 struct SignatureEntryFilter {
   const std::vector<Signature>* level_signatures = nullptr;
   QueryStats* stats = nullptr;
+  SignatureBatchScratch* batch = nullptr;
+
+  void PrepareNode(const Node& node) {
+    if (batch == nullptr) return;
+    const size_t level =
+        std::min<size_t>(node.level, level_signatures->size() - 1);
+    const Signature& query_sig = (*level_signatures)[level];
+    const simd::BytesContainFn contains = simd::ActiveBytesContainFn();
+    const uint64_t* query_words = query_sig.words().data();
+    const size_t query_bytes = query_sig.num_bytes();
+    batch->entries_base = node.entries.data();
+    batch->count = node.entries.size();
+    batch->flags.resize(node.entries.size());
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      const std::vector<uint8_t>& payload = node.entries[i].payload;
+      // A width mismatch (corrupted node) never prunes — the same contract
+      // as PayloadContainsSignature.
+      batch->flags[i] =
+          payload.size() != query_bytes ||
+                  contains(payload.data(), payload.size(), query_words)
+              ? 1
+              : 0;
+    }
+  }
 
   bool operator()(const Node& node, const Entry& entry) const {
     obs::TraceSpan span(obs::SpanKind::kSignatureTest, entry.ref);
@@ -30,7 +72,15 @@ struct SignatureEntryFilter {
     const size_t level =
         std::min<size_t>(node.level, level_signatures->size() - 1);
     const Signature& query_sig = (*level_signatures)[level];
-    if (PayloadContainsSignature(entry.payload, query_sig)) {
+    bool matches;
+    const size_t index = static_cast<size_t>(&entry - node.entries.data());
+    if (batch != nullptr && batch->entries_base == node.entries.data() &&
+        index < batch->count) {
+      matches = batch->flags[index] != 0;
+    } else {
+      matches = PayloadContainsSignature(entry.payload, query_sig);
+    }
+    if (matches) {
       return true;
     }
     obs::DefaultMetrics().signature_prunes->Add();
@@ -55,6 +105,7 @@ struct Ir2QueryScratch {
   NNScratch nn;
   std::vector<uint64_t> keyword_hashes;
   std::vector<Signature> level_signatures;
+  SignatureBatchScratch signature_batch;
   StoredObject candidate;
   std::string record_line;
 };

@@ -117,6 +117,17 @@ inline bool NNFilterAccepts(EntryFilter& filter, const Node& node,
   return !filter || filter(node, entry);
 }
 
+// Filters that expose PrepareNode(node) have it invoked once per expanded
+// node before the entry scan — the batched-kernel hook (ir2_search's
+// SignatureEntryFilter precomputes a whole node's signature-match flags in
+// one pass there). Filters without the member are untouched.
+template <typename Filter>
+inline void NNFilterPrepareNode(Filter& filter, const Node& node) {
+  if constexpr (requires { filter.PrepareNode(node); }) {
+    filter.PrepareNode(node);
+  }
+}
+
 }  // namespace internal
 
 // The Incremental Nearest Neighbor algorithm of Hjaltason and Samet [HS99]
@@ -188,6 +199,7 @@ class IncrementalNNCursorT {
                            tree_->LoadNodeShared(item.id));
       ++nodes_visited_;
       obs::DefaultMetrics().nn_nodes_expanded->Add();
+      internal::NNFilterPrepareNode(filter_, *node);
       const bool is_leaf = node->is_leaf();
       const bool prefetch_objects =
           is_leaf && prefetch_.object_scheduler != nullptr;

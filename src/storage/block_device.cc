@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -204,9 +205,71 @@ Status MemoryBlockDevice::WriteImpl(BlockId id,
   return Status::Ok();
 }
 
+namespace {
+
+// O_DIRECT requires the user buffer to be aligned to the logical sector
+// size; one page covers every real sector size. File offsets here are
+// always whole blocks, so only the buffer needs help — unaligned caller
+// buffers bounce through this per-thread page-aligned scratch.
+constexpr size_t kDirectIoAlignment = 4096;
+
+struct AlignedScratch {
+  void* data = nullptr;
+  size_t capacity = 0;
+
+  ~AlignedScratch() { std::free(data); }
+
+  uint8_t* Get(size_t size) {
+    if (capacity < size) {
+      std::free(data);
+      data = nullptr;
+      capacity = 0;
+      void* p = nullptr;
+      if (::posix_memalign(&p, kDirectIoAlignment, size) != 0) {
+        return nullptr;
+      }
+      data = p;
+      capacity = size;
+    }
+    return static_cast<uint8_t*>(data);
+  }
+};
+
+thread_local AlignedScratch t_direct_scratch;
+
+bool IsDirectAligned(const void* p, size_t size) {
+  return reinterpret_cast<uintptr_t>(p) % kDirectIoAlignment == 0 &&
+         size % kDirectIoAlignment == 0;
+}
+
+// Opens with O_DIRECT when requested, falling back to buffered I/O when the
+// filesystem refuses (tmpfs returns EINVAL). `direct_out` reports which
+// mode actually took.
+int OpenWithOptionalDirect(const char* path, int flags, mode_t mode,
+                           bool want_direct, bool* direct_out) {
+  if (want_direct) {
+    int fd = ::open(path, flags | O_DIRECT, mode);
+    if (fd >= 0) {
+      *direct_out = true;
+      return fd;
+    }
+    if (errno != EINVAL && errno != EOPNOTSUPP) {
+      return fd;
+    }
+    // Fall through: the filesystem cannot do direct I/O here.
+  }
+  *direct_out = false;
+  return ::open(path, flags, mode);
+}
+
+}  // namespace
+
 FileBlockDevice::FileBlockDevice(int fd, size_t block_size,
-                                 uint64_t num_blocks)
-    : BlockDevice(block_size), fd_(fd), num_blocks_(num_blocks) {}
+                                 uint64_t num_blocks, bool direct_io)
+    : BlockDevice(block_size),
+      fd_(fd),
+      direct_io_(direct_io),
+      num_blocks_(num_blocks) {}
 
 FileBlockDevice::~FileBlockDevice() {
   if (fd_ >= 0) {
@@ -215,18 +278,30 @@ FileBlockDevice::~FileBlockDevice() {
 }
 
 StatusOr<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Create(
-    const std::string& path, size_t block_size) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    const std::string& path, size_t block_size,
+    FileBlockDeviceOptions options) {
+  // O_DIRECT transfers must be sector-multiples; a sub-page block size
+  // cannot honor that, so quietly run it buffered.
+  const bool want_direct =
+      options.direct_io && block_size % kDirectIoAlignment == 0;
+  bool direct = false;
+  int fd = OpenWithOptionalDirect(path.c_str(), O_RDWR | O_CREAT | O_TRUNC,
+                                  0644, want_direct, &direct);
   if (fd < 0) {
     return Status::IoError("open(" + path + "): " + std::strerror(errno));
   }
   return std::unique_ptr<FileBlockDevice>(
-      new FileBlockDevice(fd, block_size, 0));
+      new FileBlockDevice(fd, block_size, 0, direct));
 }
 
 StatusOr<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
-    const std::string& path, size_t block_size) {
-  int fd = ::open(path.c_str(), O_RDWR);
+    const std::string& path, size_t block_size,
+    FileBlockDeviceOptions options) {
+  const bool want_direct =
+      options.direct_io && block_size % kDirectIoAlignment == 0;
+  bool direct = false;
+  int fd =
+      OpenWithOptionalDirect(path.c_str(), O_RDWR, 0644, want_direct, &direct);
   if (fd < 0) {
     return Status::IoError("open(" + path + "): " + std::strerror(errno));
   }
@@ -241,7 +316,7 @@ StatusOr<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
                               path);
   }
   return std::unique_ptr<FileBlockDevice>(new FileBlockDevice(
-      fd, block_size, static_cast<uint64_t>(size) / block_size));
+      fd, block_size, static_cast<uint64_t>(size) / block_size, direct));
 }
 
 uint64_t FileBlockDevice::NumBlocks() const {
@@ -255,6 +330,9 @@ StatusOr<BlockId> FileBlockDevice::Allocate(uint32_t count) {
   std::lock_guard<std::mutex> lock(allocate_mu_);
   BlockId first = num_blocks_.load(std::memory_order_relaxed);
   uint64_t new_size = (first + count) * block_size();
+  // ftruncate keeps the file size in lockstep with the allocated extent, so
+  // a subsequent Open() of the same path derives the identical NumBlocks()
+  // and reads of allocated-but-unwritten blocks see zeros (holes).
   if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
     return Status::IoError(std::string("ftruncate: ") + std::strerror(errno));
   }
@@ -262,22 +340,75 @@ StatusOr<BlockId> FileBlockDevice::Allocate(uint32_t count) {
   return first;
 }
 
-Status FileBlockDevice::ReadImpl(BlockId id, std::span<uint8_t> out) {
-  ssize_t n = ::pread(fd_, out.data(), block_size(),
-                      static_cast<off_t>(id * block_size()));
-  if (n != static_cast<ssize_t>(block_size())) {
-    return Status::IoError(std::string("pread: ") + std::strerror(errno));
+Status FileBlockDevice::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError(std::string("fdatasync: ") + std::strerror(errno));
   }
   return Status::Ok();
 }
 
-Status FileBlockDevice::WriteImpl(BlockId id, std::span<const uint8_t> data) {
-  ssize_t n = ::pwrite(fd_, data.data(), block_size(),
-                       static_cast<off_t>(id * block_size()));
-  if (n != static_cast<ssize_t>(block_size())) {
-    return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+Status FileBlockDevice::PreadFull(uint8_t* buf, size_t size, uint64_t offset) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::pread(fd_, buf + done, size - done,
+                        static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      // A short file is its own condition, not whatever errno was left over
+      // from an unrelated call.
+      return Status::IoError("pread: unexpected EOF inside allocated extent");
+    }
+    done += static_cast<size_t>(n);
   }
   return Status::Ok();
+}
+
+Status FileBlockDevice::PwriteFull(const uint8_t* buf, size_t size,
+                                   uint64_t offset) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::pwrite(fd_, buf + done, size - done,
+                         static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError("pwrite: device refused to make progress");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status FileBlockDevice::ReadImpl(BlockId id, std::span<uint8_t> out) {
+  const uint64_t offset = id * block_size();
+  if (direct_io_ && !IsDirectAligned(out.data(), out.size())) {
+    uint8_t* bounce = t_direct_scratch.Get(block_size());
+    if (bounce == nullptr) {
+      return Status::IoError("posix_memalign failed for direct I/O bounce");
+    }
+    IR2_RETURN_IF_ERROR(PreadFull(bounce, block_size(), offset));
+    std::memcpy(out.data(), bounce, block_size());
+    return Status::Ok();
+  }
+  return PreadFull(out.data(), out.size(), offset);
+}
+
+Status FileBlockDevice::WriteImpl(BlockId id, std::span<const uint8_t> data) {
+  const uint64_t offset = id * block_size();
+  if (direct_io_ && !IsDirectAligned(data.data(), data.size())) {
+    uint8_t* bounce = t_direct_scratch.Get(block_size());
+    if (bounce == nullptr) {
+      return Status::IoError("posix_memalign failed for direct I/O bounce");
+    }
+    std::memcpy(bounce, data.data(), block_size());
+    return PwriteFull(bounce, block_size(), offset);
+  }
+  return PwriteFull(data.data(), data.size(), offset);
 }
 
 }  // namespace ir2

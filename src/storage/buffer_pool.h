@@ -103,6 +103,14 @@ class BufferPool : public BlockDevice {
   // accounting does.)
   Status Clear();
 
+  // Durability barrier through the pool: flushes every dirty page, then
+  // syncs the backing device.
+  Status Sync() override {
+    Status flushed = FlushAll();
+    if (!flushed.ok()) return flushed;
+    return device_->Sync();
+  }
+
   // Resets the calling thread's cursor at both levels — the pool's logical
   // cursor and the backing device's physical cursor — so the next access is
   // classified as random end to end, the state a cold query starts from.

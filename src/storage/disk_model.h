@@ -18,6 +18,20 @@ struct DiskModelParams {
   double transfer_mb_per_s = 72.0;
 };
 
+// A modern NVMe SSD: no mechanical positioning, ~20 µs random-read latency
+// modeled as "seek", multi-GB/s sustained transfer. Under this preset a
+// random access costs barely more than a sequential one, which inverts
+// several of the planner's trade-offs (sequential sweeps and coalesced
+// prefetch runs lose most of their edge over seeks) — bench_planner has an
+// NVMe section exercising exactly that.
+inline DiskModelParams NvmeDiskModelParams() {
+  DiskModelParams params;
+  params.seek_ms = 0.02;
+  params.rotational_latency_ms = 0.0;
+  params.transfer_mb_per_s = 3000.0;
+  return params;
+}
+
 // Converts the random/sequential access counters every BlockDevice keeps
 // into simulated elapsed disk time:
 //

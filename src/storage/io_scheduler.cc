@@ -158,34 +158,68 @@ void IoScheduler::WorkerLoop() {
     std::vector<BlockId> ids(in_flight_.begin(), in_flight_.end());
     lock.unlock();
 
-    const IoStats before = device->thread_stats();
+    IoStats pass_io;
     uint64_t runs = 0;
     Status error = Status::Ok();
-    size_t i = 0;
-    while (i < ids.size()) {
-      // Greedy coalescing: the longest adjacent ascending run from ids[i],
-      // capped at max_run_blocks.
-      size_t j = i + 1;
-      while (j < ids.size() && ids[j] == ids[j - 1] + 1 &&
-             j - i < options_.max_run_blocks) {
-        ++j;
+    if (backend_ != nullptr) {
+      // Submission/completion path: hand each coalesced run to the async
+      // backend and reap. The backend's workers read through the same pool
+      // (exactly-once against racing demand traffic) and each completion
+      // carries the physical I/O its run performed on its worker thread.
+      size_t i = 0;
+      while (i < ids.size()) {
+        size_t j = i + 1;
+        while (j < ids.size() && ids[j] == ids[j - 1] + 1 &&
+               j - i < options_.max_run_blocks) {
+          ++j;
+        }
+        backend_->Submit(IoRequest{ids[i], static_cast<uint32_t>(j - i),
+                                   /*user_data=*/runs});
+        ++runs;
+        i = j;
       }
-      ++runs;
-      {
-        obs::TraceSpan span(obs::SpanKind::kPrefetchComplete, ids[i]);
-        for (size_t at = i; at < j; ++at) {
-          Status s = pool_->Read(ids[at], block);
-          if (!s.ok()) {
-            obs::DefaultMetrics().sched_read_errors->Add();
-            if (error.ok()) {
-              error = s;
-            }
+      std::vector<IoCompletion> completions;
+      completions.reserve(runs);
+      while (completions.size() < runs) {
+        backend_->Reap(&completions,
+                       /*min_completions=*/runs - completions.size());
+      }
+      for (const IoCompletion& completion : completions) {
+        pass_io += completion.io;
+        if (!completion.status.ok()) {
+          if (error.ok()) {
+            error = completion.status;
           }
         }
       }
-      i = j;
+    } else {
+      const IoStats before = device->thread_stats();
+      size_t i = 0;
+      while (i < ids.size()) {
+        // Greedy coalescing: the longest adjacent ascending run from
+        // ids[i], capped at max_run_blocks.
+        size_t j = i + 1;
+        while (j < ids.size() && ids[j] == ids[j - 1] + 1 &&
+               j - i < options_.max_run_blocks) {
+          ++j;
+        }
+        ++runs;
+        {
+          obs::TraceSpan span(obs::SpanKind::kPrefetchComplete, ids[i]);
+          for (size_t at = i; at < j; ++at) {
+            Status s = pool_->Read(ids[at], block);
+            if (!s.ok()) {
+              obs::DefaultMetrics().sched_read_errors->Add();
+              if (error.ok()) {
+                error = s;
+              }
+            }
+          }
+        }
+        i = j;
+      }
+      pass_io = device->thread_stats() - before;
     }
-    const IoStats done = device->thread_stats();
     obs::DefaultMetrics().sched_runs->Add(runs);
     obs::DefaultMetrics().sched_blocks_fetched->Add(ids.size());
     if (!error.ok()) {
@@ -196,7 +230,7 @@ void IoScheduler::WorkerLoop() {
     }
 
     lock.lock();
-    speculative_ += done - before;
+    speculative_ += pass_io;
     counters_.runs += runs;
     counters_.blocks_fetched += ids.size();
     if (!error.ok() && last_error_.ok()) {

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "storage/io_scheduler.h"
 #include "storage/serializer.h"
 
@@ -282,24 +283,17 @@ StatusOr<std::vector<ObjectRef>> InvertedIndex::RetrieveList(
     }
     return refs;
   }
-  ObjectRef previous = 0;
-  size_t pos = 0;
-  for (uint32_t i = 0; i < info.count; ++i) {
-    uint32_t gap = 0;
-    int shift = 0;
-    while (true) {
-      if (pos >= bytes.size() || shift > 28) {
-        return Status::Corruption("Bad varint in posting list");
-      }
-      uint8_t b = bytes[pos++];
-      gap |= static_cast<uint32_t>(b & 0x7f) << shift;
-      if ((b & 0x80) == 0) break;
-      shift += 7;
-    }
-    previous += gap;
-    refs.push_back(previous);
+  // Vectorized d-gap decode: the kernel handles dense single-byte runs 32
+  // at a time and keeps the reference decoder's exact corruption semantics
+  // (truncated value or varint wider than 5 bytes).
+  refs.resize(info.count);
+  const size_t consumed =
+      simd::DecodeDGapVarints(bytes.data(), bytes.size(), info.count,
+                              refs.data());
+  if (consumed == simd::kDecodeError) {
+    return Status::Corruption("Bad varint in posting list");
   }
-  if (pos != bytes.size()) {
+  if (consumed != bytes.size()) {
     return Status::Corruption("Posting list length mismatch");
   }
   return refs;

@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace ir2 {
 
@@ -53,20 +54,13 @@ void Signature::Superimpose(const Signature& other) {
 
 bool Signature::ContainsAllOf(const Signature& query) const {
   IR2_CHECK_EQ(num_bits_, query.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & query.words_[i]) != query.words_[i]) {
-      return false;
-    }
-  }
-  return true;
+  return simd::WordsContainAll(words_.data(), query.words_.data(),
+                               words_.size());
 }
 
 uint32_t Signature::CountOnes() const {
-  uint32_t count = 0;
-  for (uint64_t w : words_) {
-    count += std::popcount(w);
-  }
-  return count;
+  return static_cast<uint32_t>(simd::PopcountWords(words_.data(),
+                                                   words_.size()));
 }
 
 void Signature::ClearAllBits() {
@@ -93,29 +87,11 @@ std::string Signature::ToBitString() const {
 bool BytesContainSignature(std::span<const uint8_t> bytes,
                            const Signature& query) {
   IR2_DCHECK(bytes.size() == query.num_bytes());
-  // Word-wide AND over the (unaligned) bytes: memcpy into a local word
-  // compiles to a single unaligned load. The query's backing store is
-  // word-aligned with zero bits past num_bytes(), so the tail test
-  // zero-extends the trailing bytes into a full word.
-  std::span<const uint64_t> query_words = query.words();
-  const uint8_t* p = bytes.data();
-  const size_t full_words = bytes.size() / sizeof(uint64_t);
-  for (size_t w = 0; w < full_words; ++w) {
-    uint64_t word;
-    std::memcpy(&word, p + w * sizeof(uint64_t), sizeof(uint64_t));
-    if ((word & query_words[w]) != query_words[w]) {
-      return false;
-    }
-  }
-  const size_t tail = bytes.size() - full_words * sizeof(uint64_t);
-  if (tail != 0) {
-    uint64_t word = 0;
-    std::memcpy(&word, p + full_words * sizeof(uint64_t), tail);
-    if ((word & query_words[full_words]) != query_words[full_words]) {
-      return false;
-    }
-  }
-  return true;
+  // The query's backing store is word-aligned with zero bits past
+  // num_bytes(), the exact contract of the vector kernel; `bytes` may be
+  // unaligned (tree entry payloads, signature-file records).
+  return simd::BytesContainWords(bytes.data(), bytes.size(),
+                                 query.words().data());
 }
 
 void AddWordHash(uint64_t word_hash, const SignatureConfig& config,

@@ -12,8 +12,12 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "core/database.h"
 #include "datagen/workload.h"
 #include "obs/trace.h"
@@ -213,6 +217,83 @@ TEST_F(ColdRegimeRegressionTest, AutoModePerturbsNoColdCounts) {
     EXPECT_EQ(auto_stats.false_positives, fixed_stats.false_positives);
     EXPECT_EQ(auto_stats.speculative_io.TotalAccesses(), 0u);
   }
+}
+
+// The SIMD kernels behind signature tests and posting decode are pure
+// accelerations: forcing the scalar reference tier must reproduce every
+// golden count bit for bit. (scripts/check.sh additionally runs the whole
+// suite under IR2_DISABLE_SIMD=1, which exercises the env-var dispatch
+// path; this test exercises the in-process force hook across tiers.)
+TEST_F(ColdRegimeRegressionTest, SimdTierPerturbsNoColdCounts) {
+  const simd::Level original = simd::ActiveLevel();
+  for (simd::Level level :
+       {simd::Level::kScalar, simd::Level::kSse2, simd::Level::kAvx2,
+        simd::Level::kNeon}) {
+    simd::ForceLevelForTest(level);
+    if (simd::ActiveLevel() != level) {
+      continue;  // Tier unavailable on this machine; force fell back.
+    }
+    QueryStats ir2_stats =
+        RunAll([&](const DistanceFirstQuery& q, QueryStats* s) {
+          return db_->QueryIr2(q, s);
+        });
+    ExpectProfile(ir2_stats, GoldenProfile{217, 13, 992, 10596, 1171, 41},
+                  simd::LevelName(level));
+    QueryStats mir2_stats =
+        RunAll([&](const DistanceFirstQuery& q, QueryStats* s) {
+          return db_->QueryMir2(q, s);
+        });
+    ExpectProfile(mir2_stats, GoldenProfile{215, 11, 885, 9374, 1067, 36},
+                  simd::LevelName(level));
+    QueryStats iio_stats =
+        RunAll([&](const DistanceFirstQuery& q, QueryStats* s) {
+          return db_->QueryIio(q, s);
+        });
+    ExpectProfile(iio_stats, GoldenProfile{302, 0, 0, 0, 232, 140},
+                  simd::LevelName(level));
+  }
+  simd::ForceLevelForTest(original);
+}
+
+// Promoting the storage from MemoryBlockDevice to real files must be
+// invisible to the accounting: a database Saved and re-Opened from disk
+// (cold regime, prefetch off — the runtime defaults) reproduces the same
+// goldens counter for counter. Physical reads now hit the filesystem, but
+// what the simulator *counts* — and therefore every figure the library
+// reports — is a pure function of the access sequence, not the medium.
+TEST_F(ColdRegimeRegressionTest, FileBackendMatchesMemoryGoldens) {
+  const std::string directory =
+      ::testing::TempDir() + "/ir2db_cold_regime_file";
+  std::filesystem::remove_all(directory);
+  ASSERT_TRUE(db_->Save(directory).ok());
+  auto reopened = SpatialKeywordDatabase::Open(directory);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  std::unique_ptr<SpatialKeywordDatabase> file_db = std::move(reopened).value();
+  ASSERT_TRUE(file_db->options().cold_queries);
+
+  // One algorithm per pass over the workload, exactly like the in-memory
+  // golden runs: the random/sequential split depends on where the previous
+  // query parked each device's head, so interleaving algorithms would
+  // change the profile for reasons unrelated to the storage backend.
+  QueryStats ir2_stats;
+  for (const DistanceFirstQuery& query : queries_) {
+    ASSERT_TRUE(file_db->QueryIr2(query, &ir2_stats).ok());
+  }
+  QueryStats mir2_stats;
+  for (const DistanceFirstQuery& query : queries_) {
+    ASSERT_TRUE(file_db->QueryMir2(query, &mir2_stats).ok());
+  }
+  QueryStats iio_stats;
+  for (const DistanceFirstQuery& query : queries_) {
+    ASSERT_TRUE(file_db->QueryIio(query, &iio_stats).ok());
+  }
+  ExpectProfile(ir2_stats, GoldenProfile{217, 13, 992, 10596, 1171, 41},
+                "IR2 on files");
+  ExpectProfile(mir2_stats, GoldenProfile{215, 11, 885, 9374, 1067, 36},
+                "MIR2 on files");
+  ExpectProfile(iio_stats, GoldenProfile{302, 0, 0, 0, 232, 140},
+                "IIO on files");
+  std::filesystem::remove_all(directory);
 }
 
 }  // namespace

@@ -1,0 +1,316 @@
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ir2 {
+namespace {
+
+using simd::Level;
+
+// Tiers this machine can actually run (ForceLevelForTest silently falls
+// back to scalar for unsupported ones — detect that and skip duplicates).
+std::vector<Level> AvailableLevels() {
+  std::vector<Level> levels;
+  for (Level level : {Level::kScalar, Level::kSse2, Level::kAvx2,
+                      Level::kNeon}) {
+    simd::ForceLevelForTest(level);
+    if (simd::ActiveLevel() == level) {
+      levels.push_back(level);
+    }
+  }
+  return levels;
+}
+
+// Every test leaves the process on the auto-detected tier so later tests in
+// the same binary see production dispatch.
+class SimdTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    simd::ForceLevelForTest(Level::kScalar);
+    // Re-force the best available tier (kScalar if nothing else).
+    for (Level level : AvailableLevels()) {
+      simd::ForceLevelForTest(level);
+    }
+  }
+};
+
+// The inverted index's exact posting-list encoding: d-gaps, 7 data bits per
+// byte, high bit = continuation (inverted_index.cc AppendPostings).
+std::vector<uint8_t> EncodeDGaps(const std::vector<uint32_t>& refs) {
+  std::vector<uint8_t> encoded;
+  uint32_t previous = 0;
+  for (uint32_t ref : refs) {
+    uint32_t gap = ref - previous;
+    previous = ref;
+    while (gap >= 0x80) {
+      encoded.push_back(static_cast<uint8_t>(gap) | 0x80);
+      gap >>= 7;
+    }
+    encoded.push_back(static_cast<uint8_t>(gap));
+  }
+  return encoded;
+}
+
+std::vector<uint32_t> RandomSortedRefs(Rng& rng, size_t count,
+                                       uint32_t max_gap) {
+  std::vector<uint32_t> refs;
+  refs.reserve(count);
+  uint32_t current = 0;
+  for (size_t i = 0; i < count; ++i) {
+    current += 1 + static_cast<uint32_t>(rng.NextUint64(max_gap));
+    refs.push_back(current);
+  }
+  return refs;
+}
+
+TEST_F(SimdTest, ReportsALevelAndName) {
+  const std::vector<Level> levels = AvailableLevels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), Level::kScalar);
+  for (Level level : levels) {
+    EXPECT_NE(simd::LevelName(level), nullptr);
+  }
+}
+
+TEST_F(SimdTest, WordsContainAllMatchesScalarRandomized) {
+  Rng rng(20260808);
+  for (Level level : AvailableLevels()) {
+    simd::ForceLevelForTest(level);
+    for (size_t num_words : {size_t{0}, size_t{1}, size_t{2}, size_t{3},
+                             size_t{4}, size_t{5}, size_t{7}, size_t{8},
+                             size_t{9}, size_t{24}, size_t{31}, size_t{64}}) {
+      for (int trial = 0; trial < 200; ++trial) {
+        std::vector<uint64_t> data(num_words), query(num_words);
+        for (size_t i = 0; i < num_words; ++i) {
+          data[i] = rng.NextUint64();
+          // Mostly subsets (the interesting direction), sometimes random.
+          query[i] = trial % 3 == 0 ? rng.NextUint64() : data[i] & rng.NextUint64();
+        }
+        const bool expect =
+            simd::WordsContainAllScalar(data.data(), query.data(), num_words);
+        EXPECT_EQ(simd::WordsContainAll(data.data(), query.data(), num_words),
+                  expect)
+            << simd::LevelName(level) << " num_words=" << num_words;
+      }
+    }
+  }
+}
+
+TEST_F(SimdTest, WordsContainAllAdversarial) {
+  for (Level level : AvailableLevels()) {
+    simd::ForceLevelForTest(level);
+    for (size_t num_words : {size_t{1}, size_t{4}, size_t{8}, size_t{24}}) {
+      std::vector<uint64_t> ones(num_words, ~uint64_t{0});
+      std::vector<uint64_t> zeros(num_words, 0);
+      EXPECT_TRUE(simd::WordsContainAll(ones.data(), ones.data(), num_words));
+      EXPECT_TRUE(simd::WordsContainAll(ones.data(), zeros.data(), num_words));
+      EXPECT_TRUE(simd::WordsContainAll(zeros.data(), zeros.data(),
+                                        num_words));
+      EXPECT_FALSE(simd::WordsContainAll(zeros.data(), ones.data(),
+                                         num_words));
+      // A single missing bit in the last word (tail path) must be caught.
+      std::vector<uint64_t> almost = ones;
+      almost[num_words - 1] &= ~(uint64_t{1} << 63);
+      EXPECT_FALSE(simd::WordsContainAll(almost.data(), ones.data(),
+                                         num_words))
+          << simd::LevelName(level) << " num_words=" << num_words;
+      // ... and in the first word (vector body path).
+      almost = ones;
+      almost[0] &= ~uint64_t{1};
+      EXPECT_FALSE(simd::WordsContainAll(almost.data(), ones.data(),
+                                         num_words));
+    }
+  }
+}
+
+TEST_F(SimdTest, BytesContainWordsMatchesScalarAllSizes) {
+  Rng rng(777);
+  for (Level level : AvailableLevels()) {
+    simd::ForceLevelForTest(level);
+    // Every byte length 0..64 plus the 1512-bit signature-file width; odd
+    // lengths exercise every unaligned-tail branch.
+    std::vector<size_t> sizes;
+    for (size_t n = 0; n <= 64; ++n) {
+      sizes.push_back(n);
+    }
+    sizes.push_back(189);  // 1512 bits.
+    for (size_t num_bytes : sizes) {
+      const size_t num_words = (num_bytes + 7) / 8;
+      for (int trial = 0; trial < 50; ++trial) {
+        std::vector<uint8_t> bytes(num_bytes);
+        for (uint8_t& b : bytes) {
+          b = static_cast<uint8_t>(rng.NextUint64());
+        }
+        // Query as a Signature would store it: packed little-endian words,
+        // bits past num_bytes * 8 zeroed.
+        std::vector<uint64_t> query(num_words, 0);
+        for (size_t i = 0; i < num_bytes; ++i) {
+          uint8_t q = static_cast<uint8_t>(rng.NextUint64());
+          if (trial % 2 == 0) {
+            q &= bytes[i];  // Force a subset half the time.
+          }
+          query[i / 8] |= static_cast<uint64_t>(q) << (8 * (i % 8));
+        }
+        const bool expect = simd::BytesContainWordsScalar(
+            bytes.data(), num_bytes, query.data());
+        EXPECT_EQ(simd::BytesContainWords(bytes.data(), num_bytes,
+                                          query.data()),
+                  expect)
+            << simd::LevelName(level) << " num_bytes=" << num_bytes;
+        // The per-node resolved function pointer is the same kernel.
+        EXPECT_EQ(simd::ActiveBytesContainFn()(bytes.data(), num_bytes,
+                                               query.data()),
+                  expect);
+      }
+    }
+  }
+}
+
+TEST_F(SimdTest, BytesContainWordsLastByteMismatch) {
+  for (Level level : AvailableLevels()) {
+    simd::ForceLevelForTest(level);
+    for (size_t num_bytes :
+         {size_t{1}, size_t{7}, size_t{16}, size_t{33}, size_t{189}}) {
+      std::vector<uint8_t> bytes(num_bytes, 0xff);
+      std::vector<uint64_t> query((num_bytes + 7) / 8, 0);
+      for (size_t i = 0; i < num_bytes; ++i) {
+        query[i / 8] |= uint64_t{0xff} << (8 * (i % 8));
+      }
+      EXPECT_TRUE(
+          simd::BytesContainWords(bytes.data(), num_bytes, query.data()));
+      bytes[num_bytes - 1] = 0xfe;  // Drop one bit in the final byte.
+      EXPECT_FALSE(
+          simd::BytesContainWords(bytes.data(), num_bytes, query.data()))
+          << simd::LevelName(level) << " num_bytes=" << num_bytes;
+    }
+  }
+}
+
+TEST_F(SimdTest, PopcountWordsMatchesScalar) {
+  Rng rng(31337);
+  for (Level level : AvailableLevels()) {
+    simd::ForceLevelForTest(level);
+    for (size_t num_words = 0; num_words <= 40; ++num_words) {
+      std::vector<uint64_t> words(num_words);
+      uint64_t expect_ones = 0;
+      for (uint64_t& w : words) {
+        w = rng.NextUint64() & rng.NextUint64();
+      }
+      expect_ones = simd::PopcountWordsScalar(words.data(), num_words);
+      EXPECT_EQ(simd::PopcountWords(words.data(), num_words), expect_ones)
+          << simd::LevelName(level) << " num_words=" << num_words;
+
+      std::vector<uint64_t> ones(num_words, ~uint64_t{0});
+      EXPECT_EQ(simd::PopcountWords(ones.data(), num_words), num_words * 64);
+      std::vector<uint64_t> zeros(num_words, 0);
+      EXPECT_EQ(simd::PopcountWords(zeros.data(), num_words), 0u);
+    }
+  }
+}
+
+TEST_F(SimdTest, DecodeDGapVarintsMatchesScalarRandomized) {
+  Rng rng(424242);
+  for (Level level : AvailableLevels()) {
+    simd::ForceLevelForTest(level);
+    for (size_t count : {size_t{0}, size_t{1}, size_t{7}, size_t{31},
+                         size_t{32}, size_t{33}, size_t{100}, size_t{1000}}) {
+      // Small gaps (all single-byte: the vector fast path), then mixed gaps
+      // (multi-byte varints interleaved: fast path must hand off cleanly).
+      for (uint32_t max_gap : {uint32_t{100}, uint32_t{1} << 20}) {
+        const std::vector<uint32_t> refs =
+            RandomSortedRefs(rng, count, max_gap);
+        const std::vector<uint8_t> encoded = EncodeDGaps(refs);
+        std::vector<uint32_t> out(count + 1, 0xdeadbeef);
+        const size_t consumed = simd::DecodeDGapVarints(
+            encoded.data(), encoded.size(), static_cast<uint32_t>(count),
+            out.data());
+        ASSERT_EQ(consumed, encoded.size())
+            << simd::LevelName(level) << " count=" << count;
+        for (size_t i = 0; i < count; ++i) {
+          ASSERT_EQ(out[i], refs[i]) << simd::LevelName(level) << " i=" << i;
+        }
+        EXPECT_EQ(out[count], 0xdeadbeefu);  // No overwrite past count.
+
+        std::vector<uint32_t> reference(count);
+        ASSERT_EQ(simd::DecodeDGapVarintsScalar(
+                      encoded.data(), encoded.size(),
+                      static_cast<uint32_t>(count), reference.data()),
+                  encoded.size());
+        EXPECT_TRUE(std::equal(reference.begin(), reference.end(),
+                               out.begin()));
+      }
+    }
+  }
+}
+
+TEST_F(SimdTest, DecodeDGapVarintsDetectsCorruption) {
+  for (Level level : AvailableLevels()) {
+    simd::ForceLevelForTest(level);
+    uint32_t out[64];
+
+    // Truncated: final varint promises continuation that never comes.
+    const uint8_t truncated[] = {0x05, 0x83};
+    EXPECT_EQ(simd::DecodeDGapVarints(truncated, sizeof(truncated), 2, out),
+              simd::kDecodeError)
+        << simd::LevelName(level);
+
+    // Overlong: six continuation bytes exceed the 5-byte / 32-bit budget.
+    const uint8_t overlong[] = {0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+    EXPECT_EQ(simd::DecodeDGapVarints(overlong, sizeof(overlong), 1, out),
+              simd::kDecodeError);
+
+    // Empty input but nonzero count.
+    EXPECT_EQ(simd::DecodeDGapVarints(nullptr, 0, 1, out),
+              simd::kDecodeError);
+
+    // Fewer bytes than values even with minimal varints.
+    const uint8_t short_list[] = {0x01, 0x01};
+    EXPECT_EQ(simd::DecodeDGapVarints(short_list, sizeof(short_list), 3, out),
+              simd::kDecodeError);
+
+    // Trailing garbage after `count` values is NOT an error here: the
+    // decoder reports bytes consumed and the caller compares to the list
+    // length (inverted_index does; so does the golden regression).
+    const uint8_t trailing[] = {0x01, 0x02, 0xff, 0xff};
+    EXPECT_EQ(simd::DecodeDGapVarints(trailing, sizeof(trailing), 2, out),
+              2u);
+    EXPECT_EQ(out[0], 1u);
+    EXPECT_EQ(out[1], 3u);
+
+    // A 32-entry all-single-byte block with corruption *after* it must
+    // still decode the block via the fast path and fail on the bad tail.
+    std::vector<uint8_t> block(32, 0x01);
+    block.push_back(0x90);  // Truncated continuation at the very end.
+    EXPECT_EQ(simd::DecodeDGapVarints(block.data(), block.size(), 33, out),
+              simd::kDecodeError);
+    EXPECT_EQ(simd::DecodeDGapVarints(block.data(), block.size(), 32, out),
+              32u);
+    EXPECT_EQ(out[31], 32u);
+  }
+}
+
+TEST_F(SimdTest, MaximumWidthGaps) {
+  // Gaps near 2^32 take the full 5 varint bytes; prefix sums must wrap
+  // exactly like uint32_t arithmetic in every tier.
+  for (Level level : AvailableLevels()) {
+    simd::ForceLevelForTest(level);
+    const std::vector<uint32_t> refs = {0xfffffff0u, 0xfffffffeu,
+                                        0xffffffffu};
+    const std::vector<uint8_t> encoded = EncodeDGaps(refs);
+    uint32_t out[3] = {0, 0, 0};
+    ASSERT_EQ(simd::DecodeDGapVarints(encoded.data(), encoded.size(), 3, out),
+              encoded.size());
+    EXPECT_EQ(out[0], refs[0]);
+    EXPECT_EQ(out[1], refs[1]);
+    EXPECT_EQ(out[2], refs[2]);
+  }
+}
+
+}  // namespace
+}  // namespace ir2
