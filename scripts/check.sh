@@ -86,6 +86,25 @@ if command -v python3 > /dev/null 2>&1; then
 fi
 
 echo
+echo "== Serving tier: sharded scatter-gather smoke + golden diff =="
+# bench_shards builds 1/2/4-shard databases over one dataset, serves a
+# uniform and a Zipf hot-region workload through the ServerLoop, and
+# re-checks that every sharded answer is identical to the single database
+# (see docs/serving.md). Its JSON embeds the acceptance verdicts; the
+# golden-mismatch count must be zero.
+(cd build && ./bench/bench_shards --smoke)
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool build/BENCH_shards.json > /dev/null
+  python3 - <<'EOF'
+import json
+acceptance = json.load(open("build/BENCH_shards.json"))["acceptance"]
+assert acceptance["golden_mismatches"] == 0, acceptance
+assert acceptance["pruned_fanouts_on_skewed"], acceptance
+print("shard bench acceptance: 0 golden mismatches, pruning active")
+EOF
+fi
+
+echo
 echo "== ThreadSanitizer build =="
 cmake -B build-tsan -S . -DIR2_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 if [ "${IR2_CHECK_FULL:-0}" = "1" ]; then
@@ -96,14 +115,16 @@ else
   # decoded-node cache, per-thread I/O accounting, BatchExecutor, the
   # prefetch scheduler's worker thread, the async I/O backend's
   # submit/reap ring under demand+prefetch races, the sharded
-  # metrics/tracer hammers, and the planner's lock-free feedback under
-  # database-mode batches) — the rest of the suite is single-threaded
-  # and covered by the Release run.
+  # metrics/tracer hammers, the planner's lock-free feedback under
+  # database-mode batches, and the serving tier's admission queue +
+  # concurrent scatter-gather workers) — the rest of the suite is
+  # single-threaded and covered by the Release run.
   cmake --build build-tsan -j "$jobs" --target \
     concurrency_test batch_executor_test node_cache_test storage_test \
-    io_scheduler_test file_device_async_test obs_test planner_test
+    io_scheduler_test file_device_async_test obs_test planner_test \
+    server_loop_test sharded_database_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'concurrency_test|batch_executor_test|node_cache_test|storage_test|io_scheduler_test|file_device_async_test|obs_test|planner_test'
+    -R 'concurrency_test|batch_executor_test|node_cache_test|storage_test|io_scheduler_test|file_device_async_test|obs_test|planner_test|server_loop_test|sharded_database_test'
 fi
 
 echo

@@ -91,6 +91,12 @@ struct QueryStats {
   // *time* metric (seek + rotational latency per random access, transfer
   // per block).
   double simulated_disk_ms = 0.0;
+  // Scatter-gather fan-out accounting (serving/ShardedDatabase; zero for
+  // single-database queries). A pruned shard is one whose root-MBR
+  // lower-bound distance exceeded the running global k-th result — provably
+  // unable to contribute, so it was never queried (docs/serving.md).
+  uint64_t shards_queried = 0;
+  uint64_t shards_pruned = 0;
 
   QueryStats& operator+=(const QueryStats& other) {
     objects_loaded += other.objects_loaded;
@@ -109,6 +115,8 @@ struct QueryStats {
     demand_io += other.demand_io;
     speculative_io += other.speculative_io;
     simulated_disk_ms += other.simulated_disk_ms;
+    shards_queried += other.shards_queried;
+    shards_pruned += other.shards_pruned;
     return *this;
   }
 };

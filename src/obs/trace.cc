@@ -26,6 +26,10 @@ const char* SpanKindName(SpanKind kind) {
       return "prefetch_complete";
     case SpanKind::kPostingListRead:
       return "posting_list_read";
+    case SpanKind::kShardFanout:
+      return "shard_fanout";
+    case SpanKind::kShardMerge:
+      return "shard_merge";
   }
   return "unknown";
 }

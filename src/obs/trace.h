@@ -31,8 +31,10 @@ enum class SpanKind : uint8_t {
   kDemandIoWait,         // BufferPool miss waiting on the device.
   kPrefetchComplete,     // IoScheduler worker finished one coalesced run.
   kPostingListRead,      // IIO posting-list retrieval for one keyword.
+  kShardFanout,          // One shard's leg of a scatter-gather query.
+  kShardMerge,           // Cross-shard (distance, id) result merge.
 };
-inline constexpr int kNumSpanKinds = 8;
+inline constexpr int kNumSpanKinds = 10;
 
 const char* SpanKindName(SpanKind kind);
 

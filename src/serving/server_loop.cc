@@ -1,0 +1,151 @@
+#include "serving/server_loop.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace ir2 {
+namespace serving {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+ServerLoop::ServerLoop(ShardedDatabase* db, ServerLoopOptions options)
+    : db_(db), options_(options) {
+  IR2_CHECK(db_ != nullptr);
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  IR2_CHECK(options_.queue_capacity >= 1);
+  // Concurrent workers share the shards' pools and planners; that is only
+  // a read-only workload in the warm regime.
+  IR2_CHECK(options_.num_workers == 1 || db_->SafeForConcurrentQueries())
+      << "ServerLoop with >1 worker requires warm shards "
+         "(cold_queries=false, prefetch=false)";
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ServerLoop::~ServerLoop() { Stop(); }
+
+double ServerLoop::EstimateQueueDrainMs() const {
+  // Work ahead of a hypothetical new request, spread over the workers.
+  const double backlog =
+      static_cast<double>(queue_.size() + in_flight_) + 1.0;
+  return service_ewma_ms_ * backlog /
+         static_cast<double>(options_.num_workers);
+}
+
+ServerLoop::Admission ServerLoop::Submit(const std::string& tenant,
+                                         DistanceFirstQuery query,
+                                         Callback done) {
+  const ServingMetrics& metrics = DefaultServingMetrics();
+  Admission admission;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_ || queue_.size() >= options_.queue_capacity) {
+    admission.outcome = Admission::Outcome::kQueueFull;
+    admission.retry_after_ms = EstimateQueueDrainMs();
+    ++stats_.rejected_queue_full;
+    metrics.server_rejected_queue_total->Add();
+    return admission;
+  }
+  if (options_.quota.tokens_per_second > 0.0) {
+    const Clock::time_point now = Clock::now();
+    TokenBucket& bucket = buckets_[tenant];
+    if (bucket.last_refill == Clock::time_point{}) {
+      bucket.tokens = options_.quota.burst;  // New tenant starts full.
+    } else {
+      const double elapsed_s =
+          std::chrono::duration<double>(now - bucket.last_refill).count();
+      bucket.tokens =
+          std::min(options_.quota.burst,
+                   bucket.tokens + elapsed_s * options_.quota.tokens_per_second);
+    }
+    bucket.last_refill = now;
+    if (bucket.tokens < 1.0) {
+      admission.outcome = Admission::Outcome::kOverQuota;
+      admission.retry_after_ms = (1.0 - bucket.tokens) /
+                                 options_.quota.tokens_per_second * 1000.0;
+      ++stats_.rejected_quota;
+      metrics.server_rejected_quota_total->Add();
+      return admission;
+    }
+    bucket.tokens -= 1.0;
+  }
+  admission.outcome = Admission::Outcome::kAdmitted;
+  admission.ticket = next_ticket_++;
+  ++stats_.admitted;
+  metrics.server_admitted_total->Add();
+  queue_.push_back(Request{std::move(query), std::move(done), Clock::now()});
+  metrics.server_queue_depth->Set(static_cast<int64_t>(queue_.size()));
+  lock.unlock();
+  work_cv_.notify_one();
+  return admission;
+}
+
+void ServerLoop::WorkerMain() {
+  const ServingMetrics& metrics = DefaultServingMetrics();
+  for (;;) {
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      request = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      metrics.server_queue_depth->Set(static_cast<int64_t>(queue_.size()));
+    }
+    metrics.server_queue_wait_ms->Record(
+        MsBetween(request.enqueued, Clock::now()));
+
+    Stopwatch watch;
+    QueryStats stats;
+    StatusOr<std::vector<QueryResult>> results =
+        db_->Query(request.query, options_.algorithm, &stats);
+    const double service_ms = watch.ElapsedSeconds() * 1000.0;
+    if (request.done) request.done(std::move(results), stats);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.completed;
+      --in_flight_;
+      service_ewma_ms_ = 0.8 * service_ewma_ms_ + 0.2 * service_ms;
+      if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
+    }
+    metrics.server_completed_total->Add();
+  }
+}
+
+void ServerLoop::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ServerLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+ServerStats ServerLoop::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace serving
+}  // namespace ir2

@@ -1,0 +1,276 @@
+#include "serving/sharded_database.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace ir2 {
+namespace serving {
+
+const ServingMetrics& DefaultServingMetrics() {
+  static const ServingMetrics metrics = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+    ServingMetrics m;
+    m.shard_queries_total = r.GetCounter(
+        "ir2_shard_queries_total", "Scatter-gather queries executed");
+    m.shard_fanout_legs_total = r.GetCounter(
+        "ir2_shard_fanout_legs_total", "Shard legs executed (fan-out)");
+    m.shard_pruned_total = r.GetCounter(
+        "ir2_shard_pruned_total",
+        "Shard legs skipped by the MBR lower-bound test");
+    m.shard_fanout_width = r.GetHistogram(
+        "ir2_shard_fanout_width", "Shard legs executed per query");
+    m.server_admitted_total = r.GetCounter(
+        "ir2_server_admitted_total", "Requests admitted to the server queue");
+    m.server_rejected_queue_total = r.GetCounter(
+        "ir2_server_rejected_queue_total",
+        "Requests shed because the admission queue was full");
+    m.server_rejected_quota_total = r.GetCounter(
+        "ir2_server_rejected_quota_total",
+        "Requests shed by a tenant token-bucket quota");
+    m.server_completed_total = r.GetCounter(
+        "ir2_server_completed_total", "Requests completed by server workers");
+    m.server_queue_depth = r.GetGauge(
+        "ir2_server_queue_depth", "Requests waiting in the admission queue");
+    m.server_queue_wait_ms = r.GetHistogram(
+        "ir2_server_queue_wait_ms", "Admission-to-dispatch wait per request");
+    return m;
+  }();
+  return metrics;
+}
+
+namespace {
+
+// The global merge order: ascending distance, ties by object id (then the
+// shard-local ref, unreachable for datasets with unique ids). Total and
+// shard-count-independent, which is what makes N-shard answers identical
+// to the single-database answer.
+bool MergeLess(const QueryResult& a, const QueryResult& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  if (a.object_id != b.object_id) return a.object_id < b.object_id;
+  return a.ref < b.ref;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ShardedDatabase>> ShardedDatabase::Build(
+    std::span<const StoredObject> objects, const DatabaseOptions& options,
+    const ShardingOptions& sharding) {
+  if (objects.empty()) {
+    return Status::InvalidArgument("ShardedDatabase: no objects");
+  }
+  auto db = std::unique_ptr<ShardedDatabase>(new ShardedDatabase());
+  db->sharding_ = sharding;
+  db->sharding_.num_shards = std::max<uint64_t>(
+      1, std::min<uint64_t>(sharding.num_shards, objects.size()));
+
+  PartitionOptions partition;
+  partition.num_shards = db->sharding_.num_shards;
+  partition.curve = sharding.curve;
+  partition.order = sharding.curve_order;
+  std::vector<ShardAssignment> assignment =
+      PartitionBySpaceFillingCurve(objects, partition);
+
+  db->shards_.reserve(assignment.size());
+  db->info_.reserve(assignment.size());
+  for (const ShardAssignment& shard : assignment) {
+    std::vector<StoredObject> members;
+    members.reserve(shard.members.size());
+    for (uint32_t index : shard.members) members.push_back(objects[index]);
+    auto built = SpatialKeywordDatabase::Build(members, options);
+    IR2_RETURN_IF_ERROR(built.status());
+    db->shards_.push_back(std::move(built).value());
+    db->info_.push_back(ShardInfo{shard.bounds, shard.members.size()});
+  }
+  return db;
+}
+
+bool ShardedDatabase::SafeForConcurrentQueries() const {
+  for (const auto& shard : shards_) {
+    if (shard->options().cold_queries || shard->options().prefetch) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<std::vector<QueryResult>> ShardedDatabase::Query(
+    const DistanceFirstQuery& q, Algorithm algo, QueryStats* stats) {
+  return QueryImpl(q, algo, stats, nullptr);
+}
+
+StatusOr<std::vector<QueryResult>> ShardedDatabase::QueryImpl(
+    const DistanceFirstQuery& q, Algorithm algo, QueryStats* stats,
+    std::vector<ShardLeg>* legs) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const ServingMetrics& metrics = DefaultServingMetrics();
+  metrics.shard_queries_total->Add();
+
+  const Rect target = q.Target();
+  struct Ordered {
+    double lower_bound;
+    uint32_t shard;
+  };
+  std::vector<Ordered> order;
+  order.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    order.push_back(Ordered{target.MinDist(info_[s].bounds),
+                            static_cast<uint32_t>(s)});
+  }
+  // Nearest shards first: the global k-th distance tightens as early as
+  // possible, which is what lets later (farther) shards prune.
+  std::sort(order.begin(), order.end(), [](const Ordered& a, const Ordered& b) {
+    return a.lower_bound != b.lower_bound ? a.lower_bound < b.lower_bound
+                                          : a.shard < b.shard;
+  });
+
+  std::vector<QueryResult> merged;
+  merged.reserve(q.k + 1);
+  // object id -> index into *legs, for results_in_final attribution.
+  std::unordered_map<uint32_t, size_t> owner;
+  uint64_t queried = 0;
+  uint64_t pruned = 0;
+  for (const Ordered& entry : order) {
+    const double kth =
+        merged.size() >= q.k && q.k > 0 ? merged.back().distance : kInf;
+    ShardLeg leg;
+    leg.shard = entry.shard;
+    leg.lower_bound = entry.lower_bound;
+    if ((sharding_.prune_shards && entry.lower_bound > kth) || q.k == 0) {
+      // Every object in the shard lies inside its MBR, so each one is at
+      // least lower_bound away — strictly farther than the k results we
+      // already hold. Skipping the shard cannot change the answer.
+      leg.pruned = true;
+      ++pruned;
+      if (sharding_.verify_pruning && q.k > 0) {
+        // Guard mode: execute the skipped leg anyway and prove the claim.
+        QueryStats guard_stats;
+        auto guarded =
+            shards_[entry.shard]->Query(q, algo, &guard_stats);
+        IR2_RETURN_IF_ERROR(guarded.status());
+        for (const QueryResult& r : guarded.value()) {
+          IR2_CHECK_GE(r.distance, leg.lower_bound)
+              << "shard " << entry.shard
+              << " returned a result below its MBR lower bound";
+          IR2_CHECK_GT(r.distance, kth)
+              << "pruned shard " << entry.shard
+              << " held a result that beats the global k-th";
+        }
+      }
+      if (legs != nullptr) legs->push_back(std::move(leg));
+      continue;
+    }
+
+    ++queried;
+    auto shard_results = [&]() -> StatusOr<std::vector<QueryResult>> {
+      obs::TraceSpan span(obs::SpanKind::kShardFanout, entry.shard);
+      if (algo == Algorithm::kAuto) {
+        QueryPlan plan;
+        auto results = shards_[entry.shard]->QueryAuto(q, &leg.stats, &plan);
+        leg.executed = plan.has_choice ? plan.chosen : Algorithm::kAuto;
+        return results;
+      }
+      leg.executed = algo;
+      return shards_[entry.shard]->Query(q, algo, &leg.stats);
+    }();
+    IR2_RETURN_IF_ERROR(shard_results.status());
+    if (stats != nullptr) *stats += leg.stats;
+    leg.results_returned = shard_results.value().size();
+    if (legs != nullptr) {
+      for (const QueryResult& r : shard_results.value()) {
+        owner[r.object_id] = legs->size();
+      }
+    }
+    {
+      obs::TraceSpan span(obs::SpanKind::kShardMerge,
+                          shard_results.value().size());
+      merged.insert(merged.end(), shard_results.value().begin(),
+                    shard_results.value().end());
+      std::sort(merged.begin(), merged.end(), MergeLess);
+      if (merged.size() > q.k) merged.resize(q.k);
+    }
+    if (legs != nullptr) legs->push_back(std::move(leg));
+  }
+
+  metrics.shard_fanout_legs_total->Add(queried);
+  metrics.shard_pruned_total->Add(pruned);
+  metrics.shard_fanout_width->Record(static_cast<double>(queried));
+
+  if (legs != nullptr) {
+    for (const QueryResult& r : merged) {
+      auto it = owner.find(r.object_id);
+      if (it != owner.end()) ++(*legs)[it->second].results_in_final;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->shards_queried += queried;
+    stats->shards_pruned += pruned;
+  }
+  return merged;
+}
+
+StatusOr<ShardedDatabase::ExplainResult> ShardedDatabase::Explain(
+    const DistanceFirstQuery& q, Algorithm algo) {
+  ExplainResult out;
+  auto results = QueryImpl(q, algo, &out.stats, &out.legs);
+  IR2_RETURN_IF_ERROR(results.status());
+  out.results = std::move(results).value();
+
+  obs::ExplainReport& report = out.report;
+  report.title = "SHARDED EXPLAIN";
+
+  char buf[64];
+  obs::ExplainSection* query = report.AddSection("Sharded query");
+  query->AddRow("shards", obs::FormatCount(shards_.size()));
+  query->AddRow("curve", CurveKindName(sharding_.curve));
+  query->AddRow("algorithm", AlgorithmName(algo));
+  query->AddRow("k", obs::FormatCount(q.k));
+  std::string keywords;
+  for (const std::string& keyword : q.keywords) {
+    if (!keywords.empty()) keywords += " ";
+    keywords += keyword;
+  }
+  query->AddRow("keywords", keywords);
+
+  obs::ExplainSection* fanout = report.AddSection("Shard fan-out");
+  fanout->columns = {"shard", "objects",  "lower_bound", "status",
+                     "algo",  "returned", "in_final",    "demand_blocks",
+                     "sim_ms"};
+  for (const ShardLeg& leg : out.legs) {
+    std::snprintf(buf, sizeof(buf), "%.3f", leg.lower_bound);
+    std::string lower_bound = buf;
+    fanout->AddRow(
+        {obs::FormatCount(leg.shard),
+         obs::FormatCount(info_[leg.shard].num_objects), lower_bound,
+         leg.pruned ? "pruned" : "executed",
+         leg.pruned ? "-" : AlgorithmName(leg.executed),
+         obs::FormatCount(leg.results_returned),
+         obs::FormatCount(leg.results_in_final),
+         obs::FormatCount(leg.stats.demand_io.TotalReads()),
+         obs::FormatMs(leg.stats.simulated_disk_ms)});
+  }
+
+  obs::ExplainSection* merge = report.AddSection("Merge");
+  merge->AddRow("shards executed", obs::FormatCount(out.stats.shards_queried));
+  merge->AddRow("shards pruned", obs::FormatCount(out.stats.shards_pruned));
+  uint64_t candidates = 0;
+  for (const ShardLeg& leg : out.legs) candidates += leg.results_returned;
+  merge->AddRow("candidates merged", obs::FormatCount(candidates));
+  merge->AddRow("results", obs::FormatCount(out.results.size()));
+  if (!out.results.empty()) {
+    std::snprintf(buf, sizeof(buf), "%.3f", out.results.back().distance);
+    merge->AddRow("k-th distance", buf);
+  }
+  merge->AddRow("order", "(distance, object id) ascending");
+  return out;
+}
+
+}  // namespace serving
+}  // namespace ir2

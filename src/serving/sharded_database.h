@@ -1,0 +1,144 @@
+#ifndef IR2TREE_SERVING_SHARDED_DATABASE_H_
+#define IR2TREE_SERVING_SHARDED_DATABASE_H_
+
+// Horizontally partitioned serving tier (docs/serving.md): one dataset split
+// across N SpatialKeywordDatabase shards by space-filling-curve cell of the
+// object location, with a scatter-gather executor on top. Each shard is a
+// complete database — its own devices, pools, trees, and cost planner — so
+// per-shard plans adapt to that shard's tree shape and term frequencies.
+//
+// Scatter-gather visits shards in ascending order of the lower-bound
+// distance from the query target to the shard's MBR and maintains the
+// global top-k as it goes; once k results are in hand, any shard whose
+// lower bound exceeds the current k-th distance is provably unable to
+// contribute and is skipped (counted in QueryStats::shards_pruned). Results
+// merge by (distance, object id), so the answer is deterministic and
+// independent of the shard count — byte-identical to a single database over
+// the same objects, modulo the shard-local ObjectRef values.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "core/database.h"
+#include "core/planner.h"
+#include "core/query.h"
+#include "obs/explain.h"
+#include "obs/metrics.h"
+#include "serving/space_filling.h"
+
+namespace ir2 {
+namespace serving {
+
+// Serving-tier metrics, registered once in MetricsRegistry::Global() and
+// cached here (the CoreMetrics pattern; see docs/observability.md).
+struct ServingMetrics {
+  obs::Counter* shard_queries_total;      // Sharded (front-end) queries.
+  obs::Counter* shard_fanout_legs_total;  // Shard legs actually executed.
+  obs::Counter* shard_pruned_total;       // Shard legs skipped by the bound.
+  obs::Histogram* shard_fanout_width;     // Legs executed per query.
+  obs::Counter* server_admitted_total;
+  obs::Counter* server_rejected_queue_total;  // Shed: admission queue full.
+  obs::Counter* server_rejected_quota_total;  // Shed: tenant out of tokens.
+  obs::Counter* server_completed_total;
+  obs::Gauge* server_queue_depth;
+  obs::Histogram* server_queue_wait_ms;
+};
+
+const ServingMetrics& DefaultServingMetrics();
+
+struct ShardingOptions {
+  // Effective shard count is clamped to [1, num_objects].
+  uint64_t num_shards = 4;
+  CurveKind curve = CurveKind::kHilbert;
+  uint32_t curve_order = 16;
+  // Skip shards whose MBR lower bound cannot beat the current global k-th
+  // distance. Always sound; exposed so benches can measure its win.
+  bool prune_shards = true;
+  // Correctness guard (tests): execute pruned shards anyway and CHECK that
+  // every result they return sits at or above the lower bound that justified
+  // the skip — and strictly above the k-th distance it was compared against.
+  // The guarded run's results and stats are identical to a pruned run.
+  bool verify_pruning = false;
+};
+
+// Per-shard leg of one scatter-gather query, for EXPLAIN and tests.
+struct ShardLeg {
+  uint32_t shard = 0;
+  double lower_bound = 0.0;  // MINDIST(query target, shard MBR).
+  bool pruned = false;
+  Algorithm executed = Algorithm::kAuto;  // Resolved per shard under kAuto.
+  QueryStats stats;                       // Zero when pruned.
+  uint64_t results_returned = 0;
+  uint64_t results_in_final = 0;  // Survivors of the global merge.
+};
+
+class ShardedDatabase {
+ public:
+  struct ShardInfo {
+    Rect bounds;  // MBR of the shard's object locations.
+    uint64_t num_objects = 0;
+  };
+
+  // Partitions `objects` along the space-filling curve and builds one
+  // SpatialKeywordDatabase per shard with `options` (every shard gets the
+  // same structural and runtime options, including its own planner when
+  // build_planner is set).
+  static StatusOr<std::unique_ptr<ShardedDatabase>> Build(
+      std::span<const StoredObject> objects, const DatabaseOptions& options,
+      const ShardingOptions& sharding);
+
+  ShardedDatabase(const ShardedDatabase&) = delete;
+  ShardedDatabase& operator=(const ShardedDatabase&) = delete;
+
+  // Scatter-gather top-k: fans `q` to the shards that can still beat the
+  // running k-th result, merges by (distance, object id) and returns the
+  // global top-k. `algo` kAuto lets every shard's planner choose
+  // independently. Accumulates into *stats (the Query* convention),
+  // including shards_queried / shards_pruned. Thread-safe for concurrent
+  // callers when the shards run warm (cold_queries off): legs only read.
+  StatusOr<std::vector<QueryResult>> Query(const DistanceFirstQuery& q,
+                                           Algorithm algo = Algorithm::kAuto,
+                                           QueryStats* stats = nullptr);
+
+  // EXPLAIN with the per-shard fan-out/merge breakdown: one row per shard
+  // (lower bound, pruned/executed, the algorithm the shard's planner chose,
+  // results contributed and surviving) plus the merge summary. Same
+  // execution path as Query().
+  struct ExplainResult {
+    obs::ExplainReport report;
+    QueryStats stats;
+    std::vector<QueryResult> results;
+    std::vector<ShardLeg> legs;
+  };
+  StatusOr<ExplainResult> Explain(const DistanceFirstQuery& q,
+                                  Algorithm algo = Algorithm::kAuto);
+
+  size_t num_shards() const { return shards_.size(); }
+  SpatialKeywordDatabase* shard(size_t i) { return shards_[i].get(); }
+  const ShardInfo& shard_info(size_t i) const { return info_[i]; }
+  const ShardingOptions& sharding() const { return sharding_; }
+  // True when every shard runs warm with prefetching off — the regime in
+  // which concurrent Query() calls are safe (ServerLoop requires it).
+  bool SafeForConcurrentQueries() const;
+
+ private:
+  ShardedDatabase() = default;
+
+  StatusOr<std::vector<QueryResult>> QueryImpl(const DistanceFirstQuery& q,
+                                               Algorithm algo,
+                                               QueryStats* stats,
+                                               std::vector<ShardLeg>* legs);
+
+  ShardingOptions sharding_;
+  std::vector<std::unique_ptr<SpatialKeywordDatabase>> shards_;
+  std::vector<ShardInfo> info_;
+};
+
+}  // namespace serving
+}  // namespace ir2
+
+#endif  // IR2TREE_SERVING_SHARDED_DATABASE_H_

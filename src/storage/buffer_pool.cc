@@ -75,7 +75,7 @@ Status BufferPool::EvictIfFull(Shard& shard) {
   while (shard.lru.size() >= shard.capacity && !shard.lru.empty()) {
     Page& victim = shard.lru.back();
     if (victim.dirty) {
-      IR2_RETURN_IF_ERROR(device_->Write(victim.id, victim.data));
+      IR2_RETURN_IF_ERROR(device_->Write(victim.id, victim.data.span()));
     }
     shard.index.erase(victim.id);
     shard.lru.pop_back();
@@ -114,15 +114,18 @@ Status BufferPool::ReadImpl(BlockId id, std::span<uint8_t> out) {
   }
   ++shard.misses;
   obs::DefaultMetrics().pool_misses->Add();
+  // Read into the (4096-aligned) frame first, then copy out to the caller:
+  // a direct-I/O device then DMAs straight into the cached frame and the
+  // per-thread staging bounce never runs.
+  AlignedFrame frame(out.size());
   {
     obs::TraceSpan span(obs::SpanKind::kDemandIoWait, id,
                         !obs::SpeculativeThreadFlag());
-    IR2_RETURN_IF_ERROR(device_->Read(id, out));
+    IR2_RETURN_IF_ERROR(device_->Read(id, frame.span()));
   }
+  std::memcpy(out.data(), frame.data(), block_size());
   IR2_RETURN_IF_ERROR(EvictIfFull(shard));
-  shard.lru.push_front(
-      Page{id, /*dirty=*/false,
-           std::vector<uint8_t>(out.begin(), out.end())});
+  shard.lru.push_front(Page{id, /*dirty=*/false, std::move(frame)});
   shard.index[id] = shard.lru.begin();
   return Status::Ok();
 }
@@ -141,8 +144,7 @@ Status BufferPool::WriteImpl(BlockId id, std::span<const uint8_t> data) {
     return Status::Ok();
   }
   IR2_RETURN_IF_ERROR(EvictIfFull(shard));
-  shard.lru.push_front(
-      Page{id, /*dirty=*/true, std::vector<uint8_t>(data.begin(), data.end())});
+  shard.lru.push_front(Page{id, /*dirty=*/true, AlignedFrame(data)});
   shard.index[id] = shard.lru.begin();
   return Status::Ok();
 }
@@ -167,7 +169,7 @@ Status BufferPool::FlushAll() {
             [](const Page* a, const Page* b) { return a->id < b->id; });
   Status status = Status::Ok();
   for (Page* page : dirty) {
-    status = device_->Write(page->id, page->data);
+    status = device_->Write(page->id, page->data.span());
     if (!status.ok()) break;
     page->dirty = false;
   }

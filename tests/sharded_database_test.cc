@@ -1,0 +1,270 @@
+#include "serving/sharded_database.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/database.h"
+#include "datagen/workload.h"
+#include "serving/space_filling.h"
+#include "tests/test_util.h"
+
+namespace ir2 {
+namespace {
+
+using serving::CurveKind;
+using serving::PartitionBySpaceFillingCurve;
+using serving::PartitionOptions;
+using serving::ShardAssignment;
+using serving::ShardedDatabase;
+using serving::ShardingOptions;
+using testing_util::RandomObjects;
+
+TEST(SpaceFillingTest, HilbertIndexIsABijectionWithUnitSteps) {
+  constexpr uint32_t kOrder = 3;
+  constexpr uint32_t kSide = 1u << kOrder;
+  std::vector<std::pair<uint32_t, uint32_t>> cell_of(kSide * kSide);
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < kSide; ++x) {
+    for (uint32_t y = 0; y < kSide; ++y) {
+      const uint64_t d = serving::HilbertIndex2D(x, y, kOrder);
+      ASSERT_LT(d, kSide * kSide);
+      ASSERT_TRUE(seen.insert(d).second) << "duplicate index " << d;
+      cell_of[d] = {x, y};
+    }
+  }
+  // The defining property: consecutive curve positions are grid neighbors,
+  // so contiguous runs of the curve are spatially tight.
+  for (uint64_t d = 1; d < kSide * kSide; ++d) {
+    const auto [x0, y0] = cell_of[d - 1];
+    const auto [x1, y1] = cell_of[d];
+    const uint32_t manhattan = (x0 > x1 ? x0 - x1 : x1 - x0) +
+                               (y0 > y1 ? y0 - y1 : y1 - y0);
+    EXPECT_EQ(manhattan, 1u) << "jump at curve position " << d;
+  }
+}
+
+TEST(SpaceFillingTest, MortonIndexInterleavesBits) {
+  const uint32_t cell2[] = {1, 0};
+  EXPECT_EQ(serving::MortonIndex(cell2, 3), 1u);
+  const uint32_t cell2b[] = {0, 1};
+  EXPECT_EQ(serving::MortonIndex(cell2b, 3), 2u);
+  // x = 0b011, y = 0b101: bit b of dim d lands at position b*2 + d.
+  const uint32_t cell2c[] = {3, 5};
+  EXPECT_EQ(serving::MortonIndex(cell2c, 3), 39u);
+  // Three dimensions interleave round-robin.
+  const uint32_t cell3[] = {1, 1, 1};
+  EXPECT_EQ(serving::MortonIndex(cell3, 2), 7u);
+}
+
+TEST(SpaceFillingTest, PartitionSplitsEvenlyAndBoundsContainMembers) {
+  std::vector<StoredObject> objects = RandomObjects(11, 101, 20, 3);
+  PartitionOptions options;
+  options.num_shards = 4;
+  std::vector<ShardAssignment> shards =
+      PartitionBySpaceFillingCurve(objects, options);
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_EQ(shards[0].members.size(), 26u);
+  EXPECT_EQ(shards[1].members.size(), 25u);
+
+  std::set<uint32_t> all;
+  for (const ShardAssignment& shard : shards) {
+    for (uint32_t index : shard.members) {
+      EXPECT_TRUE(all.insert(index).second);
+      EXPECT_TRUE(shard.bounds.Contains(Point(objects[index].coords)));
+    }
+  }
+  EXPECT_EQ(all.size(), objects.size());
+
+  // Deterministic: same inputs, same partition.
+  std::vector<ShardAssignment> again =
+      PartitionBySpaceFillingCurve(objects, options);
+  for (size_t s = 0; s < shards.size(); ++s) {
+    EXPECT_EQ(shards[s].members, again[s].members);
+  }
+}
+
+// Canonical (distance, object id) order — the sharded merge order, applied
+// to single-database results so tie order cannot differ.
+void Canonicalize(std::vector<QueryResult>& results) {
+  std::sort(results.begin(), results.end(),
+            [](const QueryResult& a, const QueryResult& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.object_id < b.object_id;
+            });
+}
+
+class ShardedDatabaseTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kNumObjects = 500;
+
+  void SetUp() override {
+    objects_ = RandomObjects(7, kNumObjects, 40, 5);
+    DatabaseOptions options;
+    options.ir2_signature = SignatureConfig{256, 3};
+    single_ = SpatialKeywordDatabase::Build(objects_, options).value();
+
+    WorkloadConfig config;
+    config.seed = 3;
+    config.num_queries = 10;
+    config.num_keywords = 2;
+    queries_ = GenerateWorkload(objects_, single_->tokenizer(), config);
+  }
+
+  std::unique_ptr<ShardedDatabase> BuildSharded(
+      uint64_t num_shards, ShardingOptions sharding = {}) {
+    sharding.num_shards = num_shards;
+    DatabaseOptions options;
+    options.ir2_signature = SignatureConfig{256, 3};
+    return ShardedDatabase::Build(objects_, options, sharding).value();
+  }
+
+  std::vector<StoredObject> objects_;
+  std::unique_ptr<SpatialKeywordDatabase> single_;
+  std::vector<DistanceFirstQuery> queries_;
+};
+
+TEST_F(ShardedDatabaseTest, MatchesSingleDatabaseGoldens) {
+  // The acceptance pin: for every algorithm and k, N-shard scatter-gather
+  // answers are identical to the single database's (object ids, distances
+  // bit-for-bit) — sharding is invisible to correctness.
+  const Algorithm algos[] = {Algorithm::kRTree, Algorithm::kIio,
+                             Algorithm::kIr2, Algorithm::kMir2};
+  const uint32_t ks[] = {1, 20};
+  for (uint64_t num_shards : {2ull, 4ull, 7ull}) {
+    auto sharded = BuildSharded(num_shards);
+    for (Algorithm algo : algos) {
+      for (uint32_t k : ks) {
+        for (const DistanceFirstQuery& base : queries_) {
+          DistanceFirstQuery q = base;
+          q.k = k;
+          std::vector<QueryResult> expected =
+              single_->Query(q, algo).value();
+          Canonicalize(expected);
+          std::vector<QueryResult> actual = sharded->Query(q, algo).value();
+          ASSERT_EQ(actual.size(), expected.size())
+              << num_shards << " shards, " << AlgorithmName(algo)
+              << ", k=" << k;
+          for (size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_EQ(actual[i].object_id, expected[i].object_id)
+                << num_shards << " shards, " << AlgorithmName(algo)
+                << ", k=" << k << ", result " << i;
+            EXPECT_EQ(actual[i].distance, expected[i].distance);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ShardedDatabaseTest, AutoModeMatchesGoldensViaPerShardPlanners) {
+  auto sharded = BuildSharded(4);
+  for (const DistanceFirstQuery& q : queries_) {
+    std::vector<QueryResult> expected =
+        single_->Query(q, Algorithm::kIr2).value();
+    Canonicalize(expected);
+    std::vector<QueryResult> actual =
+        sharded->Query(q, Algorithm::kAuto).value();
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].object_id, expected[i].object_id);
+      EXPECT_EQ(actual[i].distance, expected[i].distance);
+    }
+  }
+}
+
+TEST_F(ShardedDatabaseTest, PrunesFarShardsAndCountsThem) {
+  auto sharded = BuildSharded(8);
+  // A corner query with small k: the nearest shard satisfies it, distant
+  // shards cannot beat the k-th distance and must be skipped.
+  DistanceFirstQuery q = queries_.front();
+  q.point = Point(1.0, 1.0);
+  q.k = 1;
+  QueryStats stats;
+  auto results = sharded->Query(q, Algorithm::kIr2, &stats);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(stats.shards_queried + stats.shards_pruned, 8u);
+  EXPECT_GT(stats.shards_pruned, 0u);
+
+  // Pruning must not change the answer: a no-prune run is the oracle.
+  ShardingOptions no_prune;
+  no_prune.prune_shards = false;
+  auto unpruned_db = BuildSharded(8, no_prune);
+  QueryStats unpruned_stats;
+  auto unpruned = unpruned_db->Query(q, Algorithm::kIr2, &unpruned_stats);
+  ASSERT_TRUE(unpruned.ok());
+  EXPECT_EQ(unpruned_stats.shards_pruned, 0u);
+  ASSERT_EQ(results.value().size(), unpruned.value().size());
+  for (size_t i = 0; i < results.value().size(); ++i) {
+    EXPECT_EQ(results.value()[i].object_id, unpruned.value()[i].object_id);
+    EXPECT_EQ(results.value()[i].distance, unpruned.value()[i].distance);
+  }
+}
+
+TEST_F(ShardedDatabaseTest, VerifyPruningGuardHolds) {
+  // Guard mode re-executes every pruned shard and CHECK-fails if any of
+  // its results beats the k-th distance the skip was justified against —
+  // "provably skippable", made executable. Passing means the lower bound
+  // is sound on this workload.
+  ShardingOptions verify;
+  verify.verify_pruning = true;
+  auto guarded = BuildSharded(8, verify);
+  auto plain = BuildSharded(8);
+  for (const DistanceFirstQuery& base : queries_) {
+    DistanceFirstQuery q = base;
+    q.k = 5;
+    QueryStats guarded_stats;
+    auto guarded_results = guarded->Query(q, Algorithm::kMir2, &guarded_stats);
+    ASSERT_TRUE(guarded_results.ok());
+    auto plain_results = plain->Query(q, Algorithm::kMir2);
+    ASSERT_TRUE(plain_results.ok());
+    // The guard must not perturb the served answer.
+    ASSERT_EQ(guarded_results.value().size(), plain_results.value().size());
+    for (size_t i = 0; i < plain_results.value().size(); ++i) {
+      EXPECT_EQ(guarded_results.value()[i].object_id,
+                plain_results.value()[i].object_id);
+    }
+  }
+}
+
+TEST_F(ShardedDatabaseTest, ExplainReportsFanoutAndMerge) {
+  auto sharded = BuildSharded(4);
+  DistanceFirstQuery q = queries_.front();
+  q.k = 3;
+  auto explain = sharded->Explain(q, Algorithm::kAuto);
+  ASSERT_TRUE(explain.ok());
+  const auto& result = explain.value();
+  EXPECT_EQ(result.legs.size(), 4u);
+
+  uint64_t in_final = 0;
+  for (const serving::ShardLeg& leg : result.legs) {
+    if (!leg.pruned) {
+      // Per-shard planning: kAuto resolved to a concrete algorithm.
+      EXPECT_NE(leg.executed, Algorithm::kAuto);
+    }
+    in_final += leg.results_in_final;
+  }
+  EXPECT_EQ(in_final, result.results.size());
+
+  const std::string report = result.report.ToString();
+  EXPECT_NE(report.find("Shard fan-out"), std::string::npos);
+  EXPECT_NE(report.find("Merge"), std::string::npos);
+  EXPECT_NE(report.find("executed"), std::string::npos);
+}
+
+TEST(QueryStatsTest, AccumulatesShardCounters) {
+  QueryStats a;
+  a.shards_queried = 3;
+  a.shards_pruned = 5;
+  QueryStats b;
+  b.shards_queried = 2;
+  b.shards_pruned = 1;
+  a += b;
+  EXPECT_EQ(a.shards_queried, 5u);
+  EXPECT_EQ(a.shards_pruned, 6u);
+}
+
+}  // namespace
+}  // namespace ir2
