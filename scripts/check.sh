@@ -42,9 +42,33 @@ echo "== Bench smoke: cost-based planner =="
 if command -v python3 > /dev/null 2>&1; then
   python3 -m json.tool build/BENCH_planner.json > /dev/null
   echo "planner bench json: valid"
+  python3 - <<'PYEOF'
+import json
+for d in json.load(open("build/BENCH_planner.json"))["datasets"]:
+    assert d["auto_beats_all_fixed"], d["dataset"]
+    assert d["auto_vs_oracle"] <= 1.15, (d["dataset"], d["auto_vs_oracle"])
+    kc = d["kc_ablation"]
+    assert kc["kc_wins_hot_slice"], (d["dataset"], kc)
+    assert kc["kc_no_rest_regression"], (d["dataset"], kc)
+print("planner bench acceptance: auto beats fixed, KC-Tree ablation wins"
+      " hot slice, no rest regression")
+PYEOF
 fi
 (cd build && ./examples/explain_query --algo=auto) | grep -q 'Planner' \
   && echo "auto EXPLAIN: planner section present"
+
+echo
+echo "== KC-Tree: goldens + bitmap/signature agreement, both SIMD tiers =="
+# The KC-Tree's exact hot-word bitmaps and cold-tail signature ride the
+# same dispatched byte-containment kernels as IR2 signatures; run the
+# suite (build/save/open round-trips, bitmap-vs-brute-force fuzz, top-k
+# pinned to the IR2/IIO answers) with dispatch on and forced scalar, and
+# hold the cold-regime KC disk-count goldens on both tiers too (see
+# docs/performance.md).
+./build/tests/kc_tree_test > /dev/null && echo "kc_tree_test: OK"
+IR2_DISABLE_SIMD=1 ./build/tests/kc_tree_test > /dev/null   && echo "kc_tree_test (scalar forced): OK"
+./build/tests/cold_regime_regression_test   --gtest_filter='*KcTree*' > /dev/null   && echo "cold-regime KC goldens: OK"
+IR2_DISABLE_SIMD=1 ./build/tests/cold_regime_regression_test   --gtest_filter='*KcTree*' > /dev/null   && echo "cold-regime KC goldens (scalar forced): OK"
 
 echo
 echo "== SIMD kernels: dispatch smoke + scalar-tier golden diff =="
@@ -122,9 +146,9 @@ else
   cmake --build build-tsan -j "$jobs" --target \
     concurrency_test batch_executor_test node_cache_test storage_test \
     io_scheduler_test file_device_async_test obs_test planner_test \
-    server_loop_test sharded_database_test
+    server_loop_test sharded_database_test kc_tree_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'concurrency_test|batch_executor_test|node_cache_test|storage_test|io_scheduler_test|file_device_async_test|obs_test|planner_test|server_loop_test|sharded_database_test'
+    -R 'concurrency_test|batch_executor_test|node_cache_test|storage_test|io_scheduler_test|file_device_async_test|obs_test|planner_test|server_loop_test|sharded_database_test|kc_tree_test'
 fi
 
 echo
@@ -137,13 +161,13 @@ cmake -B build-ubsan -S . -DIR2_SANITIZE=undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-ubsan -j "$jobs" --target \
   io_scheduler_test prefetch_invariance_test cold_regime_regression_test \
-  storage_test bulk_load_test simd_test
+  storage_test bulk_load_test simd_test kc_tree_test
 # Twice: dispatched kernels (wide loads, unaligned pointers) and the
 # scalar tier both have to be UB-clean.
 ctest --test-dir build-ubsan --output-on-failure \
-  -R 'io_scheduler_test|prefetch_invariance_test|cold_regime_regression_test|storage_test|bulk_load_test|simd_test'
+  -R 'io_scheduler_test|prefetch_invariance_test|cold_regime_regression_test|storage_test|bulk_load_test|simd_test|kc_tree_test'
 IR2_DISABLE_SIMD=1 ctest --test-dir build-ubsan --output-on-failure \
-  -R 'cold_regime_regression_test|simd_test'
+  -R 'cold_regime_regression_test|simd_test|kc_tree_test'
 
 if [ "${IR2_CHECK_ASAN:-0}" = "1" ]; then
   echo

@@ -10,6 +10,7 @@
 #include "common/stopwatch.h"
 #include "core/database.h"
 #include "core/iio.h"
+#include "core/kc_tree.h"
 #include "core/rtree_baseline.h"
 #include "obs/metrics.h"
 #include "rtree/rtree_base.h"
@@ -75,7 +76,8 @@ StatusOr<BatchResults> BatchExecutor::RunDatabase(
   std::vector<TreeCtx> trees;
   for (RTreeBase* tree : {static_cast<RTreeBase*>(db_->rtree()),
                           static_cast<RTreeBase*>(db_->ir2_tree()),
-                          static_cast<RTreeBase*>(db_->mir2_tree())}) {
+                          static_cast<RTreeBase*>(db_->mir2_tree()),
+                          static_cast<RTreeBase*>(db_->kc_tree())}) {
     if (tree != nullptr) {
       trees.push_back(TreeCtx{tree, tree->pool()->device()});
     }
@@ -203,6 +205,13 @@ StatusOr<BatchResults> BatchExecutor::RunDatabase(
           }
           answer = Ir2TopK(*db_->mir2_tree(), objects, tokenizer, query,
                            &local, &scratch);
+          break;
+        case Algorithm::kKcTree:
+          if (db_->kc_tree() == nullptr) {
+            return Status::FailedPrecondition("KC-Tree was not built");
+          }
+          answer = KcTopK(*db_->kc_tree(), objects, tokenizer, query,
+                          &local, &scratch);
           break;
         case Algorithm::kAuto:
           return Status::Internal("Planner chose kAuto");

@@ -17,6 +17,7 @@
 #include "core/general_search.h"
 #include "core/iio.h"
 #include "core/ir2_search.h"
+#include "core/kc_tree.h"
 #include "core/rtree_baseline.h"
 #include "core/stats.h"
 #include "obs/metrics.h"
@@ -236,7 +237,52 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
     }
   }
 
-  // 6. Inverted index (IIO baseline).
+  // 6. KC-Tree: keyword-clustered hybrid payloads — exact bitmaps for the
+  // hot vocabulary (clustered by frequency tier + co-occurrence), a shared
+  // cold-tail signature for everything else. Same node layout and I/O
+  // engine as the other trees.
+  if (options.build_kc) {
+    db->kc_vocab_ = std::make_unique<KcVocabulary>(KcVocabulary::Build(
+        distinct_words, options.kc_vocabulary, options.ir2_signature));
+    db->kc_device_ = std::make_unique<MemoryBlockDevice>();
+    db->kc_pool_ = std::make_unique<BufferPool>(db->kc_device_.get(),
+                                                options.pool_blocks);
+    db->kc_ = std::make_unique<KcTree>(db->kc_pool_.get(),
+                                       options.tree_options,
+                                       db->kc_vocab_.get());
+    IR2_RETURN_IF_ERROR(db->kc_->Init());
+    if (options.bulk_load) {
+      std::vector<KcTree::BulkObject> kc_bulk;
+      kc_bulk.reserve(objects.size());
+      for (size_t i = 0; i < objects.size(); ++i) {
+        kc_bulk.push_back(KcTree::BulkObject{
+            refs[i], point_rect(objects[i]), word_hashes[i]});
+      }
+      IR2_RETURN_IF_ERROR(db->kc_->BulkLoadObjects(
+          kc_bulk, options.bulk_fill_fraction));
+    } else {
+      for (size_t i = 0; i < objects.size(); ++i) {
+        IR2_RETURN_IF_ERROR(db->kc_->InsertObject(
+            refs[i], point_rect(objects[i]),
+            std::span<const uint64_t>(word_hashes[i])));
+      }
+    }
+    IR2_RETURN_IF_ERROR(db->kc_->Flush());
+    if (options.locality_placement && !options.bulk_load) {
+      auto device = std::make_unique<MemoryBlockDevice>();
+      auto pool =
+          std::make_unique<BufferPool>(device.get(), options.pool_blocks);
+      auto tree = std::make_unique<KcTree>(pool.get(), options.tree_options,
+                                           db->kc_vocab_.get());
+      IR2_RETURN_IF_ERROR(tree->Init());
+      IR2_RETURN_IF_ERROR(db->kc_->CompactInto(tree.get()));
+      db->kc_ = std::move(tree);
+      db->kc_pool_ = std::move(pool);
+      db->kc_device_ = std::move(device);
+    }
+  }
+
+  // 7. Inverted index (IIO baseline).
   if (options.build_iio) {
     db->iio_device_ = std::make_unique<MemoryBlockDevice>();
     InvertedIndexBuilder builder(db->iio_device_.get(), options.iio_options);
@@ -311,6 +357,39 @@ Status SpatialKeywordDatabase::WirePlanner() {
   if (mir2_ != nullptr) {
     IR2_ASSIGN_OR_RETURN(inputs.mir2, SnapshotTreeShape(*mir2_, mir2_.get()));
   }
+  if (kc_ != nullptr && kc_vocab_ != nullptr) {
+    // The KC payload is not an Ir2Tree signature scheme, so snapshot its
+    // shape directly: signature_bits spans the whole payload (hot bitmap +
+    // cold tail) and payload_density measures set bits over that span —
+    // exactly the quantities KcCost's synthetic cold level is derived from.
+    IR2_ASSIGN_OR_RETURN(TreeStatsReport kc_report, ComputeTreeStats(*kc_));
+    PlannerTreeShape shape;
+    shape.levels.reserve(kc_report.levels.size());
+    const uint32_t payload_bits =
+        static_cast<uint32_t>(kc_vocab_->payload_bytes()) * 8;
+    for (const LevelStats& level : kc_report.levels) {
+      PlannerLevel out;
+      out.nodes = level.nodes;
+      out.entries = level.entries;
+      out.blocks_per_node =
+          level.nodes == 0 ? 1.0
+                           : static_cast<double>(level.blocks_used) /
+                                 static_cast<double>(level.nodes);
+      out.signature_bits = payload_bits;
+      out.hashes_per_word = kc_vocab_->cold_config().hashes_per_word;
+      out.payload_density = level.PayloadDensity();
+      shape.levels.push_back(out);
+    }
+    inputs.kc = std::move(shape);
+    inputs.kc_hot_bits = kc_vocab_->hot_bits();
+    inputs.kc_cold_bits = kc_vocab_->cold_config().bits;
+    inputs.kc_cold_hashes = kc_vocab_->cold_config().hashes_per_word;
+    inputs.kc_hot_word_dfs.reserve(kc_vocab_->words().size());
+    for (const KcVocabulary::Word& word : kc_vocab_->words()) {
+      inputs.kc_hot_word_dfs.emplace_back(word.hash, word.df);
+    }
+    std::sort(inputs.kc_hot_word_dfs.begin(), inputs.kc_hot_word_dfs.end());
+  }
   planner_ = std::make_unique<QueryPlanner>(std::move(inputs), iio_.get(),
                                             &tokenizer_);
   return Status::Ok();
@@ -323,6 +402,7 @@ void SpatialKeywordDatabase::WireIoEngine() {
   rtree_scheduler_.reset();
   ir2_scheduler_.reset();
   mir2_scheduler_.reset();
+  kc_scheduler_.reset();
   iio_scheduler_.reset();
   async_backends_.clear();
   const auto make_scheduler =
@@ -344,6 +424,7 @@ void SpatialKeywordDatabase::WireIoEngine() {
   rtree_scheduler_ = make_scheduler(rtree_pool_.get());
   ir2_scheduler_ = make_scheduler(ir2_pool_.get());
   mir2_scheduler_ = make_scheduler(mir2_pool_.get());
+  kc_scheduler_ = make_scheduler(kc_pool_.get());
   iio_scheduler_ = make_scheduler(iio_pool_.get());
   if (iio_ != nullptr && iio_scheduler_ != nullptr) {
     // Posting lists always stream through the scheduler's ReadRun path —
@@ -359,7 +440,7 @@ Status SpatialKeywordDatabase::DropCaches() {
   DrainSchedulers();
   for (BufferPool* pool :
        {object_pool_.get(), rtree_pool_.get(), ir2_pool_.get(),
-        mir2_pool_.get(), iio_pool_.get()}) {
+        mir2_pool_.get(), kc_pool_.get(), iio_pool_.get()}) {
     if (pool != nullptr) {
       IR2_RETURN_IF_ERROR(pool->Clear());
     }
@@ -368,7 +449,8 @@ Status SpatialKeywordDatabase::DropCaches() {
   // reads; drop it so cold_queries keeps its per-query purity.
   for (RTreeBase* tree : {static_cast<RTreeBase*>(rtree_.get()),
                           static_cast<RTreeBase*>(ir2_.get()),
-                          static_cast<RTreeBase*>(mir2_.get())}) {
+                          static_cast<RTreeBase*>(mir2_.get()),
+                          static_cast<RTreeBase*>(kc_.get())}) {
     if (tree != nullptr && tree->node_cache() != nullptr) {
       tree->node_cache()->Clear();
     }
@@ -381,21 +463,21 @@ void SpatialKeywordDatabase::ResetIoStats() {
   // device not behind a pool.
   for (BufferPool* pool :
        {object_pool_.get(), rtree_pool_.get(), ir2_pool_.get(),
-        mir2_pool_.get(), iio_pool_.get()}) {
+        mir2_pool_.get(), kc_pool_.get(), iio_pool_.get()}) {
     if (pool != nullptr) {
       pool->ResetStats();
     }
   }
   for (BlockDevice* device :
        {object_device_.get(), rtree_device_.get(), ir2_device_.get(),
-        mir2_device_.get(), iio_device_.get()}) {
+        mir2_device_.get(), kc_device_.get(), iio_device_.get()}) {
     if (device != nullptr) {
       device->ResetStats();
     }
   }
   for (IoScheduler* scheduler :
        {object_scheduler_.get(), rtree_scheduler_.get(), ir2_scheduler_.get(),
-        mir2_scheduler_.get(), iio_scheduler_.get()}) {
+        mir2_scheduler_.get(), kc_scheduler_.get(), iio_scheduler_.get()}) {
     if (scheduler != nullptr) {
       scheduler->ResetStats();
     }
@@ -406,7 +488,7 @@ IoStats SpatialKeywordDatabase::PoolThreadIo() const {
   IoStats total;
   for (const BufferPool* pool :
        {object_pool_.get(), rtree_pool_.get(), ir2_pool_.get(),
-        mir2_pool_.get(), iio_pool_.get()}) {
+        mir2_pool_.get(), kc_pool_.get(), iio_pool_.get()}) {
     if (pool != nullptr) {
       total += pool->thread_stats();
     }
@@ -418,7 +500,7 @@ IoStats SpatialKeywordDatabase::DeviceThreadIo() const {
   IoStats total;
   for (const BlockDevice* device :
        {object_device_.get(), rtree_device_.get(), ir2_device_.get(),
-        mir2_device_.get(), iio_device_.get()}) {
+        mir2_device_.get(), kc_device_.get(), iio_device_.get()}) {
     if (device != nullptr) {
       total += device->thread_stats();
     }
@@ -430,7 +512,7 @@ IoStats SpatialKeywordDatabase::SchedulerIo() const {
   IoStats total;
   for (const IoScheduler* scheduler :
        {object_scheduler_.get(), rtree_scheduler_.get(), ir2_scheduler_.get(),
-        mir2_scheduler_.get(), iio_scheduler_.get()}) {
+        mir2_scheduler_.get(), kc_scheduler_.get(), iio_scheduler_.get()}) {
     if (scheduler != nullptr) {
       total += scheduler->speculative_stats();
     }
@@ -441,7 +523,7 @@ IoStats SpatialKeywordDatabase::SchedulerIo() const {
 void SpatialKeywordDatabase::DrainSchedulers() {
   for (IoScheduler* scheduler :
        {object_scheduler_.get(), rtree_scheduler_.get(), ir2_scheduler_.get(),
-        mir2_scheduler_.get(), iio_scheduler_.get()}) {
+        mir2_scheduler_.get(), kc_scheduler_.get(), iio_scheduler_.get()}) {
     if (scheduler != nullptr) {
       scheduler->Drain();
     }
@@ -489,7 +571,7 @@ IoStats SpatialKeywordDatabase::AggregateIo() const {
   IoStats total;
   for (const BlockDevice* device :
        {object_device_.get(), rtree_device_.get(), ir2_device_.get(),
-        mir2_device_.get(), iio_device_.get()}) {
+        mir2_device_.get(), kc_device_.get(), iio_device_.get()}) {
     if (device != nullptr) {
       total += device->stats();
     }
@@ -609,6 +691,25 @@ StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryMir2(
   });
 }
 
+StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryKc(
+    const DistanceFirstQuery& q, QueryStats* stats) {
+  if (kc_ == nullptr) {
+    return Status::FailedPrecondition("KC-Tree was not built");
+  }
+  NNPrefetchOptions prefetch;
+  if (options_.prefetch) {
+    prefetch.node_scheduler = kc_scheduler_.get();
+    if (options_.prefetch_objects) {
+      prefetch.object_scheduler = object_scheduler_.get();
+    }
+  }
+  return RunQuery(stats, [&](QueryStats* local) {
+    MaybeSweepObjectFile(q);
+    return KcTopK(*kc_, *object_store_, tokenizer_, q, local,
+                  /*scratch=*/nullptr, prefetch);
+  });
+}
+
 StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryAuto(
     const DistanceFirstQuery& q, QueryStats* stats, QueryPlan* plan_out) {
   if (planner_ == nullptr) {
@@ -640,6 +741,9 @@ StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryAuto(
     case Algorithm::kMir2:
       results = QueryMir2(q, &local);
       break;
+    case Algorithm::kKcTree:
+      results = QueryKc(q, &local);
+      break;
     case Algorithm::kAuto:
       return Status::Internal("Planner chose kAuto");
   }
@@ -662,6 +766,8 @@ StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::Query(
       return QueryIr2(q, stats);
     case Algorithm::kMir2:
       return QueryMir2(q, stats);
+    case Algorithm::kKcTree:
+      return QueryKc(q, stats);
     case Algorithm::kAuto:
       return QueryAuto(q, stats);
   }
@@ -680,6 +786,8 @@ const char* ExplainAlgoName(SpatialKeywordDatabase::ExplainAlgo algo) {
       return "IR2";
     case SpatialKeywordDatabase::ExplainAlgo::kMir2:
       return "MIR2";
+    case SpatialKeywordDatabase::ExplainAlgo::kKcTree:
+      return "KCTREE";
     case SpatialKeywordDatabase::ExplainAlgo::kAuto:
       return "AUTO";
   }
@@ -733,6 +841,7 @@ StatusOr<SpatialKeywordDatabase::ExplainResult> SpatialKeywordDatabase::
         {"rtree", rtree_pool_.get()},
         {"ir2", ir2_pool_.get()},
         {"mir2", mir2_pool_.get()},
+        {"kctree", kc_pool_.get()},
         {"iio", iio_pool_.get()}}) {
     if (pool != nullptr) {
       pools.push_back(PoolRow{name, pool, pool->Stats()});
@@ -750,6 +859,7 @@ StatusOr<SpatialKeywordDatabase::ExplainResult> SpatialKeywordDatabase::
         {"rtree", rtree_scheduler_.get()},
         {"ir2", ir2_scheduler_.get()},
         {"mir2", mir2_scheduler_.get()},
+        {"kctree", kc_scheduler_.get()},
         {"iio", iio_scheduler_.get()}}) {
     if (scheduler != nullptr) {
       schedulers.push_back(SchedulerRow{name, scheduler, scheduler->stats()});
@@ -776,6 +886,9 @@ StatusOr<SpatialKeywordDatabase::ExplainResult> SpatialKeywordDatabase::
         break;
       case ExplainAlgo::kMir2:
         results = QueryMir2(q, &out.stats);
+        break;
+      case ExplainAlgo::kKcTree:
+        results = QueryKc(q, &out.stats);
         break;
       case ExplainAlgo::kAuto:
         results = QueryAuto(q, &out.stats, &plan);
@@ -873,6 +986,35 @@ StatusOr<SpatialKeywordDatabase::ExplainResult> SpatialKeywordDatabase::
     }
   }
 
+  if (stats.kc_bitmap_tests > 0) {
+    // KC-Tree breakdown: which hot cluster's exact bitmap (zero false
+    // positives) vs the cold-tail signature decided each prune. Attribution
+    // is scalar and SIMD-tier-invariant (core/kc_tree.cc).
+    obs::ExplainSection* kc_section = report.AddSection(
+        "KC-Tree pruning (exact hot clusters vs cold-tail signature)");
+    kc_section->columns = {"source", "words", "entries pruned"};
+    for (size_t c = 0; c < stats.kc_cluster_prunes.size(); ++c) {
+      if (stats.kc_cluster_prunes[c] == 0) {
+        continue;
+      }
+      std::string words;
+      if (kc_vocab_ != nullptr) {
+        for (const KcVocabulary::Word& word : kc_vocab_->words()) {
+          if (word.cluster == c) {
+            if (!words.empty()) words += ", ";
+            words += word.word;
+          }
+        }
+      }
+      kc_section->AddRow({"cluster " + std::to_string(c), words,
+                          obs::FormatCount(stats.kc_cluster_prunes[c])});
+    }
+    kc_section->AddRow({"cold-tail signature", "-",
+                        obs::FormatCount(stats.kc_signature_prunes)});
+    kc_section->AddRow({"containment tests", "-",
+                        obs::FormatCount(stats.kc_bitmap_tests)});
+  }
+
   obs::ExplainSection* io = report.AddSection("Block I/O");
   io->columns = {"class", "random", "sequential", "total"};
   AddIoRow(io, "demand (pool-level requests)", stats.demand_io);
@@ -930,7 +1072,7 @@ StatusOr<SpatialKeywordDatabase::ExplainResult> SpatialKeywordDatabase::
   bool any_node_cache = false;
   for (const TreeRow& row :
        {TreeRow{"rtree", rtree_.get()}, TreeRow{"ir2", ir2_.get()},
-        TreeRow{"mir2", mir2_.get()}}) {
+        TreeRow{"mir2", mir2_.get()}, TreeRow{"kctree", kc_.get()}}) {
     if (row.tree != nullptr && row.tree->node_cache() != nullptr) {
       if (!any_node_cache) {
         obs::ExplainSection* caches = report.AddSection("Node caches");
@@ -1056,6 +1198,9 @@ uint64_t SpatialKeywordDatabase::Ir2TreeBytes() const {
 uint64_t SpatialKeywordDatabase::Mir2TreeBytes() const {
   return mir2_device_ ? mir2_device_->SizeBytes() : 0;
 }
+uint64_t SpatialKeywordDatabase::KcTreeBytes() const {
+  return kc_device_ ? kc_device_->SizeBytes() : 0;
+}
 uint64_t SpatialKeywordDatabase::IioBytes() const {
   return iio_device_ ? iio_device_->SizeBytes() : 0;
 }
@@ -1112,7 +1257,8 @@ Status SpatialKeywordDatabase::Save(const std::string& directory) {
   // Make sure every dirty page and superblock is on its device.
   for (RTreeBase* tree : {static_cast<RTreeBase*>(rtree_.get()),
                           static_cast<RTreeBase*>(ir2_.get()),
-                          static_cast<RTreeBase*>(mir2_.get())}) {
+                          static_cast<RTreeBase*>(mir2_.get()),
+                          static_cast<RTreeBase*>(kc_.get())}) {
     if (tree != nullptr) {
       IR2_RETURN_IF_ERROR(tree->Flush());
     }
@@ -1124,6 +1270,7 @@ Status SpatialKeywordDatabase::Save(const std::string& directory) {
                                  "rtree.dat"));
   IR2_RETURN_IF_ERROR(SaveDevice(ir2_device_.get(), directory, "ir2.dat"));
   IR2_RETURN_IF_ERROR(SaveDevice(mir2_device_.get(), directory, "mir2.dat"));
+  IR2_RETURN_IF_ERROR(SaveDevice(kc_device_.get(), directory, "kctree.dat"));
   IR2_RETURN_IF_ERROR(SaveDevice(iio_device_.get(), directory, "iio.dat"));
 
   std::ofstream manifest(DevicePath(directory, kManifestName),
@@ -1156,6 +1303,19 @@ Status SpatialKeywordDatabase::Save(const std::string& directory) {
   manifest << "cold_queries " << (options_.cold_queries ? 1 : 0) << "\n";
   manifest << "built " << (rtree_ != nullptr) << " " << (ir2_ != nullptr)
            << " " << (mir2_ != nullptr) << " " << (iio_ != nullptr) << "\n";
+  if (kc_ != nullptr && kc_vocab_ != nullptr) {
+    // KC keys are additive: a manifest without them (pre-KC save) opens
+    // with the KC-Tree absent, and the word list is everything FromWords
+    // needs to reconstruct the vocabulary bit-for-bit (hashes recomputed).
+    manifest << "kc_built 1\n";
+    manifest << "kc_cold " << kc_vocab_->cold_config().bits << " "
+             << kc_vocab_->cold_config().hashes_per_word << "\n";
+    manifest << "kc_hot " << kc_vocab_->words().size();
+    for (const KcVocabulary::Word& word : kc_vocab_->words()) {
+      manifest << " " << word.word << " " << word.df << " " << word.cluster;
+    }
+    manifest << "\n";
+  }
   manifest << "stopwords " << options_.stopwords.size();
   for (const std::string& word : options_.stopwords) {
     manifest << " " << word;
@@ -1194,8 +1354,10 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
   DatabaseOptions& options = db->options_;
   DatasetStats& stats = db->stats_;
   bool built_rtree = false, built_ir2 = false, built_mir2 = false,
-       built_iio = false;
+       built_iio = false, built_kc = false;
   MultilevelScheme mir2_scheme;
+  SignatureConfig kc_cold{0, 0};
+  std::vector<KcVocabulary::Word> kc_words;
 
   std::string key;
   while (manifest >> key) {
@@ -1241,6 +1403,19 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
       options.cold_queries = flag != 0;
     } else if (key == "built") {
       manifest >> built_rtree >> built_ir2 >> built_mir2 >> built_iio;
+    } else if (key == "kc_built") {
+      int flag = 0;
+      manifest >> flag;
+      built_kc = flag != 0;
+    } else if (key == "kc_cold") {
+      manifest >> kc_cold.bits >> kc_cold.hashes_per_word;
+    } else if (key == "kc_hot") {
+      size_t n = 0;
+      manifest >> n;
+      kc_words.resize(n);
+      for (KcVocabulary::Word& word : kc_words) {
+        manifest >> word.word >> word.df >> word.cluster;
+      }
     } else if (key == "stopwords") {
       size_t n = 0;
       manifest >> n;
@@ -1260,6 +1435,7 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
   options.build_ir2 = built_ir2;
   options.build_mir2 = built_mir2;
   options.build_iio = built_iio;
+  options.build_kc = built_kc;
   options.mir2_scheme = mir2_scheme;
   if (runtime != nullptr) {
     // Runtime-class knobs come from the caller: how to read the database is
@@ -1327,6 +1503,23 @@ StatusOr<std::unique_ptr<SpatialKeywordDatabase>> SpatialKeywordDatabase::
         db->mir2_pool_.get(), mir2_options, mir2_scheme,
         db->object_store_.get(), &db->tokenizer_);
     IR2_RETURN_IF_ERROR(db->mir2_->Load());
+  }
+  if (built_kc) {
+    IR2_ASSIGN_OR_RETURN(
+        KcVocabulary vocab,
+        KcVocabulary::FromWords(std::move(kc_words), kc_cold));
+    db->kc_vocab_ = std::make_unique<KcVocabulary>(std::move(vocab));
+    IR2_ASSIGN_OR_RETURN(
+        std::unique_ptr<FileBlockDevice> device,
+        FileBlockDevice::Open(DevicePath(directory, "kctree.dat"),
+                              kDefaultBlockSize, options.file_device));
+    db->kc_device_ = std::move(device);
+    db->kc_pool_ = std::make_unique<BufferPool>(db->kc_device_.get(),
+                                                options.pool_blocks);
+    db->kc_ = std::make_unique<KcTree>(db->kc_pool_.get(),
+                                       options.tree_options,
+                                       db->kc_vocab_.get());
+    IR2_RETURN_IF_ERROR(db->kc_->Load());
   }
   if (built_iio) {
     IR2_ASSIGN_OR_RETURN(

@@ -9,6 +9,7 @@
 
 #include "common/status_or.h"
 #include "core/ir2_tree.h"
+#include "core/kc_tree.h"
 #include "obs/explain.h"
 #include "core/mir2_tree.h"
 #include "core/planner.h"
@@ -84,6 +85,13 @@ struct DatabaseOptions {
   bool build_ir2 = true;
   bool build_mir2 = true;
   bool build_iio = true;
+  // Keyword-clustered hybrid tree (core/kc_tree.h): exact per-entry bitmaps
+  // for the hot vocabulary, a shared superimposed signature for the cold
+  // tail. The fifth planner candidate.
+  bool build_kc = true;
+  // Hot-vocabulary clustering knobs; cold_signature{bits=0} inherits
+  // ir2_signature for the cold-tail region.
+  KcVocabularyOptions kc_vocabulary;
   // Cost-based planner behind Algorithm::kAuto (docs/planner.md). Built at
   // Build/Open time from a one-time tree-stats snapshot; per-query planning
   // is pure in-memory arithmetic.
@@ -183,6 +191,10 @@ class SpatialKeywordDatabase {
                                               QueryStats* stats = nullptr);
   StatusOr<std::vector<QueryResult>> QueryMir2(const DistanceFirstQuery& q,
                                                QueryStats* stats = nullptr);
+  // Fifth algorithm: KC-Tree traversal (exact hot-word bitmaps + cold-tail
+  // signature; see docs/planner.md).
+  StatusOr<std::vector<QueryResult>> QueryKc(const DistanceFirstQuery& q,
+                                             QueryStats* stats = nullptr);
 
   // ---- Cost-based auto mode (see docs/planner.md) ----
   // Prices every candidate algorithm under the DiskModel (zero I/O — tree
@@ -194,7 +206,7 @@ class SpatialKeywordDatabase {
                                                QueryStats* stats = nullptr,
                                                QueryPlan* plan_out = nullptr);
 
-  // Uniform dispatcher over the four fixed algorithms plus kAuto.
+  // Uniform dispatcher over the five fixed algorithms plus kAuto.
   StatusOr<std::vector<QueryResult>> Query(const DistanceFirstQuery& q,
                                            Algorithm algo,
                                            QueryStats* stats = nullptr);
@@ -251,6 +263,8 @@ class SpatialKeywordDatabase {
   RTree* rtree() { return rtree_.get(); }
   Ir2Tree* ir2_tree() { return ir2_.get(); }
   Mir2Tree* mir2_tree() { return mir2_.get(); }
+  KcTree* kc_tree() { return kc_.get(); }
+  const KcVocabulary* kc_vocabulary() const { return kc_vocab_.get(); }
   InvertedIndex* inverted_index() { return iio_.get(); }
   // Cost-based planner behind Algorithm::kAuto (null iff build_planner was
   // disabled). Thread-safe: Plan and RecordOutcome may run concurrently
@@ -265,6 +279,7 @@ class SpatialKeywordDatabase {
   IoScheduler* rtree_scheduler() { return rtree_scheduler_.get(); }
   IoScheduler* ir2_scheduler() { return ir2_scheduler_.get(); }
   IoScheduler* mir2_scheduler() { return mir2_scheduler_.get(); }
+  IoScheduler* kc_scheduler() { return kc_scheduler_.get(); }
   IoScheduler* iio_scheduler() { return iio_scheduler_.get(); }
 
   // Structure sizes in bytes (Table 2).
@@ -272,6 +287,7 @@ class SpatialKeywordDatabase {
   uint64_t RTreeBytes() const;
   uint64_t Ir2TreeBytes() const;
   uint64_t Mir2TreeBytes() const;
+  uint64_t KcTreeBytes() const;
   uint64_t IioBytes() const;
 
  private:
@@ -334,6 +350,7 @@ class SpatialKeywordDatabase {
   std::unique_ptr<BlockDevice> rtree_device_;
   std::unique_ptr<BlockDevice> ir2_device_;
   std::unique_ptr<BlockDevice> mir2_device_;
+  std::unique_ptr<BlockDevice> kc_device_;
   std::unique_ptr<BlockDevice> iio_device_;
 
   // Tree pools cache nodes during construction; the object/IIO pools exist
@@ -344,12 +361,17 @@ class SpatialKeywordDatabase {
   std::unique_ptr<BufferPool> rtree_pool_;
   std::unique_ptr<BufferPool> ir2_pool_;
   std::unique_ptr<BufferPool> mir2_pool_;
+  std::unique_ptr<BufferPool> kc_pool_;
   std::unique_ptr<BufferPool> iio_pool_;
 
   std::unique_ptr<ObjectStore> object_store_;
   std::unique_ptr<RTree> rtree_;
   std::unique_ptr<Ir2Tree> ir2_;
   std::unique_ptr<Mir2Tree> mir2_;
+  // Vocabulary before the tree: the tree holds a pointer into it, so the
+  // reverse destruction order keeps the vocabulary alive longer.
+  std::unique_ptr<KcVocabulary> kc_vocab_;
+  std::unique_ptr<KcTree> kc_;
   std::unique_ptr<InvertedIndex> iio_;
   std::unique_ptr<IrScorer> scorer_;
   std::unique_ptr<QueryPlanner> planner_;
@@ -365,6 +387,7 @@ class SpatialKeywordDatabase {
   std::unique_ptr<IoScheduler> rtree_scheduler_;
   std::unique_ptr<IoScheduler> ir2_scheduler_;
   std::unique_ptr<IoScheduler> mir2_scheduler_;
+  std::unique_ptr<IoScheduler> kc_scheduler_;
   std::unique_ptr<IoScheduler> iio_scheduler_;
 };
 

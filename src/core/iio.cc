@@ -103,6 +103,16 @@ StatusOr<std::vector<QueryResult>> IioTopK(const InvertedIndex& index,
   if (candidates.size() > query.k) {
     candidates.resize(query.k);
   }
+  // Bounded form: IIO materializes the whole intersection regardless (the
+  // bound saves no I/O here), so the cap is a pure post-filter — drop
+  // results strictly past the inclusive bound to match the distance-
+  // ordered algorithms' answers.
+  if (query.max_distance.has_value()) {
+    while (!candidates.empty() &&
+           candidates.back().distance > *query.max_distance) {
+      candidates.pop_back();
+    }
+  }
   return candidates;
 }
 

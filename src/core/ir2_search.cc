@@ -11,12 +11,14 @@ class Ir2TopKCursor::Impl {
   Impl(const Ir2Tree* tree, const ObjectStore* objects,
        const Tokenizer* tokenizer, Rect target,
        std::vector<std::string> keywords, QueryStats* stats,
-       Ir2QueryScratch* scratch, NNPrefetchOptions prefetch)
+       Ir2QueryScratch* scratch, NNPrefetchOptions prefetch,
+       std::optional<double> max_distance)
       : tree_(tree),
         objects_(objects),
         tokenizer_(tokenizer),
         keywords_(tokenizer->NormalizeKeywords(keywords)),
         stats_(stats),
+        max_distance_(max_distance),
         candidate_(scratch != nullptr ? &scratch->candidate : &own_candidate_),
         record_line_(scratch != nullptr ? &scratch->record_line
                                         : &own_record_line_) {
@@ -48,7 +50,11 @@ class Ir2TopKCursor::Impl {
   StatusOr<std::optional<QueryResult>> Next() {
     while (true) {
       IR2_ASSIGN_OR_RETURN(std::optional<Neighbor> neighbor, cursor_->Next());
-      if (!neighbor.has_value()) {
+      if (!neighbor.has_value() ||
+          (max_distance_.has_value() &&
+           neighbor->distance > *max_distance_)) {
+        // Bounded form: neighbors stream in ascending distance, so the
+        // first one strictly past the (inclusive) bound ends the stream.
         if (stats_ != nullptr) {
           stats_->nodes_visited = cursor_->nodes_visited();
         }
@@ -86,6 +92,7 @@ class Ir2TopKCursor::Impl {
   const Tokenizer* tokenizer_;
   std::vector<std::string> keywords_;
   QueryStats* stats_;
+  std::optional<double> max_distance_;
   // Fallbacks used when no scratch donates the buffers.
   std::vector<uint64_t> own_keyword_hashes_;
   std::vector<Signature> own_level_signatures_;
@@ -101,17 +108,20 @@ Ir2TopKCursor::Ir2TopKCursor(const Ir2Tree* tree, const ObjectStore* objects,
                              const Tokenizer* tokenizer, Point point,
                              std::vector<std::string> keywords,
                              Ir2QueryScratch* scratch,
-                             NNPrefetchOptions prefetch)
+                             NNPrefetchOptions prefetch,
+                             std::optional<double> max_distance)
     : impl_(new Impl(tree, objects, tokenizer, Rect::ForPoint(point),
-                     std::move(keywords), &stats_, scratch, prefetch)) {}
+                     std::move(keywords), &stats_, scratch, prefetch,
+                     max_distance)) {}
 
 Ir2TopKCursor::Ir2TopKCursor(const Ir2Tree* tree, const ObjectStore* objects,
                              const Tokenizer* tokenizer, Rect target,
                              std::vector<std::string> keywords,
                              Ir2QueryScratch* scratch,
-                             NNPrefetchOptions prefetch)
+                             NNPrefetchOptions prefetch,
+                             std::optional<double> max_distance)
     : impl_(new Impl(tree, objects, tokenizer, target, std::move(keywords),
-                     &stats_, scratch, prefetch)) {}
+                     &stats_, scratch, prefetch, max_distance)) {}
 
 Ir2TopKCursor::~Ir2TopKCursor() = default;
 
@@ -127,7 +137,8 @@ StatusOr<std::vector<QueryResult>> Ir2TopK(const Ir2Tree& tree,
                                            Ir2QueryScratch* scratch,
                                            NNPrefetchOptions prefetch) {
   Ir2TopKCursor cursor(&tree, &objects, &tokenizer, query.Target(),
-                       query.keywords, scratch, prefetch);
+                       query.keywords, scratch, prefetch,
+                       query.max_distance);
   std::vector<QueryResult> results;
   results.reserve(query.k);
   while (results.size() < query.k) {

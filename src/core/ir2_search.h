@@ -2,6 +2,7 @@
 #define IR2TREE_CORE_IR2_SEARCH_H_
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "common/simd.h"
@@ -128,21 +129,25 @@ StatusOr<std::vector<QueryResult>> Ir2TopK(const Ir2Tree& tree,
                                            NNPrefetchOptions prefetch = {});
 
 // Incremental cursor form of the same algorithm, for callers that consume
-// results lazily (e.g. "next matching hotel" pagination).
+// results lazily (e.g. "next matching hotel" pagination). `max_distance`
+// (inclusive) is the bounded-cursor form: the first neighbor strictly past
+// the bound ends the stream, since neighbors arrive in ascending distance.
 class Ir2TopKCursor {
  public:
   Ir2TopKCursor(const Ir2Tree* tree, const ObjectStore* objects,
                 const Tokenizer* tokenizer, Point point,
                 std::vector<std::string> keywords,
                 Ir2QueryScratch* scratch = nullptr,
-                NNPrefetchOptions prefetch = {});
+                NNPrefetchOptions prefetch = {},
+                std::optional<double> max_distance = {});
 
   // Area-target variant: results ordered by MINDIST to `target`.
   Ir2TopKCursor(const Ir2Tree* tree, const ObjectStore* objects,
                 const Tokenizer* tokenizer, Rect target,
                 std::vector<std::string> keywords,
                 Ir2QueryScratch* scratch = nullptr,
-                NNPrefetchOptions prefetch = {});
+                NNPrefetchOptions prefetch = {},
+                std::optional<double> max_distance = {});
   ~Ir2TopKCursor();
 
   Ir2TopKCursor(const Ir2TopKCursor&) = delete;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "text/signature.h"
 
 namespace ir2 {
 
@@ -12,7 +13,8 @@ namespace {
 constexpr double kInfeasible = std::numeric_limits<double>::infinity();
 
 constexpr Algorithm kPlannable[kNumPlannableAlgorithms] = {
-    Algorithm::kRTree, Algorithm::kIio, Algorithm::kIr2, Algorithm::kMir2};
+    Algorithm::kRTree, Algorithm::kIio, Algorithm::kIr2, Algorithm::kMir2,
+    Algorithm::kKcTree};
 
 obs::Counter* PlanChosenCounter(Algorithm algo) {
   const obs::CoreMetrics& m = obs::DefaultMetrics();
@@ -21,6 +23,7 @@ obs::Counter* PlanChosenCounter(Algorithm algo) {
     case Algorithm::kIio: return m.plan_chosen_iio;
     case Algorithm::kIr2: return m.plan_chosen_ir2;
     case Algorithm::kMir2: return m.plan_chosen_mir2;
+    case Algorithm::kKcTree: return m.plan_chosen_kctree;
     case Algorithm::kAuto: break;
   }
   return nullptr;
@@ -34,6 +37,7 @@ const char* AlgorithmName(Algorithm algo) {
     case Algorithm::kIio: return "iio";
     case Algorithm::kIr2: return "ir2";
     case Algorithm::kMir2: return "mir2";
+    case Algorithm::kKcTree: return "kctree";
     case Algorithm::kAuto: return "auto";
   }
   return "unknown";
@@ -41,7 +45,8 @@ const char* AlgorithmName(Algorithm algo) {
 
 bool ParseAlgorithm(std::string_view name, Algorithm* out) {
   for (Algorithm algo : {Algorithm::kRTree, Algorithm::kIio, Algorithm::kIr2,
-                         Algorithm::kMir2, Algorithm::kAuto}) {
+                         Algorithm::kMir2, Algorithm::kKcTree,
+                         Algorithm::kAuto}) {
     if (name == AlgorithmName(algo)) {
       *out = algo;
       return true;
@@ -155,8 +160,7 @@ double QueryPlanner::SignatureFalsePositiveRate(const PlannerLevel& level,
 }
 
 double QueryPlanner::TreeCost(const PlannerTreeShape& shape, uint32_t k,
-                              const ConjunctionEstimate& est,
-                              size_t num_keywords) const {
+                              const ConjunctionEstimate& est) const {
   if (!shape.present() || inputs_.num_objects == 0) {
     return kInfeasible;
   }
@@ -180,26 +184,42 @@ double QueryPlanner::TreeCost(const PlannerTreeShape& shape, uint32_t k,
     // Nodes at this level overlapping the frontier region...
     const double touched = std::min(static_cast<double>(li.nodes),
                                     frontier / per_subtree + 1.0);
-    // ...visited only if the signature test on their parent entry passes:
-    // subtrees holding a true match always pass; the rest pass at the
-    // parent level's false-positive rate. The root (no parent entry) and
-    // plain R-Tree levels (no signatures) always pass.
+    // ...visited only if the signature test on their parent entry passes.
+    // Each query keyword is tested independently against the superimposed
+    // signature: a subtree genuinely containing the word always passes its
+    // bits, one lacking it passes at the single-word false-positive rate.
+    // Factoring per keyword keeps a high-frequency keyword (whose bits are
+    // set nearly everywhere) from masking how hard a rare co-keyword
+    // prunes — the joint density^weight form underprices exactly those
+    // mixed conjunctions. The root (no parent entry) and plain R-Tree
+    // levels (no signatures, fp = 1) always pass.
     double visit_rate = 1.0;
     if (level + 1 < height) {
-      const double fp =
-          SignatureFalsePositiveRate(shape.levels[level + 1], num_keywords);
-      const double match = 1.0 - std::pow(1.0 - s, per_subtree);
-      visit_rate = match + (1.0 - match) * fp;
+      const double fp1 =
+          SignatureFalsePositiveRate(shape.levels[level + 1], 1);
+      double pass = 1.0;
+      for (uint64_t df : est.dfs) {
+        const double sel = std::min(1.0, static_cast<double>(df) / n);
+        const double match = 1.0 - std::pow(1.0 - sel, per_subtree);
+        pass *= match + (1.0 - match) * fp1;
+      }
+      visit_rate = pass;
     }
     node_ms += touched * visit_rate *
                (random_ms + (li.blocks_per_node - 1.0) * seq_ms);
   }
 
-  // Objects loaded for verification: the frontier's true matches plus the
-  // leaf-level signature false positives among the rest.
-  const double fp_leaf =
-      SignatureFalsePositiveRate(shape.levels[0], num_keywords);
-  const double object_loads = frontier * s + frontier * (1.0 - s) * fp_leaf;
+  // Objects loaded for verification: a leaf entry passes when every
+  // keyword is either genuinely present (probability sel_i) or falsely
+  // matched by the signature. The product is bounded below by the true
+  // conjunction selectivity s = prod(sel_i).
+  const double fp1_leaf = SignatureFalsePositiveRate(shape.levels[0], 1);
+  double pass_leaf = 1.0;
+  for (uint64_t df : est.dfs) {
+    const double sel = std::min(1.0, static_cast<double>(df) / n);
+    pass_leaf *= sel + (1.0 - sel) * fp1_leaf;
+  }
+  const double object_loads = frontier * std::max(s, pass_leaf);
   const double object_ms =
       object_loads *
       (random_ms + (inputs_.avg_blocks_per_object - 1.0) * seq_ms);
@@ -241,19 +261,135 @@ double QueryPlanner::IioCost(const ConjunctionEstimate& est,
   return ms;
 }
 
+// KC-Tree cost: the same frontier/visit-rate skeleton as TreeCost, with
+// the entry-pass probability split the way the index splits the
+// vocabulary. A hot query keyword is tested against an exact per-subtree
+// bit — a non-matching entry passes only if its subtree genuinely contains
+// the word, probability 1 - (1 - s_i)^m for a size-m subtree — while cold
+// keywords add the superimposed-coding false-positive rate of the cold
+// region alone. At the leaf (m = 1) the hot term collapses to the product
+// of the keywords' raw selectivities, which is exactly the pruning power a
+// saturated IR2 signature loses on high-frequency keywords.
+double QueryPlanner::KcCost(uint32_t k, const ConjunctionEstimate& est,
+                            std::span<const uint64_t> keyword_hashes) const {
+  const PlannerTreeShape& shape = inputs_.kc;
+  if (!shape.present() || inputs_.num_objects == 0) {
+    return kInfeasible;
+  }
+  const DiskModel model(inputs_.disk_model, inputs_.block_size);
+  const double random_ms = model.RandomAccessMs();
+  const double seq_ms = model.SequentialAccessMs();
+  const double n = static_cast<double>(inputs_.num_objects);
+  const double s = std::min(est.selectivity, 1.0);
+  const double frontier = ExpectedVerificationLoads(s, k, inputs_.num_objects);
+
+  // Split the query. Keywords without a hash (cost-model unit tests feed
+  // synthetic frequencies only) are priced as cold — the conservative
+  // floor, since the hot bits can only prune harder.
+  std::vector<double> hot_sel;
+  std::vector<double> cold_sel;
+  for (size_t i = 0; i < est.dfs.size(); ++i) {
+    const double sel = std::min(1.0, static_cast<double>(est.dfs[i]) / n);
+    bool hot = false;
+    if (i < keyword_hashes.size()) {
+      auto it = std::lower_bound(
+          inputs_.kc_hot_word_dfs.begin(), inputs_.kc_hot_word_dfs.end(),
+          keyword_hashes[i],
+          [](const std::pair<uint64_t, uint64_t>& entry, uint64_t h) {
+            return entry.first < h;
+          });
+      hot = it != inputs_.kc_hot_word_dfs.end() &&
+            it->first == keyword_hashes[i];
+    }
+    (hot ? hot_sel : cold_sel).push_back(sel);
+  }
+
+  // P(size-m subtree contains every hot query keyword) — exact bits, no
+  // false-positive term.
+  auto hot_pass = [&](double per_subtree) {
+    double pass = 1.0;
+    for (double sel : hot_sel) {
+      pass *= 1.0 - std::pow(1.0 - sel, per_subtree);
+    }
+    return pass;
+  };
+  // Cold-region pass rate at a level, per keyword like TreeCost: a
+  // subtree genuinely containing the cold word always passes its bits,
+  // one lacking it passes at the single-word false-positive rate. The
+  // snapshot's payload_density covers the whole payload, so subtract the
+  // expected set hot bits of a size-m subtree to recover the cold
+  // region's own density before applying the superimposed model.
+  auto cold_pass = [&](const PlannerLevel& level, double per_subtree) {
+    if (cold_sel.empty()) return 1.0;
+    if (inputs_.kc_cold_bits == 0) return 1.0;  // No cold filter built.
+    double hot_bits_set = 0.0;
+    for (const auto& [hash, df] : inputs_.kc_hot_word_dfs) {
+      const double sel = std::min(1.0, static_cast<double>(df) / n);
+      hot_bits_set += 1.0 - std::pow(1.0 - sel, per_subtree);
+    }
+    PlannerLevel cold;
+    cold.signature_bits = inputs_.kc_cold_bits;
+    cold.hashes_per_word = inputs_.kc_cold_hashes;
+    cold.payload_density =
+        std::clamp((level.payload_density *
+                        static_cast<double>(level.signature_bits) -
+                    hot_bits_set) /
+                       static_cast<double>(inputs_.kc_cold_bits),
+                   0.0, 1.0);
+    const double fp1 = SignatureFalsePositiveRate(cold, 1);
+    double pass = 1.0;
+    for (double sel : cold_sel) {
+      const double match = 1.0 - std::pow(1.0 - sel, per_subtree);
+      pass *= match + (1.0 - match) * fp1;
+    }
+    return pass;
+  };
+
+  double node_ms = 0.0;
+  const size_t height = shape.levels.size();
+  for (size_t level = 0; level < height; ++level) {
+    const PlannerLevel& li = shape.levels[level];
+    if (li.nodes == 0) {
+      continue;
+    }
+    const double per_subtree = n / static_cast<double>(li.nodes);
+    const double touched = std::min(static_cast<double>(li.nodes),
+                                    frontier / per_subtree + 1.0);
+    // Both factors carry their own containment terms (a subtree holding a
+    // true match keeps every per-word factor at 1), so the product is the
+    // whole visit rate — no separate match + (1 - match) * fp split.
+    double visit_rate = 1.0;
+    if (level + 1 < height) {
+      visit_rate = hot_pass(per_subtree) *
+                   cold_pass(shape.levels[level + 1], per_subtree);
+    }
+    node_ms += touched * visit_rate *
+               (random_ms + (li.blocks_per_node - 1.0) * seq_ms);
+  }
+
+  const double pass_leaf = hot_pass(1.0) * cold_pass(shape.levels[0], 1.0);
+  const double object_loads = frontier * std::max(s, pass_leaf);
+  const double object_ms =
+      object_loads *
+      (random_ms + (inputs_.avg_blocks_per_object - 1.0) * seq_ms);
+  return node_ms + object_ms;
+}
+
 double QueryPlanner::StaticCost(Algorithm algo, uint32_t k,
                                 const ConjunctionEstimate& est,
-                                std::span<const uint64_t> posting_blocks) const {
-  const size_t num_keywords = est.dfs.size();
+                                std::span<const uint64_t> posting_blocks,
+                                std::span<const uint64_t> keyword_hashes) const {
   switch (algo) {
     case Algorithm::kRTree:
-      return TreeCost(inputs_.rtree, k, est, num_keywords);
+      return TreeCost(inputs_.rtree, k, est);
     case Algorithm::kIio:
       return IioCost(est, posting_blocks);
     case Algorithm::kIr2:
-      return TreeCost(inputs_.ir2, k, est, num_keywords);
+      return TreeCost(inputs_.ir2, k, est);
     case Algorithm::kMir2:
-      return TreeCost(inputs_.mir2, k, est, num_keywords);
+      return TreeCost(inputs_.mir2, k, est);
+    case Algorithm::kKcTree:
+      return KcCost(k, est, keyword_hashes);
     case Algorithm::kAuto:
       break;
   }
@@ -265,10 +401,16 @@ QueryPlan QueryPlanner::Plan(const DistanceFirstQuery& q,
   const PlannerFeedback& fb = corrections != nullptr ? *corrections : feedback_;
   QueryPlan plan;
 
+  const std::vector<std::string> keywords =
+      tokenizer_->NormalizeKeywords(q.keywords);
+  std::vector<uint64_t> keyword_hashes;
+  keyword_hashes.reserve(keywords.size());
+  for (const std::string& keyword : keywords) {
+    keyword_hashes.push_back(HashWord(keyword));
+  }
+
   std::vector<uint64_t> posting_blocks;
   if (index_ != nullptr) {
-    const std::vector<std::string> keywords =
-        tokenizer_->NormalizeKeywords(q.keywords);
     plan.estimate =
         EstimateConjunction(*index_, keywords, inputs_.num_objects);
     posting_blocks.reserve(keywords.size());
@@ -278,8 +420,6 @@ QueryPlan QueryPlanner::Plan(const DistanceFirstQuery& q,
   } else {
     // No dictionary to ask: assume each keyword matches
     // default_keyword_selectivity of the corpus.
-    const std::vector<std::string> keywords =
-        tokenizer_->NormalizeKeywords(q.keywords);
     const double df = inputs_.default_keyword_selectivity *
                       static_cast<double>(inputs_.num_objects);
     for (size_t i = 0; i < keywords.size(); ++i) {
@@ -292,7 +432,8 @@ QueryPlan QueryPlanner::Plan(const DistanceFirstQuery& q,
   for (Algorithm algo : kPlannable) {
     PlanCandidate& c = plan.candidates[static_cast<size_t>(algo)];
     c.algo = algo;
-    c.static_ms = StaticCost(algo, q.k, plan.estimate, posting_blocks);
+    c.static_ms =
+        StaticCost(algo, q.k, plan.estimate, posting_blocks, keyword_hashes);
     c.feasible = std::isfinite(c.static_ms);
     c.predicted_ms =
         c.feasible ? c.static_ms * fb.Correction(algo, plan.bucket)

@@ -1,7 +1,7 @@
 #ifndef IR2TREE_CORE_PLANNER_H_
 #define IR2TREE_CORE_PLANNER_H_
 
-// Cost-based query planner: picks the cheapest of the four distance-first
+// Cost-based query planner: picks the cheapest of the five distance-first
 // algorithms per query (Algorithm::kAuto).
 //
 // The paper's experiments show no single algorithm dominates — IIO wins
@@ -51,14 +51,16 @@
 
 namespace ir2 {
 
-// The four executable algorithms plus kAuto ("let the planner choose").
+// The five executable algorithms plus kAuto ("let the planner choose").
 // kAuto is only a dispatch mode: QueryPlan.chosen is always one of the
-// first four.
-enum class Algorithm { kRTree, kIio, kIr2, kMir2, kAuto };
+// first five. kKcTree sits between kMir2 and kAuto so the first four
+// indexes (and everything serialized as their integer values) are
+// unchanged from the four-algorithm planner.
+enum class Algorithm { kRTree, kIio, kIr2, kMir2, kKcTree, kAuto };
 
-inline constexpr size_t kNumPlannableAlgorithms = 4;
+inline constexpr size_t kNumPlannableAlgorithms = 5;
 
-// "rtree" / "iio" / "ir2" / "mir2" / "auto".
+// "rtree" / "iio" / "ir2" / "mir2" / "kctree" / "auto".
 const char* AlgorithmName(Algorithm algo);
 // Inverse of AlgorithmName; returns false (and leaves *out alone) on an
 // unknown name.
@@ -102,6 +104,17 @@ struct PlannerInputs {
   PlannerTreeShape rtree;
   PlannerTreeShape ir2;
   PlannerTreeShape mir2;
+  PlannerTreeShape kc;
+  // KC-Tree vocabulary snapshot: (HashWord(word), document frequency) of
+  // every hot word, sorted by hash for binary search at plan time, plus
+  // the bitmap/cold-signature split of the payload. The KC cost model
+  // prices hot query keywords through exact per-subtree containment
+  // probabilities (no false-positive term) and only the cold tail through
+  // the superimposed-coding model.
+  std::vector<std::pair<uint64_t, uint64_t>> kc_hot_word_dfs;
+  uint32_t kc_hot_bits = 0;
+  uint32_t kc_cold_bits = 0;
+  uint32_t kc_cold_hashes = 0;
 };
 
 // Cost the planner assigned one algorithm for one query.
@@ -197,8 +210,12 @@ class QueryPlanner {
   // Static (feedback-free) cost of one algorithm, exposed for the cost
   // model's unit tests. `posting_blocks` (parallel to est.dfs) may be
   // empty, in which case spans are estimated from the frequencies.
+  // `keyword_hashes` (parallel to est.dfs) lets the KC-Tree model split
+  // the query into hot and cold keywords; when empty every keyword is
+  // priced as cold (the conservative floor).
   double StaticCost(Algorithm algo, uint32_t k, const ConjunctionEstimate& est,
-                    std::span<const uint64_t> posting_blocks = {}) const;
+                    std::span<const uint64_t> posting_blocks = {},
+                    std::span<const uint64_t> keyword_hashes = {}) const;
 
   // Probability that the signature test at `level` passes an entry whose
   // subtree matches none of the `num_keywords` query keywords:
@@ -214,9 +231,11 @@ class QueryPlanner {
 
  private:
   double TreeCost(const PlannerTreeShape& shape, uint32_t k,
-                  const ConjunctionEstimate& est, size_t num_keywords) const;
+                  const ConjunctionEstimate& est) const;
   double IioCost(const ConjunctionEstimate& est,
                  std::span<const uint64_t> posting_blocks) const;
+  double KcCost(uint32_t k, const ConjunctionEstimate& est,
+                std::span<const uint64_t> keyword_hashes) const;
 
   PlannerInputs inputs_;
   const InvertedIndex* index_;

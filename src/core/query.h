@@ -22,6 +22,12 @@ struct DistanceFirstQuery {
   std::optional<Rect> area;
   std::vector<std::string> keywords;
   uint32_t k = 10;
+  // Bounded-cursor form: results farther than this (strictly greater — the
+  // bound itself is inclusive) are not wanted. The distance-ordered
+  // algorithms stop at the first neighbor past the bound instead of
+  // filling k, which is what lets a sharded scatter-gather cap far legs by
+  // the running global k-th distance (docs/serving.md).
+  std::optional<double> max_distance;
 
   Rect Target() const { return area.has_value() ? *area : Rect::ForPoint(point); }
 };
@@ -69,6 +75,15 @@ struct QueryStats {
   // loading). Shows where the signatures work — the MIR2-Tree exists to
   // move pruning up from the leaves into the inner levels.
   std::vector<uint64_t> entries_pruned_per_level;
+  // KC-Tree pruning breakdown (zero unless Algorithm::kKcTree ran). Every
+  // entry test is one kc_bitmap_test; a prune is attributed either to the
+  // hot-word posting bitmap (exact containment — kc_bitmap_prunes, with
+  // the responsible vocabulary cluster in kc_cluster_prunes[cluster]) or
+  // to the cold-tail superimposed signature (kc_signature_prunes).
+  uint64_t kc_bitmap_tests = 0;
+  uint64_t kc_bitmap_prunes = 0;
+  uint64_t kc_signature_prunes = 0;
+  std::vector<uint64_t> kc_cluster_prunes;
   // Wall-clock execution time.
   double seconds = 0.0;
   // Physical disk accesses the query (demand) thread performed across all
@@ -109,6 +124,15 @@ struct QueryStats {
     }
     for (size_t i = 0; i < other.entries_pruned_per_level.size(); ++i) {
       entries_pruned_per_level[i] += other.entries_pruned_per_level[i];
+    }
+    kc_bitmap_tests += other.kc_bitmap_tests;
+    kc_bitmap_prunes += other.kc_bitmap_prunes;
+    kc_signature_prunes += other.kc_signature_prunes;
+    if (kc_cluster_prunes.size() < other.kc_cluster_prunes.size()) {
+      kc_cluster_prunes.resize(other.kc_cluster_prunes.size());
+    }
+    for (size_t i = 0; i < other.kc_cluster_prunes.size(); ++i) {
+      kc_cluster_prunes[i] += other.kc_cluster_prunes[i];
     }
     seconds += other.seconds;
     io += other.io;

@@ -18,6 +18,12 @@ StatusOr<std::vector<QueryResult>> RTreeTopK(const RTreeBase& tree,
     if (!neighbor.has_value()) {
       break;  // Dataset exhausted before k matches.
     }
+    if (query.max_distance.has_value() &&
+        neighbor->distance > *query.max_distance) {
+      // Neighbors stream in ascending distance: the first one strictly
+      // past the (inclusive) bound proves everything farther is out too.
+      break;
+    }
     obs::TraceSpan verify_span(obs::SpanKind::kObjectVerify, neighbor->ref);
     obs::DefaultMetrics().objects_verified->Add();
     IR2_ASSIGN_OR_RETURN(StoredObject object, objects.Load(neighbor->ref));

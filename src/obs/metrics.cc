@@ -379,6 +379,15 @@ const CoreMetrics& DefaultMetrics() {
                                       "Entry signature containment tests");
     m->signature_prunes = r.GetCounter(
         "ir2_signature_prunes_total", "Entries pruned by a signature test");
+    m->kctree_bitmap_tests =
+        r.GetCounter("ir2_kctree_bitmap_tests_total",
+                     "KC-Tree entry containment tests (bitmap + signature)");
+    m->kctree_bitmap_prunes =
+        r.GetCounter("ir2_kctree_bitmap_prunes_total",
+                     "KC-Tree entries pruned by the exact hot-word bitmap");
+    m->kctree_signature_prunes =
+        r.GetCounter("ir2_kctree_signature_prunes_total",
+                     "KC-Tree entries pruned by the cold-tail signature");
     m->objects_verified = r.GetCounter(
         "ir2_objects_verified_total", "Objects loaded and checked for keywords");
     m->verification_false_positives =
@@ -394,6 +403,8 @@ const CoreMetrics& DefaultMetrics() {
         r.GetCounter("ir2_plan_chosen_ir2_total", "Auto plans won by IR2");
     m->plan_chosen_mir2 =
         r.GetCounter("ir2_plan_chosen_mir2_total", "Auto plans won by MIR2");
+    m->plan_chosen_kctree = r.GetCounter("ir2_plan_chosen_kctree_total",
+                                         "Auto plans won by the KC-Tree");
     m->plan_mispredict = r.GetCounter(
         "ir2_plan_mispredict_total",
         "Executed auto plans whose observed cost exceeded a rejected "

@@ -166,6 +166,12 @@ struct CoreMetrics {
   Counter* nn_nodes_expanded;
   Counter* signature_tests;
   Counter* signature_prunes;
+  // KC-Tree entry tests and their prune attribution: the hot-word posting
+  // bitmap (exact) vs the cold-tail superimposed signature (lossy). See
+  // docs/performance.md, KC-Tree chapter.
+  Counter* kctree_bitmap_tests;
+  Counter* kctree_bitmap_prunes;
+  Counter* kctree_signature_prunes;
   Counter* objects_verified;
   Counter* verification_false_positives;
   Counter* queries_total;
@@ -177,6 +183,7 @@ struct CoreMetrics {
   Counter* plan_chosen_iio;
   Counter* plan_chosen_ir2;
   Counter* plan_chosen_mir2;
+  Counter* plan_chosen_kctree;
   Counter* plan_mispredict;
   Histogram* query_latency_ms;
   Histogram* query_sim_disk_ms;

@@ -168,16 +168,28 @@ StatusOr<std::vector<QueryResult>> ShardedDatabase::QueryImpl(
     }
 
     ++queried;
+    // Bounded-cursor leg: once the global top-k is full, no result strictly
+    // past the running k-th distance can survive the merge, so the leg may
+    // stop its distance-ordered traversal there (inclusive — a tie at the
+    // k-th can still win on object id). The guard legs above keep the
+    // uncapped query so verify_pruning proves the claim it always has.
+    DistanceFirstQuery leg_query = q;
+    if (sharding_.cap_leg_radius && kth < kInf &&
+        (!leg_query.max_distance.has_value() ||
+         kth < *leg_query.max_distance)) {
+      leg_query.max_distance = kth;
+    }
     auto shard_results = [&]() -> StatusOr<std::vector<QueryResult>> {
       obs::TraceSpan span(obs::SpanKind::kShardFanout, entry.shard);
       if (algo == Algorithm::kAuto) {
         QueryPlan plan;
-        auto results = shards_[entry.shard]->QueryAuto(q, &leg.stats, &plan);
+        auto results =
+            shards_[entry.shard]->QueryAuto(leg_query, &leg.stats, &plan);
         leg.executed = plan.has_choice ? plan.chosen : Algorithm::kAuto;
         return results;
       }
       leg.executed = algo;
-      return shards_[entry.shard]->Query(q, algo, &leg.stats);
+      return shards_[entry.shard]->Query(leg_query, algo, &leg.stats);
     }();
     IR2_RETURN_IF_ERROR(shard_results.status());
     if (stats != nullptr) *stats += leg.stats;

@@ -63,6 +63,14 @@ struct ShardingOptions {
   // the skip — and strictly above the k-th distance it was compared against.
   // The guarded run's results and stats are identical to a pruned run.
   bool verify_pruning = false;
+  // Push the running global k-th distance into executed legs as an inclusive
+  // DistanceFirstQuery::max_distance bound: a result strictly past the
+  // current k-th cannot survive the merge, so a later (farther) leg's
+  // distance-ordered traversal may stop there instead of expanding to its
+  // own k-th match. Inclusive because a tie at the k-th distance can still
+  // win the merge on object id. Results are byte-identical with the cap on
+  // or off; only later legs' work (and therefore their stats) shrinks.
+  bool cap_leg_radius = true;
 };
 
 // Per-shard leg of one scatter-gather query, for EXPLAIN and tests.

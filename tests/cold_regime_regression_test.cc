@@ -5,7 +5,7 @@
 // algorithm's disk-access profile is a pure function of the query and the
 // index. The warm-path serving layer (NodeCache, scratch reuse, galloping
 // intersection) must not perturb that accounting by a single block: this
-// test pins the aggregate cold-regime QueryStats of all four algorithms on
+// test pins the aggregate cold-regime QueryStats of all five algorithms on
 // a fixed dataset + workload to golden values captured from the pre-cache
 // implementation. Any drift — an extra read, a changed random/sequential
 // split, a different prune count — fails loudly here.
@@ -148,6 +148,32 @@ TEST_F(ColdRegimeRegressionTest, IioCountsMatchGolden) {
   ExpectProfile(stats, GoldenProfile{302, 0, 0, 0, 232, 140}, "IIO");
 }
 
+// KC-Tree goldens pin the hybrid-payload pruning split on top of the usual
+// disk profile: every entry test is a kc_bitmap_test, and each prune is
+// attributed to either an exact hot-cluster bitmap (kc_bitmap_prunes, with
+// the responsible cluster in kc_cluster_prunes) or the cold-tail signature
+// (kc_signature_prunes). The exact hot path can never false-positive, so
+// any false_positives here come from cold-tail words only — which is why
+// the KC profile must sit at or below IR2's false-positive golden (13).
+TEST_F(ColdRegimeRegressionTest, KcTreeCountsMatchGolden) {
+  QueryStats stats =
+      RunAll([&](const DistanceFirstQuery& q, QueryStats* s) {
+        return db_->QueryKc(q, s);
+      });
+  ExpectProfile(stats, GoldenProfile{204, 0, 873, 9304, 1041, 39}, "KC");
+  EXPECT_EQ(stats.kc_bitmap_tests, 10510u);
+  EXPECT_EQ(stats.kc_bitmap_prunes, 9041u);
+  EXPECT_EQ(stats.kc_signature_prunes, 263u);
+  EXPECT_LE(stats.false_positives, 13u);  // Never worse than IR2's golden.
+  // Per-cluster attribution is total: every hot-bitmap prune names the
+  // cluster whose bit failed containment first.
+  uint64_t cluster_total = 0;
+  for (uint64_t c : stats.kc_cluster_prunes) cluster_total += c;
+  EXPECT_EQ(cluster_total, stats.kc_bitmap_prunes);
+  EXPECT_EQ(stats.entries_pruned,
+            stats.kc_bitmap_prunes + stats.kc_signature_prunes);
+}
+
 // Physical accesses this thread has performed against every device the
 // database holds, planner-visible structures included.
 IoStats AggregateThreadIo(SpatialKeywordDatabase& db) {
@@ -163,6 +189,9 @@ IoStats AggregateThreadIo(SpatialKeywordDatabase& db) {
   if (db.mir2_tree() != nullptr) {
     io += db.mir2_tree()->pool()->device()->thread_stats();
   }
+  if (db.kc_tree() != nullptr) {
+    io += db.kc_tree()->pool()->device()->thread_stats();
+  }
   return io;
 }
 
@@ -176,7 +205,8 @@ void ResetCursors(SpatialKeywordDatabase& db) {
   }
   for (RTreeBase* tree : {static_cast<RTreeBase*>(db.rtree()),
                           static_cast<RTreeBase*>(db.ir2_tree()),
-                          static_cast<RTreeBase*>(db.mir2_tree())}) {
+                          static_cast<RTreeBase*>(db.mir2_tree()),
+                          static_cast<RTreeBase*>(db.kc_tree())}) {
     if (tree != nullptr) tree->pool()->device()->ResetThreadCursor();
   }
 }
@@ -251,6 +281,17 @@ TEST_F(ColdRegimeRegressionTest, SimdTierPerturbsNoColdCounts) {
         });
     ExpectProfile(iio_stats, GoldenProfile{302, 0, 0, 0, 232, 140},
                   simd::LevelName(level));
+    // The KC entry test ORs the byte-padded hot bitmap and the cold-tail
+    // signature through the same ActiveBytesContainFn kernel; every tier
+    // must reproduce the hybrid pruning split bit for bit.
+    QueryStats kc_stats =
+        RunAll([&](const DistanceFirstQuery& q, QueryStats* s) {
+          return db_->QueryKc(q, s);
+        });
+    ExpectProfile(kc_stats, GoldenProfile{204, 0, 873, 9304, 1041, 39},
+                  simd::LevelName(level));
+    EXPECT_EQ(kc_stats.kc_bitmap_prunes, 9041u) << simd::LevelName(level);
+    EXPECT_EQ(kc_stats.kc_signature_prunes, 263u) << simd::LevelName(level);
   }
   simd::ForceLevelForTest(original);
 }
@@ -287,12 +328,22 @@ TEST_F(ColdRegimeRegressionTest, FileBackendMatchesMemoryGoldens) {
   for (const DistanceFirstQuery& query : queries_) {
     ASSERT_TRUE(file_db->QueryIio(query, &iio_stats).ok());
   }
+  QueryStats kc_stats;
+  for (const DistanceFirstQuery& query : queries_) {
+    ASSERT_TRUE(file_db->QueryKc(query, &kc_stats).ok());
+  }
   ExpectProfile(ir2_stats, GoldenProfile{217, 13, 992, 10596, 1171, 41},
                 "IR2 on files");
   ExpectProfile(mir2_stats, GoldenProfile{215, 11, 885, 9374, 1067, 36},
                 "MIR2 on files");
   ExpectProfile(iio_stats, GoldenProfile{302, 0, 0, 0, 232, 140},
                 "IIO on files");
+  // The round trip rebuilds the KC vocabulary from the manifest's word
+  // table, so the hybrid payload layout — hot bit order included — must be
+  // the one the builder chose.
+  ExpectProfile(kc_stats, GoldenProfile{204, 0, 873, 9304, 1041, 39},
+                "KC on files");
+  EXPECT_EQ(kc_stats.kc_bitmap_prunes, 9041u);
   std::filesystem::remove_all(directory);
 }
 

@@ -26,6 +26,7 @@
 #include "core/stats.h"
 #include "datagen/workload.h"
 #include "tests/test_util.h"
+#include "text/signature.h"
 
 namespace ir2 {
 namespace {
@@ -68,6 +69,15 @@ class CostModelTest : public ::testing::Test {
     inputs.rtree = MakeShape(kObjects, 100, 0, 0, 0.0);
     inputs.ir2 = MakeShape(kObjects, 100, 1024, 3, 0.45);
     inputs.mir2 = MakeShape(kObjects, 100, 2048, 3, 0.30);
+    inputs.kc = MakeShape(kObjects, 100, 1024, 3, 0.45);
+    inputs.kc_hot_bits = 64;
+    inputs.kc_cold_bits = 1024 - 64;
+    inputs.kc_cold_hashes = 3;
+    for (uint64_t df : {50ull, 500ull, 5000ull, 50000ull}) {
+      inputs.kc_hot_word_dfs.emplace_back(
+          HashWord("h" + std::to_string(df)), df);
+    }
+    std::sort(inputs.kc_hot_word_dfs.begin(), inputs.kc_hot_word_dfs.end());
     planner_ = std::make_unique<QueryPlanner>(inputs, nullptr, nullptr);
   }
 
@@ -87,7 +97,7 @@ class CostModelTest : public ::testing::Test {
 TEST_F(CostModelTest, CostNondecreasingInK) {
   const ConjunctionEstimate est = Estimate({4000, 2500});
   for (Algorithm algo : {Algorithm::kRTree, Algorithm::kIio, Algorithm::kIr2,
-                         Algorithm::kMir2}) {
+                         Algorithm::kMir2, Algorithm::kKcTree}) {
     double previous = 0.0;
     for (uint32_t k : {1u, 5u, 10u, 20u, 50u, 100u}) {
       const double cost = planner_->StaticCost(algo, k, est);
@@ -110,19 +120,39 @@ TEST_F(CostModelTest, DocumentFrequencyMovesCostsOppositeWays) {
   const uint32_t k = 10;
   double prev_tree = std::numeric_limits<double>::infinity();
   double prev_rtree = std::numeric_limits<double>::infinity();
+  double prev_kc = std::numeric_limits<double>::infinity();
   double prev_iio = 0.0;
   for (uint64_t df : {50ull, 500ull, 5000ull, 50000ull}) {
     const ConjunctionEstimate est = Estimate({df});
+    // The fixture registers "h<df>" as a hot word with this df, so the KC
+    // cost routes through the exact-bitmap model, not the cold floor.
+    const uint64_t hash = HashWord("h" + std::to_string(df));
     const double tree = planner_->StaticCost(Algorithm::kIr2, k, est);
     const double rtree = planner_->StaticCost(Algorithm::kRTree, k, est);
+    const double kc = planner_->StaticCost(Algorithm::kKcTree, k, est, {},
+                                           std::span(&hash, 1));
     const double iio = planner_->StaticCost(Algorithm::kIio, k, est);
     EXPECT_LE(tree, prev_tree + 1e-9) << "df=" << df;
     EXPECT_LE(rtree, prev_rtree + 1e-9) << "df=" << df;
+    EXPECT_LE(kc, prev_kc + 1e-9) << "df=" << df;
     EXPECT_GE(iio, prev_iio - 1e-9) << "df=" << df;
+    EXPECT_TRUE(std::isfinite(kc)) << "df=" << df;
     prev_tree = tree;
     prev_rtree = rtree;
+    prev_kc = kc;
     prev_iio = iio;
   }
+}
+
+TEST_F(CostModelTest, KcTreeInfeasibleWithoutShape) {
+  PlannerInputs inputs;
+  inputs.num_objects = kObjects;
+  inputs.avg_blocks_per_object = 1.0;
+  inputs.object_file_blocks = kObjects / 16;
+  inputs.rtree = MakeShape(kObjects, 100, 0, 0, 0.0);
+  QueryPlanner planner(inputs, nullptr, nullptr);
+  EXPECT_TRUE(std::isinf(
+      planner.StaticCost(Algorithm::kKcTree, 10, Estimate({4000}))));
 }
 
 TEST_F(CostModelTest, MoreKeywordsNeverCheapenTheRTree) {
@@ -248,7 +278,8 @@ class PlannerDatabaseTest : public ::testing::Test {
 };
 
 constexpr Algorithm kFixed[] = {Algorithm::kRTree, Algorithm::kIio,
-                                Algorithm::kIr2, Algorithm::kMir2};
+                                Algorithm::kIr2, Algorithm::kMir2,
+                                Algorithm::kKcTree};
 
 // The random/sequential split of a cold query depends on where the last
 // query left the simulated disk head; reset every device cursor so each
@@ -262,9 +293,24 @@ void ResetCursors(SpatialKeywordDatabase& db) {
   for (RTreeBase* tree :
        {static_cast<RTreeBase*>(db.rtree()),
         static_cast<RTreeBase*>(db.ir2_tree()),
-        static_cast<RTreeBase*>(db.mir2_tree())}) {
+        static_cast<RTreeBase*>(db.mir2_tree()),
+        static_cast<RTreeBase*>(db.kc_tree())}) {
     if (tree != nullptr) tree->pool()->device()->ResetThreadCursor();
   }
+}
+
+// Planning must stay pure in-memory arithmetic even with the KC-Tree's
+// fifth candidate (its hot-word frequencies live in the planner's
+// snapshot, never behind I/O).
+TEST_F(PlannerDatabaseTest, PlanningDoesNoIoWithFiveCandidates) {
+  db_->ResetIoStats();
+  for (const DistanceFirstQuery& query : queries_) {
+    const QueryPlan plan = db_->planner()->Plan(query);
+    EXPECT_TRUE(plan.has_choice);
+    EXPECT_EQ(plan.candidates.size(),
+              static_cast<size_t>(kNumPlannableAlgorithms));
+  }
+  EXPECT_EQ(db_->AggregateIo().TotalReads(), 0u);
 }
 
 TEST_F(PlannerDatabaseTest, AutoMatchesPerQueryOracleOnGoldenWorkload) {

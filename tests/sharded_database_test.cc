@@ -131,7 +131,8 @@ TEST_F(ShardedDatabaseTest, MatchesSingleDatabaseGoldens) {
   // answers are identical to the single database's (object ids, distances
   // bit-for-bit) — sharding is invisible to correctness.
   const Algorithm algos[] = {Algorithm::kRTree, Algorithm::kIio,
-                             Algorithm::kIr2, Algorithm::kMir2};
+                             Algorithm::kIr2, Algorithm::kMir2,
+                             Algorithm::kKcTree};
   const uint32_t ks[] = {1, 20};
   for (uint64_t num_shards : {2ull, 4ull, 7ull}) {
     auto sharded = BuildSharded(num_shards);
@@ -225,6 +226,64 @@ TEST_F(ShardedDatabaseTest, VerifyPruningGuardHolds) {
     for (size_t i = 0; i < plain_results.value().size(); ++i) {
       EXPECT_EQ(guarded_results.value()[i].object_id,
                 plain_results.value()[i].object_id);
+    }
+  }
+}
+
+TEST_F(ShardedDatabaseTest, LegRadiusCapPreservesAnswersAndShrinksWork) {
+  // cap_leg_radius pushes the running global k-th distance into later legs
+  // as an inclusive max_distance. The served answer must be byte-identical
+  // with the cap on (the default) or off; only the capped run's work — and
+  // therefore its stats — may shrink.
+  // Small node capacity: the default (113) makes each ~62-object shard a
+  // single-node tree, leaving a radius cap nothing to save.
+  DatabaseOptions options;
+  options.ir2_signature = SignatureConfig{256, 3};
+  options.tree_options.capacity_override = 8;
+  ShardingOptions capped_opts;
+  capped_opts.num_shards = 8;
+  ShardingOptions no_cap = capped_opts;
+  no_cap.cap_leg_radius = false;
+  auto capped_db =
+      ShardedDatabase::Build(objects_, options, capped_opts).value();
+  auto uncapped_db = ShardedDatabase::Build(objects_, options, no_cap).value();
+  const Algorithm algos[] = {Algorithm::kIr2, Algorithm::kMir2,
+                             Algorithm::kKcTree, Algorithm::kAuto};
+  for (Algorithm algo : algos) {
+    uint64_t capped_nodes = 0;
+    uint64_t uncapped_nodes = 0;
+    for (const DistanceFirstQuery& base : queries_) {
+      DistanceFirstQuery q = base;
+      q.k = 5;
+      QueryStats capped_stats;
+      auto capped = capped_db->Query(q, algo, &capped_stats);
+      ASSERT_TRUE(capped.ok());
+      QueryStats uncapped_stats;
+      auto uncapped = uncapped_db->Query(q, algo, &uncapped_stats);
+      ASSERT_TRUE(uncapped.ok());
+      ASSERT_EQ(capped.value().size(), uncapped.value().size())
+          << AlgorithmName(algo);
+      for (size_t i = 0; i < capped.value().size(); ++i) {
+        EXPECT_EQ(capped.value()[i].object_id, uncapped.value()[i].object_id)
+            << AlgorithmName(algo) << " result " << i;
+        EXPECT_EQ(capped.value()[i].distance, uncapped.value()[i].distance)
+            << AlgorithmName(algo) << " result " << i;
+      }
+      EXPECT_LE(capped_stats.nodes_visited, uncapped_stats.nodes_visited)
+          << AlgorithmName(algo);
+      EXPECT_LE(capped_stats.objects_loaded, uncapped_stats.objects_loaded)
+          << AlgorithmName(algo);
+      capped_nodes += capped_stats.nodes_visited;
+      uncapped_nodes += uncapped_stats.nodes_visited;
+    }
+    // Over the whole workload the cap must actually bind somewhere: eight
+    // shards, k = 5, so later legs run with a tight radius. Under kAuto a
+    // shard's planner may pick IIO, which post-filters instead of
+    // traversing, so only the tree algorithms owe a strict saving.
+    if (algo == Algorithm::kAuto) {
+      EXPECT_LE(capped_nodes, uncapped_nodes) << AlgorithmName(algo);
+    } else {
+      EXPECT_LT(capped_nodes, uncapped_nodes) << AlgorithmName(algo);
     }
   }
 }
