@@ -33,8 +33,10 @@
 
 #include "bench/bench_util.h"
 #include "core/batch_executor.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rtree/node_cache.h"
+#include "serving/admin_server.h"
 #include "storage/disk_model.h"
 
 namespace ir2 {
@@ -45,6 +47,12 @@ struct RunConfig {
   bool warm = false;
   bool smoke = false;
   std::string trace_path;  // --trace=FILE: write a Chrome trace here.
+  // --admin-port=N: serve /metrics, /healthz, /statusz for the duration of
+  // the run (live inspection; check.sh curls it mid-bench), holding the
+  // process open --admin-hold-ms after the figures so a scraper racing the
+  // run's tail still connects.
+  int admin_port = -1;
+  int admin_hold_ms = 0;
   // --algo=NAME: run one algorithm through the database-mode BatchExecutor
   // (auto plans per query) instead of the IR2/MIR2 tree-mode pair.
   bool has_algo = false;
@@ -294,6 +302,25 @@ void WriteJson(const char* path, const BenchDataset& dataset,
 }
 
 void Main(const RunConfig& config) {
+  serving::AdminServer admin([&config] {
+    serving::AdminServer::Options admin_options;
+    admin_options.port = config.admin_port > 0 ? config.admin_port : 0;
+    return admin_options;
+  }());
+  if (config.admin_port >= 0) {
+    serving::AdminEndpoints endpoints;
+    endpoints.build_info = "bench_throughput";
+    serving::MountAdminEndpoints(&admin, endpoints);
+    const Status started = admin.Start();
+    IR2_CHECK(started.ok()) << started.ToString();
+    // Register the core metric catalogue up front: a scraper that hits
+    // /metrics before the first query should see the series at 0, not an
+    // empty exposition.
+    obs::DefaultMetrics();
+    std::printf("admin server on http://127.0.0.1:%d\n", admin.port());
+    std::fflush(stdout);
+  }
+
   DatabaseOptions options = DefaultOptions(kRestaurantsSignatureBytes);
   options.cold_queries = !config.warm;
   BenchDataset dataset =
@@ -441,6 +468,13 @@ void Main(const RunConfig& config) {
                 config.trace_path.c_str(), tracer.size(),
                 static_cast<unsigned long long>(tracer.dropped()));
   }
+
+  if (config.admin_port >= 0 && config.admin_hold_ms > 0) {
+    std::printf("holding admin server %d ms\n", config.admin_hold_ms);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config.admin_hold_ms));
+  }
 }
 
 }  // namespace
@@ -462,6 +496,10 @@ int main(int argc, char** argv) {
       config.file_device = false;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       config.trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--admin-port=", 13) == 0) {
+      config.admin_port = std::atoi(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--admin-hold-ms=", 16) == 0) {
+      config.admin_hold_ms = std::atoi(argv[i] + 16);
     } else if (std::strncmp(argv[i], "--algo=", 7) == 0) {
       if (!ir2::ParseAlgorithm(argv[i] + 7, &config.algo)) {
         std::fprintf(stderr, "unknown --algo: %s\n", argv[i] + 7);
@@ -472,7 +510,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--regime=cold|warm] [--device=mem|file] "
                    "[--smoke] [--trace=FILE] "
-                   "[--algo=rtree|iio|ir2|mir2|auto]\n",
+                   "[--algo=rtree|iio|ir2|mir2|auto] "
+                   "[--admin-port=N] [--admin-hold-ms=N]\n",
                    argv[0]);
       return 2;
     }

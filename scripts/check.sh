@@ -129,6 +129,55 @@ EOF
 fi
 
 echo
+echo "== Bench baselines: smoke runs vs committed full-size JSON =="
+# The smoke JSONs written by the stages above against the checked-in
+# full-size baselines: scale-dependent numbers are ignored, but acceptance
+# booleans, mismatch counters, and workload-structural ratios must agree
+# (scripts/bench_diff.py).
+if command -v python3 > /dev/null 2>&1; then
+  python3 scripts/bench_diff.py --all build
+else
+  echo "bench_diff: python3 unavailable, skipped"
+fi
+
+echo
+echo "== Admin server: live /metrics, /healthz, /statusz mid-bench =="
+# bench_throughput --admin-port=0 starts the embedded admin endpoint for
+# the run (and holds it --admin-hold-ms after), printing the kernel-chosen
+# port; curl the endpoints while it is up — /healthz answers, /metrics
+# speaks Prometheus text, /statusz parses as JSON (docs/observability.md,
+# admin chapter).
+rm -f build/admin_check.log
+(cd build && ./bench/bench_throughput --regime=warm --smoke \
+  --trace=admin_trace.json --admin-port=0 --admin-hold-ms=8000 \
+  > admin_check.log 2>&1) &
+bench_pid=$!
+admin_url=""
+for _ in $(seq 1 100); do
+  admin_url=$(sed -n 's#.*admin server on \(http://[0-9.:]*\).*#\1#p' \
+    build/admin_check.log 2>/dev/null | head -n 1)
+  [ -n "$admin_url" ] && break
+  sleep 0.1
+done
+if [ -z "$admin_url" ]; then
+  echo "admin server never came up:"
+  cat build/admin_check.log
+  exit 1
+fi
+curl -fsS "$admin_url/healthz" | grep -q '^ok$' && echo "admin /healthz: ok"
+curl -fsS "$admin_url/metrics" > build/admin_metrics.prom
+grep -q '^ir2_queries_total [0-9]' build/admin_metrics.prom \
+  && echo "admin /metrics: Prometheus text with live counters"
+if command -v python3 > /dev/null 2>&1; then
+  curl -fsS "$admin_url/statusz" | python3 -m json.tool > /dev/null \
+    && echo "admin /statusz: valid JSON"
+  curl -fsS "$admin_url/tracez" | python3 -m json.tool > /dev/null \
+    && echo "admin /tracez: valid JSON"
+fi
+wait "$bench_pid"
+echo "admin bench run: clean exit"
+
+echo
 echo "== ThreadSanitizer build =="
 cmake -B build-tsan -S . -DIR2_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 if [ "${IR2_CHECK_FULL:-0}" = "1" ]; then
@@ -146,9 +195,10 @@ else
   cmake --build build-tsan -j "$jobs" --target \
     concurrency_test batch_executor_test node_cache_test storage_test \
     io_scheduler_test file_device_async_test obs_test planner_test \
-    server_loop_test sharded_database_test kc_tree_test
+    server_loop_test sharded_database_test kc_tree_test telemetry_test \
+    admin_server_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'concurrency_test|batch_executor_test|node_cache_test|storage_test|io_scheduler_test|file_device_async_test|obs_test|planner_test|server_loop_test|sharded_database_test|kc_tree_test'
+    -R 'concurrency_test|batch_executor_test|node_cache_test|storage_test|io_scheduler_test|file_device_async_test|obs_test|planner_test|server_loop_test|sharded_database_test|kc_tree_test|telemetry_test|admin_server_test'
 fi
 
 echo

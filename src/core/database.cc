@@ -21,6 +21,7 @@
 #include "core/rtree_baseline.h"
 #include "core/stats.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "rtree/node_cache.h"
 #include "rtree/tree_stats.h"
@@ -749,6 +750,11 @@ StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryAuto(
   }
   IR2_RETURN_IF_ERROR(results.status());
   planner_->RecordOutcome(plan, local.simulated_disk_ms);
+  // Mispricing audit for the serving query log: no-op unless the calling
+  // thread installed a sink (one thread_local load otherwise).
+  obs::ScopedPlanAudit::Record(AlgorithmName(plan.chosen),
+                               plan.chosen_predicted_ms,
+                               local.simulated_disk_ms);
   if (stats != nullptr) {
     *stats += local;
   }

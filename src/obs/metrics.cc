@@ -42,7 +42,28 @@ void AppendJsonString(std::string* out, std::string_view s) {
   out->push_back('"');
 }
 
+// Family of a (possibly labelled) series name: everything before '{'.
+std::string_view FamilyOf(std::string_view name) {
+  const size_t brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
 }  // namespace
+
+std::string MetricsRegistry::LabelledName(std::string_view name,
+                                          std::string_view label_key,
+                                          std::string_view label_value) {
+  std::string out(name);
+  out += '{';
+  out += label_key;
+  out += "=\"";
+  for (char c : label_value) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\"}";
+  return out;
+}
 
 uint64_t Counter::Value() const {
   uint64_t total = 0;
@@ -107,9 +128,21 @@ double Histogram::Mean() const {
 }
 
 double Histogram::Percentile(double fraction) const {
-  uint64_t total = 0;
+  uint64_t counts[kNumBuckets];
   for (int i = 0; i < kNumBuckets; ++i) {
-    total += BucketCount(i);
+    counts[i] = BucketCount(i);
+  }
+  return PercentileFromBuckets(counts, fraction);
+}
+
+double Histogram::PercentileFromBuckets(std::span<const uint64_t> buckets,
+                                        double fraction) {
+  const int n = static_cast<int>(
+      buckets.size() < static_cast<size_t>(kNumBuckets) ? buckets.size()
+                                                        : kNumBuckets);
+  uint64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += buckets[i];
   }
   if (total == 0) return 0;
   if (fraction < 0) fraction = 0;
@@ -118,8 +151,8 @@ double Histogram::Percentile(double fraction) const {
   const uint64_t rank = static_cast<uint64_t>(
       std::ceil(fraction * static_cast<double>(total - 1))) + 1;
   uint64_t cumulative = 0;
-  for (int i = 0; i < kNumBuckets; ++i) {
-    const uint64_t in_bucket = BucketCount(i);
+  for (int i = 0; i < n; ++i) {
+    const uint64_t in_bucket = buckets[i];
     if (in_bucket == 0) continue;
     if (cumulative + in_bucket >= rank) {
       const double lower = BucketLowerBound(i);
@@ -186,15 +219,33 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 std::string MetricsRegistry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
+  // Labelled series of one family sit adjacent in the sorted map (the bare
+  // family name, if registered, sorts first since '{' > any metric-name
+  // character), so HELP/TYPE are emitted once per family, on its first
+  // series. Unlabelled-only registries render exactly as before.
+  std::string last_counter_family;
+  std::string last_gauge_family;
   for (const auto& [name, entry] : entries_) {
     if (entry.counter != nullptr) {
-      if (!entry.help.empty()) out += "# HELP " + name + " " + entry.help + "\n";
-      out += "# TYPE " + name + " counter\n";
+      const std::string family(FamilyOf(name));
+      if (family != last_counter_family) {
+        last_counter_family = family;
+        if (!entry.help.empty()) {
+          out += "# HELP " + family + " " + entry.help + "\n";
+        }
+        out += "# TYPE " + family + " counter\n";
+      }
       out += name + " " + std::to_string(entry.counter->Value()) + "\n";
     }
     if (entry.gauge != nullptr) {
-      if (!entry.help.empty()) out += "# HELP " + name + " " + entry.help + "\n";
-      out += "# TYPE " + name + " gauge\n";
+      const std::string family(FamilyOf(name));
+      if (family != last_gauge_family) {
+        last_gauge_family = family;
+        if (!entry.help.empty()) {
+          out += "# HELP " + family + " " + entry.help + "\n";
+        }
+        out += "# TYPE " + family + " gauge\n";
+      }
       out += name + " " + std::to_string(entry.gauge->Value()) + "\n";
     }
     if (entry.histogram != nullptr) {

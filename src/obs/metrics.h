@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -84,6 +85,16 @@ class Histogram {
   double Mean() const;
   // Interpolated value at `fraction` in [0, 1]; 0 when empty.
   double Percentile(double fraction) const;
+  // The same estimator over an externally merged bucket array (size
+  // kNumBuckets) — what WindowedHistogram uses for sliding-window
+  // quantiles. The ranked value's bucket is found, then the rank's position
+  // within it interpolates linearly between the bucket's bounds, so the
+  // estimate always lies in (lower, upper] of the bucket the true value
+  // landed in: relative error is bounded by the sub-bucket width
+  // 1/kSubBuckets, and a bucket-boundary value is overestimated by at most
+  // that width (pinned by obs_test; see docs/observability.md).
+  static double PercentileFromBuckets(std::span<const uint64_t> buckets,
+                                      double fraction);
   void Reset();
 
   // Inclusive lower bound of bucket `index` (0 is the underflow bucket
@@ -123,6 +134,17 @@ class MetricsRegistry {
   Counter* GetCounter(std::string_view name, std::string_view help = "");
   Gauge* GetGauge(std::string_view name, std::string_view help = "");
   Histogram* GetHistogram(std::string_view name, std::string_view help = "");
+
+  // Spelled name of a labelled series: `name{key="value"}` (value is
+  // escaped). Pass the result to GetCounter/GetGauge — the exporters group
+  // series of one family (everything before '{') under a single HELP/TYPE
+  // header, so per-tenant counters such as
+  // ir2_server_admitted_total{tenant="alice"} scrape as one Prometheus
+  // family. Labelled histograms are not supported (their _bucket series
+  // would need the label merged into `le`).
+  static std::string LabelledName(std::string_view name,
+                                  std::string_view label_key,
+                                  std::string_view label_value);
 
   // Prometheus text exposition (families sorted by name; histograms emit
   // cumulative non-empty buckets + _sum/_count).

@@ -2,8 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace ir2 {
 namespace obs {
+
+namespace {
+
+Counter* DroppedSpansCounter() {
+  static Counter* counter = MetricsRegistry::Global().GetCounter(
+      "ir2_trace_dropped_spans_total",
+      "Trace spans overwritten because a tracer ring was full");
+  return counter;
+}
+
+}  // namespace
 
 std::atomic<int> Tracer::enabled_{0};
 std::atomic<Tracer*> Tracer::active_{nullptr};
@@ -49,6 +62,8 @@ Tracer::Tracer(size_t capacity)
     : epoch_(std::chrono::steady_clock::now()),
       capacity_(capacity == 0 ? 1 : capacity) {
   ring_.reserve(std::min<size_t>(capacity_, 4096));
+  // Register eagerly so /metrics shows the series at 0 before any drop.
+  DroppedSpansCounter();
 }
 
 uint64_t Tracer::NowUs() const {
@@ -64,14 +79,19 @@ void Tracer::Record(SpanKind kind, uint64_t ts_us, uint64_t dur_us,
   event.dur_us = dur_us;
   event.arg = arg;
   event.tid = TraceThreadId();
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ring_.size() < capacity_) {
-    ring_.push_back(event);
-  } else {
-    ring_[next_] = event;
-    next_ = (next_ + 1) % capacity_;
+  bool overwrote = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(event);
+    } else {
+      ring_[next_] = event;
+      next_ = (next_ + 1) % capacity_;
+      overwrote = true;
+    }
+    ++recorded_;
   }
-  ++recorded_;
+  if (overwrote) DroppedSpansCounter()->Add(1);
 }
 
 size_t Tracer::size() const {

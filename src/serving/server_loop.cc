@@ -20,7 +20,11 @@ double MsBetween(Clock::time_point from, Clock::time_point to) {
 }  // namespace
 
 ServerLoop::ServerLoop(ShardedDatabase* db, ServerLoopOptions options)
-    : db_(db), options_(options) {
+    : db_(db),
+      options_(options),
+      latency_window_(options.latency_window),
+      slo_(options.slo),
+      query_log_(options.query_log) {
   IR2_CHECK(db_ != nullptr);
   if (options_.num_workers == 0) options_.num_workers = 1;
   IR2_CHECK(options_.queue_capacity >= 1);
@@ -36,6 +40,34 @@ ServerLoop::ServerLoop(ShardedDatabase* db, ServerLoopOptions options)
 }
 
 ServerLoop::~ServerLoop() { Stop(); }
+
+ServerLoop::TenantCells& ServerLoop::CellsFor(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() && tenants_.size() >= options_.max_labelled_tenants) {
+    it = tenants_.find("other");
+  }
+  if (it == tenants_.end()) {
+    const std::string label =
+        tenants_.size() >= options_.max_labelled_tenants ? "other" : tenant;
+    TenantCells cells;
+    cells.row.tenant = label;
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    // The bare families carry the HELP text (DefaultServingMetrics); these
+    // labelled series render grouped under them.
+    cells.admitted = registry.GetCounter(obs::MetricsRegistry::LabelledName(
+        "ir2_server_admitted_total", "tenant", label));
+    cells.rejected_queue_full =
+        registry.GetCounter(obs::MetricsRegistry::LabelledName(
+            "ir2_server_rejected_queue_total", "tenant", label));
+    cells.rejected_quota =
+        registry.GetCounter(obs::MetricsRegistry::LabelledName(
+            "ir2_server_rejected_quota_total", "tenant", label));
+    cells.completed = registry.GetCounter(obs::MetricsRegistry::LabelledName(
+        "ir2_server_completed_total", "tenant", label));
+    it = tenants_.emplace(label, std::move(cells)).first;
+  }
+  return it->second;
+}
 
 double ServerLoop::EstimateQueueDrainMs() const {
   // Work ahead of a hypothetical new request, spread over the workers.
@@ -56,6 +88,11 @@ ServerLoop::Admission ServerLoop::Submit(const std::string& tenant,
     admission.retry_after_ms = EstimateQueueDrainMs();
     ++stats_.rejected_queue_full;
     metrics.server_rejected_queue_total->Add();
+    if (options_.telemetry) {
+      TenantCells& cells = CellsFor(tenant);
+      ++cells.row.rejected_queue_full;
+      cells.rejected_queue_full->Add();
+    }
     return admission;
   }
   if (options_.quota.tokens_per_second > 0.0) {
@@ -77,6 +114,11 @@ ServerLoop::Admission ServerLoop::Submit(const std::string& tenant,
                                  options_.quota.tokens_per_second * 1000.0;
       ++stats_.rejected_quota;
       metrics.server_rejected_quota_total->Add();
+      if (options_.telemetry) {
+        TenantCells& cells = CellsFor(tenant);
+        ++cells.row.rejected_quota;
+        cells.rejected_quota->Add();
+      }
       return admission;
     }
     bucket.tokens -= 1.0;
@@ -85,7 +127,13 @@ ServerLoop::Admission ServerLoop::Submit(const std::string& tenant,
   admission.ticket = next_ticket_++;
   ++stats_.admitted;
   metrics.server_admitted_total->Add();
-  queue_.push_back(Request{std::move(query), std::move(done), Clock::now()});
+  if (options_.telemetry) {
+    TenantCells& cells = CellsFor(tenant);
+    ++cells.row.admitted;
+    cells.admitted->Add();
+  }
+  queue_.push_back(Request{tenant, admission.ticket, std::move(query),
+                           std::move(done), Clock::now()});
   metrics.server_queue_depth->Set(static_cast<int64_t>(queue_.size()));
   lock.unlock();
   work_cv_.notify_one();
@@ -105,14 +153,70 @@ void ServerLoop::WorkerMain() {
       ++in_flight_;
       metrics.server_queue_depth->Set(static_cast<int64_t>(queue_.size()));
     }
-    metrics.server_queue_wait_ms->Record(
-        MsBetween(request.enqueued, Clock::now()));
+    const double queue_ms = MsBetween(request.enqueued, Clock::now());
+    metrics.server_queue_wait_ms->Record(queue_ms);
 
     Stopwatch watch;
     QueryStats stats;
-    StatusOr<std::vector<QueryResult>> results =
-        db_->Query(request.query, options_.algorithm, &stats);
+    StatusOr<std::vector<QueryResult>> results(Status::Internal("unset"));
+    obs::PlanAudit audit;
+    if (options_.telemetry) {
+      // The audit sink lives for exactly this query: every shard leg's
+      // QueryAuto reports its chosen plan and predicted/observed cost here.
+      obs::ScopedPlanAudit scoped;
+      results = db_->Query(request.query, options_.algorithm, &stats);
+      audit = scoped.audit();
+    } else {
+      results = db_->Query(request.query, options_.algorithm, &stats);
+    }
     const double service_ms = watch.ElapsedSeconds() * 1000.0;
+
+    if (options_.telemetry) {
+      const double latency_ms = queue_ms + service_ms;
+      const bool ok = results.ok();
+      latency_window_.Record(latency_ms);
+      slo_.Record(ok, latency_ms);
+      const bool slow = latency_ms > query_log_.options().slow_threshold_ms;
+      if (!ok || slow || query_log_.ShouldSample(request.ticket)) {
+        obs::QueryLogRecord record;
+        record.ts_ms = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count());
+        record.ticket = request.ticket;
+        record.tenant = request.tenant;
+        record.k = request.query.k;
+        record.num_keywords =
+            static_cast<uint32_t>(request.query.keywords.size());
+        record.area = request.query.area.has_value();
+        record.algo = audit.algo;
+        record.predicted_ms = audit.predicted_ms;
+        record.observed_ms = audit.observed_ms;
+        record.plans = audit.plans;
+        record.ok = ok;
+        if (!ok) record.error = results.status().ToString();
+        record.slow = slow;
+        record.latency_ms = latency_ms;
+        record.queue_ms = queue_ms;
+        record.results =
+            ok ? static_cast<uint32_t>(results.value().size()) : 0;
+        record.stats.objects_loaded = stats.objects_loaded;
+        record.stats.false_positives = stats.false_positives;
+        record.stats.nodes_visited = stats.nodes_visited;
+        record.stats.entries_pruned = stats.entries_pruned;
+        record.stats.demand_random_reads = stats.demand_io.random_reads;
+        record.stats.demand_sequential_reads = stats.demand_io.sequential_reads;
+        record.stats.speculative_random_reads =
+            stats.speculative_io.random_reads;
+        record.stats.speculative_sequential_reads =
+            stats.speculative_io.sequential_reads;
+        record.stats.simulated_disk_ms = stats.simulated_disk_ms;
+        record.stats.shards_queried = stats.shards_queried;
+        record.stats.shards_pruned = stats.shards_pruned;
+        query_log_.Record(std::move(record));
+      }
+    }
+
     if (request.done) request.done(std::move(results), stats);
 
     {
@@ -120,6 +224,11 @@ void ServerLoop::WorkerMain() {
       ++stats_.completed;
       --in_flight_;
       service_ewma_ms_ = 0.8 * service_ewma_ms_ + 0.2 * service_ms;
+      if (options_.telemetry) {
+        TenantCells& cells = CellsFor(request.tenant);
+        ++cells.row.completed;
+        cells.completed->Add();
+      }
       if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
     }
     metrics.server_completed_total->Add();
@@ -145,6 +254,21 @@ void ServerLoop::Stop() {
 ServerStats ServerLoop::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+size_t ServerLoop::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::vector<TenantRow> ServerLoop::TenantTable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantRow> rows;
+  rows.reserve(tenants_.size());
+  for (const auto& [tenant, cells] : tenants_) {
+    rows.push_back(cells.row);
+  }
+  return rows;
 }
 
 }  // namespace serving

@@ -28,6 +28,8 @@
 #include "common/status_or.h"
 #include "core/planner.h"
 #include "core/query.h"
+#include "obs/query_log.h"
+#include "obs/windowed.h"
 #include "serving/sharded_database.h"
 
 namespace ir2 {
@@ -47,9 +49,32 @@ struct ServerLoopOptions {
   size_t queue_capacity = 64;
   Algorithm algorithm = Algorithm::kAuto;
   TokenBucketOptions quota;
+  // Live-telemetry master switch: the windowed latency quantiles, SLO
+  // tracker, sampled query log, per-tenant labelled registry counters, and
+  // the planner audit. Off leaves only the pre-existing aggregate
+  // ServingMetrics — the ≤2%-overhead path benches pin.
+  bool telemetry = true;
+  obs::SloOptions slo;
+  obs::QueryLogOptions query_log;
+  // Sliding window behind /statusz latency quantiles (default: last 60s in
+  // 10-second slots).
+  obs::WindowedHistogram::Options latency_window;
+  // Distinct tenants beyond this many fold into the tenant="other" row and
+  // label, bounding registry cardinality against hostile tenant churn.
+  size_t max_labelled_tenants = 64;
 };
 
 struct ServerStats {
+  uint64_t admitted = 0;
+  uint64_t rejected_queue_full = 0;
+  uint64_t rejected_quota = 0;
+  uint64_t completed = 0;
+};
+
+// One tenant's RED row for /statusz — this loop's counts, not the global
+// registry's (which accumulates across every loop in the process).
+struct TenantRow {
+  std::string tenant;
   uint64_t admitted = 0;
   uint64_t rejected_queue_full = 0;
   uint64_t rejected_quota = 0;
@@ -97,9 +122,25 @@ class ServerLoop {
   void Stop();
 
   ServerStats stats() const;
+  const ServerLoopOptions& options() const { return options_; }
+  size_t queue_depth() const;
+
+  // Per-tenant RED rows, sorted by tenant name. Empty unless telemetry is
+  // on.
+  std::vector<TenantRow> TenantTable() const;
+  // Last-60s (configurable) latency quantiles over end-to-end request
+  // latency (queue wait + service).
+  obs::WindowedHistogram::Snapshot LatencyWindow() const {
+    return latency_window_.Snap();
+  }
+  obs::SloTracker::Report SloReport() const { return slo_.GetReport(); }
+  obs::QueryLog* query_log() { return &query_log_; }
+  const obs::QueryLog& query_log() const { return query_log_; }
 
  private:
   struct Request {
+    std::string tenant;
+    uint64_t ticket = 0;
     DistanceFirstQuery query;
     Callback done;
     std::chrono::steady_clock::time_point enqueued;
@@ -108,8 +149,20 @@ class ServerLoop {
     double tokens = 0.0;
     std::chrono::steady_clock::time_point last_refill;
   };
+  // Per-tenant accounting: this loop's RED row plus the cached global
+  // labelled counters (ir2_server_*_total{tenant="..."}).
+  struct TenantCells {
+    TenantRow row;
+    obs::Counter* admitted = nullptr;
+    obs::Counter* rejected_queue_full = nullptr;
+    obs::Counter* rejected_quota = nullptr;
+    obs::Counter* completed = nullptr;
+  };
 
   void WorkerMain();
+  // Finds or creates the tenant's cells, folding overflow tenants into
+  // "other" past max_labelled_tenants. Caller holds mu_.
+  TenantCells& CellsFor(const std::string& tenant);
   // Expected milliseconds until a queue slot frees up, from the service-time
   // EWMA. Caller holds mu_.
   double EstimateQueueDrainMs() const;
@@ -122,12 +175,19 @@ class ServerLoop {
   std::condition_variable drain_cv_;  // Queue empty and nothing in flight.
   std::deque<Request> queue_;
   std::map<std::string, TokenBucket> buckets_;
+  std::map<std::string, TenantCells> tenants_;
   ServerStats stats_;
   uint64_t next_ticket_ = 1;
   size_t in_flight_ = 0;
   bool stopping_ = false;
   // EWMA of per-request service time, for queue-full retry-after hints.
   double service_ewma_ms_ = 1.0;
+
+  // Live telemetry (records gated on options_.telemetry; always
+  // constructed so the accessors are safe either way).
+  obs::WindowedHistogram latency_window_;
+  obs::SloTracker slo_;
+  obs::QueryLog query_log_;
 
   std::vector<std::thread> workers_;
 };

@@ -91,6 +91,32 @@ StatusOr<std::unique_ptr<ShardedDatabase>> ShardedDatabase::Build(
   return db;
 }
 
+StatusOr<std::unique_ptr<ShardedDatabase>> ShardedDatabase::WrapSingle(
+    std::unique_ptr<SpatialKeywordDatabase> single) {
+  if (single == nullptr) {
+    return Status::InvalidArgument("WrapSingle: null database");
+  }
+  ShardInfo info;
+  info.num_objects = single->stats().num_objects;
+  bool first = true;
+  Status scan = single->object_store().ForEach(
+      [&](ObjectRef, const StoredObject& object) {
+        const Rect point = Rect::ForPoint(Point(object.coords));
+        info.bounds = first ? point : info.bounds.UnionWith(point);
+        first = false;
+        return Status::Ok();
+      });
+  IR2_RETURN_IF_ERROR(scan);
+  if (first) {
+    return Status::InvalidArgument("WrapSingle: empty database");
+  }
+  auto db = std::unique_ptr<ShardedDatabase>(new ShardedDatabase());
+  db->sharding_.num_shards = 1;
+  db->shards_.push_back(std::move(single));
+  db->info_.push_back(std::move(info));
+  return db;
+}
+
 bool ShardedDatabase::SafeForConcurrentQueries() const {
   for (const auto& shard : shards_) {
     if (shard->options().cold_queries || shard->options().prefetch) {

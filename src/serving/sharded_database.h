@@ -99,6 +99,14 @@ class ShardedDatabase {
       std::span<const StoredObject> objects, const DatabaseOptions& options,
       const ShardingOptions& sharding);
 
+  // Wraps an already-built (typically Open()ed) single database as a
+  // one-shard serving tier, so ServerLoop and the admin server can front a
+  // saved database (examples/serve --open). The shard bounds are the MBR
+  // of the stored object locations (one sequential scan here); pruning is
+  // moot at one shard.
+  static StatusOr<std::unique_ptr<ShardedDatabase>> WrapSingle(
+      std::unique_ptr<SpatialKeywordDatabase> single);
+
   ShardedDatabase(const ShardedDatabase&) = delete;
   ShardedDatabase& operator=(const ShardedDatabase&) = delete;
 

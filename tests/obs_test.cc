@@ -202,6 +202,89 @@ TEST(MetricsRegistryTest, JsonGolden) {
   EXPECT_EQ(registry.RenderJson(), expected);
 }
 
+// Quantile estimation pinned at bucket boundaries. The estimator finds the
+// ranked value's bucket and interpolates the rank's position within it, so
+// the estimate lies in (lower, upper] of the landing bucket — a value
+// sitting exactly on a bucket boundary is overestimated by at most one
+// sub-bucket width (the documented 1/kSubBuckets error bound).
+TEST(HistogramTest, QuantileBoundaryPinning) {
+  // Empty histogram and empty merged bucket array: exactly 0.
+  EXPECT_EQ(Histogram().Percentile(0.5), 0.0);
+  std::vector<uint64_t> empty(Histogram::kNumBuckets, 0);
+  EXPECT_EQ(Histogram::PercentileFromBuckets(empty, 0.5), 0.0);
+
+  // One record on an exact bucket boundary (1.0 opens its octave): every
+  // quantile is the bucket's upper bound 1.125 — off by one full
+  // sub-bucket width, never more.
+  Histogram one;
+  one.Record(1.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(0.0), 1.125);
+  EXPECT_DOUBLE_EQ(one.Percentile(0.5), 1.125);
+  EXPECT_DOUBLE_EQ(one.Percentile(1.0), 1.125);
+
+  // Single-bucket mass: quantiles interpolate within the one bucket,
+  // monotone in the fraction, confined to (1.0, 1.125].
+  Histogram mass;
+  for (int i = 0; i < 1000; ++i) mass.Record(1.0);
+  EXPECT_DOUBLE_EQ(mass.Percentile(0.0), 1.0 + 0.125 * 0.001);
+  EXPECT_DOUBLE_EQ(mass.Percentile(0.5), 1.0 + 0.125 * 0.501);
+  EXPECT_DOUBLE_EQ(mass.Percentile(1.0), 1.125);
+  double previous = 0.0;
+  for (double f = 0.0; f <= 1.0; f += 0.05) {
+    const double estimate = mass.Percentile(f);
+    EXPECT_GT(estimate, 1.0);
+    EXPECT_LE(estimate, 1.125);
+    EXPECT_GE(estimate, previous);
+    previous = estimate;
+  }
+}
+
+TEST(HistogramTest, PercentileFromBucketsMatchesInstanceEstimator) {
+  Histogram histogram;
+  for (int i = 1; i <= 500; ++i) {
+    histogram.Record(0.37 * static_cast<double>(i));
+  }
+  std::vector<uint64_t> buckets(Histogram::kNumBuckets);
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    buckets[static_cast<size_t>(i)] = histogram.BucketCount(i);
+  }
+  for (double f : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(Histogram::PercentileFromBuckets(buckets, f),
+                     histogram.Percentile(f));
+  }
+}
+
+// Labelled series (MetricsRegistry::LabelledName) group under a single
+// HELP/TYPE header per family — the bare family sorts first, labelled
+// series follow without re-emitting headers.
+TEST(MetricsRegistryTest, LabelledPrometheusGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("t_req_total", "Requests.")->Add(5);
+  registry
+      .GetCounter(
+          MetricsRegistry::LabelledName("t_req_total", "tenant", "alice"))
+      ->Add(3);
+  registry
+      .GetCounter(
+          MetricsRegistry::LabelledName("t_req_total", "tenant", "bob"))
+      ->Add(2);
+  registry.GetGauge("t_depth")->Set(4);
+  const std::string expected =
+      "# TYPE t_depth gauge\n"
+      "t_depth 4\n"
+      "# HELP t_req_total Requests.\n"
+      "# TYPE t_req_total counter\n"
+      "t_req_total 5\n"
+      "t_req_total{tenant=\"alice\"} 3\n"
+      "t_req_total{tenant=\"bob\"} 2\n";
+  EXPECT_EQ(registry.RenderPrometheus(), expected);
+}
+
+TEST(MetricsRegistryTest, LabelledNameEscapesValue) {
+  EXPECT_EQ(MetricsRegistry::LabelledName("m", "k", "a\"b\\c"),
+            "m{k=\"a\\\"b\\\\c\"}");
+}
+
 // ------------------------------------------------------------------ trace
 
 TEST(TracerTest, ChromeTraceGolden) {
@@ -236,6 +319,21 @@ TEST(TracerTest, RingOverwritesOldestAndCountsDropped) {
   tracer.Clear();
   EXPECT_EQ(tracer.size(), 0u);
   EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+// Ring overwrites surface in the global registry (the satellite metric the
+// admin /metrics page scrapes), not just the per-tracer dropped() count.
+TEST(TracerTest, RingOverwriteBumpsGlobalDroppedSpansCounter) {
+  Counter* dropped_total = MetricsRegistry::Global().GetCounter(
+      "ir2_trace_dropped_spans_total");
+  Tracer tracer(/*capacity=*/2);
+  const uint64_t before = dropped_total->Value();
+  tracer.Record(SpanKind::kQuery, /*ts_us=*/1, /*dur_us=*/1, /*arg=*/1);
+  tracer.Record(SpanKind::kQuery, /*ts_us=*/2, /*dur_us=*/1, /*arg=*/2);
+  EXPECT_EQ(dropped_total->Value(), before);  // Ring not yet full.
+  tracer.Record(SpanKind::kQuery, /*ts_us=*/3, /*dur_us=*/1, /*arg=*/3);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  EXPECT_EQ(dropped_total->Value(), before + 1);
 }
 
 TEST(TracerTest, SpansRecordOnlyWhileInstalled) {

@@ -11,6 +11,8 @@
 
 #include "core/database.h"
 #include "datagen/workload.h"
+#include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "serving/sharded_database.h"
 #include "tests/test_util.h"
 
@@ -199,6 +201,159 @@ TEST_F(ServerLoopTest, StopCompletesAdmittedWork) {
   EXPECT_EQ(late.outcome, ServerLoop::Admission::Outcome::kQueueFull);
 }
 
+// The per-loop tenant rows and the global labelled registry counters must
+// tell the same overload story: registry values only ever accumulate, so
+// the check is delta-based (other tests in this binary share the registry).
+TEST_F(ServerLoopTest, TenantTableAndGlobalCountersAgreeUnderOverload) {
+  using obs::MetricsRegistry;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  obs::Counter* alice_admitted = registry.GetCounter(
+      MetricsRegistry::LabelledName("ir2_server_admitted_total", "tenant",
+                                    "alice"));
+  obs::Counter* alice_quota = registry.GetCounter(
+      MetricsRegistry::LabelledName("ir2_server_rejected_quota_total",
+                                    "tenant", "alice"));
+  obs::Counter* alice_completed = registry.GetCounter(
+      MetricsRegistry::LabelledName("ir2_server_completed_total", "tenant",
+                                    "alice"));
+  obs::Counter* bob_admitted = registry.GetCounter(
+      MetricsRegistry::LabelledName("ir2_server_admitted_total", "tenant",
+                                    "bob"));
+  const uint64_t base_alice_admitted = alice_admitted->Value();
+  const uint64_t base_alice_quota = alice_quota->Value();
+  const uint64_t base_alice_completed = alice_completed->Value();
+  const uint64_t base_bob_admitted = bob_admitted->Value();
+
+  ServerLoopOptions options;
+  options.num_workers = 1;
+  options.quota.tokens_per_second = 1e-6;  // Effectively no refill.
+  options.quota.burst = 2.0;
+  ServerLoop loop(db_.get(), options);
+  auto noop = [](StatusOr<std::vector<QueryResult>>, const QueryStats&) {};
+  ASSERT_EQ(loop.Submit("alice", queries_[0], noop).outcome,
+            ServerLoop::Admission::Outcome::kAdmitted);
+  ASSERT_EQ(loop.Submit("alice", queries_[1], noop).outcome,
+            ServerLoop::Admission::Outcome::kAdmitted);
+  ASSERT_EQ(loop.Submit("alice", queries_[2], noop).outcome,
+            ServerLoop::Admission::Outcome::kOverQuota);
+  ASSERT_EQ(loop.Submit("bob", queries_[3], noop).outcome,
+            ServerLoop::Admission::Outcome::kAdmitted);
+  loop.Drain();
+
+  const std::vector<serving::TenantRow> table = loop.TenantTable();
+  ASSERT_EQ(table.size(), 2u);  // Sorted by tenant name.
+  EXPECT_EQ(table[0].tenant, "alice");
+  EXPECT_EQ(table[0].admitted, 2u);
+  EXPECT_EQ(table[0].rejected_quota, 1u);
+  EXPECT_EQ(table[0].completed, 2u);
+  EXPECT_EQ(table[1].tenant, "bob");
+  EXPECT_EQ(table[1].admitted, 1u);
+  EXPECT_EQ(table[1].completed, 1u);
+
+  EXPECT_EQ(alice_admitted->Value() - base_alice_admitted, 2u);
+  EXPECT_EQ(alice_quota->Value() - base_alice_quota, 1u);
+  EXPECT_EQ(alice_completed->Value() - base_alice_completed, 2u);
+  EXPECT_EQ(bob_admitted->Value() - base_bob_admitted, 1u);
+  EXPECT_EQ(loop.queue_depth(), 0u);
+}
+
+TEST_F(ServerLoopTest, TenantCardinalityCapFoldsIntoOther) {
+  ServerLoopOptions options;
+  options.num_workers = 1;
+  options.max_labelled_tenants = 2;
+  ServerLoop loop(db_.get(), options);
+  auto noop = [](StatusOr<std::vector<QueryResult>>, const QueryStats&) {};
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_EQ(
+        loop.Submit("tenant-" + std::to_string(t), queries_[t], noop).outcome,
+        ServerLoop::Admission::Outcome::kAdmitted);
+  }
+  loop.Drain();
+  const std::vector<serving::TenantRow> table = loop.TenantTable();
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_EQ(table[0].tenant, "other");  // tenant-2 and tenant-3 folded.
+  EXPECT_EQ(table[0].admitted, 2u);
+  EXPECT_EQ(table[1].tenant, "tenant-0");
+  EXPECT_EQ(table[2].tenant, "tenant-1");
+}
+
+TEST_F(ServerLoopTest, QueryLogCapturesEveryRequestAtFullSampling) {
+  ServerLoopOptions options;
+  options.num_workers = 2;
+  options.query_log.sample_rate = 1.0;
+  ServerLoop loop(db_.get(), options);
+  for (const DistanceFirstQuery& q : queries_) {
+    ASSERT_EQ(loop.Submit("acme", q,
+                          [](StatusOr<std::vector<QueryResult>>,
+                             const QueryStats&) {})
+                  .outcome,
+              ServerLoop::Admission::Outcome::kAdmitted);
+  }
+  loop.Drain();
+
+  EXPECT_EQ(loop.query_log()->recorded(), queries_.size());
+  const std::vector<obs::QueryLogRecord> records =
+      loop.query_log()->Snapshot();
+  ASSERT_EQ(records.size(), queries_.size());
+  for (const obs::QueryLogRecord& record : records) {
+    EXPECT_EQ(record.tenant, "acme");
+    EXPECT_GT(record.ticket, 0u);
+    EXPECT_GT(record.ts_ms, 0u);
+    EXPECT_TRUE(record.ok);
+    // The kAuto planner ran under the audit sink on every shard leg.
+    EXPECT_FALSE(record.algo.empty());
+    EXPECT_EQ(record.plans, 4u);  // One audited plan per shard.
+    EXPECT_GT(record.observed_ms, 0.0);
+    EXPECT_GE(record.latency_ms, record.queue_ms);
+    EXPECT_GT(record.stats.nodes_visited, 0u);
+    EXPECT_EQ(record.stats.shards_queried, 4u);
+  }
+
+  // The sliding latency window and the SLO tracker saw the same requests.
+  EXPECT_EQ(loop.LatencyWindow().count, queries_.size());
+  const obs::SloTracker::Report slo = loop.SloReport();
+  EXPECT_EQ(slo.total_5m, queries_.size());
+}
+
+TEST_F(ServerLoopTest, SlowRequestsAreCapturedDespiteZeroSampleRate) {
+  ServerLoopOptions options;
+  options.num_workers = 1;
+  options.query_log.sample_rate = 0.0;
+  options.query_log.slow_threshold_ms = 0.0;  // Everything is "slow".
+  ServerLoop loop(db_.get(), options);
+  ASSERT_EQ(loop.Submit("acme", queries_[0],
+                        [](StatusOr<std::vector<QueryResult>>,
+                           const QueryStats&) {})
+                .outcome,
+            ServerLoop::Admission::Outcome::kAdmitted);
+  loop.Drain();
+  const std::vector<obs::QueryLogRecord> records =
+      loop.query_log()->Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].slow);
+}
+
+TEST_F(ServerLoopTest, TelemetryOffRecordsNothingButStatsStillCount) {
+  ServerLoopOptions options;
+  options.num_workers = 2;
+  options.telemetry = false;
+  options.query_log.sample_rate = 1.0;  // Would capture everything if on.
+  ServerLoop loop(db_.get(), options);
+  for (const DistanceFirstQuery& q : queries_) {
+    ASSERT_EQ(loop.Submit("acme", q,
+                          [](StatusOr<std::vector<QueryResult>>,
+                             const QueryStats&) {})
+                  .outcome,
+              ServerLoop::Admission::Outcome::kAdmitted);
+  }
+  loop.Drain();
+  EXPECT_EQ(loop.stats().completed, queries_.size());
+  EXPECT_TRUE(loop.TenantTable().empty());
+  EXPECT_EQ(loop.query_log()->recorded(), 0u);
+  EXPECT_EQ(loop.LatencyWindow().count, 0u);
+  EXPECT_EQ(loop.SloReport().total_5m, 0u);
+}
+
 // TSan target: concurrent submitters against a small queue with quotas on,
 // so admission, shedding, scatter-gather execution, per-shard planning and
 // the metrics all race — the serving tier's full concurrent surface.
@@ -209,6 +364,7 @@ TEST_F(ServerLoopTest, ConcurrentScatterGatherHammerWithShedding) {
   options.algorithm = Algorithm::kAuto;
   options.quota.tokens_per_second = 500.0;
   options.quota.burst = 16.0;
+  options.query_log.sample_rate = 0.5;  // Race the query-log ring too.
   ServerLoop loop(db_.get(), options);
 
   constexpr int kThreads = 4;
@@ -235,7 +391,13 @@ TEST_F(ServerLoopTest, ConcurrentScatterGatherHammerWithShedding) {
           EXPECT_GE(admission.retry_after_ms, 0.0);
         }
       }
-      (void)loop.stats();  // Racing reads must be clean too.
+      // Racing reads of every telemetry surface must be clean too.
+      (void)loop.stats();
+      (void)loop.TenantTable();
+      (void)loop.LatencyWindow();
+      (void)loop.SloReport();
+      (void)loop.query_log()->ToJsonLines();
+      (void)loop.queue_depth();
     });
   }
   for (std::thread& submitter : submitters) submitter.join();
@@ -247,6 +409,20 @@ TEST_F(ServerLoopTest, ConcurrentScatterGatherHammerWithShedding) {
   ServerStats stats = loop.stats();
   EXPECT_EQ(stats.completed, admitted.load());
   EXPECT_EQ(stats.rejected_queue_full + stats.rejected_quota, shed.load());
+
+  // The per-tenant rows partition the totals exactly, even under races.
+  uint64_t table_admitted = 0;
+  uint64_t table_shed = 0;
+  uint64_t table_completed = 0;
+  for (const serving::TenantRow& row : loop.TenantTable()) {
+    table_admitted += row.admitted;
+    table_shed += row.rejected_queue_full + row.rejected_quota;
+    table_completed += row.completed;
+  }
+  EXPECT_EQ(table_admitted, admitted.load());
+  EXPECT_EQ(table_shed, shed.load());
+  EXPECT_EQ(table_completed, admitted.load());
+  EXPECT_EQ(loop.LatencyWindow().count, admitted.load());
 }
 
 }  // namespace
