@@ -39,9 +39,10 @@ ir2::StatusOr<std::vector<ir2::QueryResult>> SsfTopK(
       if (stats != nullptr) ++stats->false_positives;
       continue;
     }
-    double distance = target.MinDist(ir2::Point(object.coords));
+    ir2::Point location(object.coords);
+    double distance = target.MinDist(location);
     verified.push_back(
-        ir2::QueryResult{ref, object.id, distance, 0.0, -distance});
+        ir2::QueryResult{ref, object.id, distance, 0.0, -distance, location});
   }
   std::sort(verified.begin(), verified.end(),
             [](const ir2::QueryResult& a, const ir2::QueryResult& b) {

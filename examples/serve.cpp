@@ -20,6 +20,8 @@
 //   --sample-rate=R query-log head sampling      (default 0.05)
 //   --slo-ms=T    SLO latency threshold          (default 50)
 //   --querylog=FILE drain the query log here on exit
+//   --cache       enable the semantic result cache (curl /cachez)
+//   --cache-entries=N result-cache capacity      (default 1024)
 
 #include <chrono>
 #include <cstdio>
@@ -47,7 +49,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--open=DIR] [--port=N] [--shards=N] [--workers=N]\n"
                "          [--load-qps=Q] [--tenants=N] [--duration-s=S]\n"
-               "          [--sample-rate=R] [--slo-ms=T] [--querylog=FILE]\n",
+               "          [--sample-rate=R] [--slo-ms=T] [--querylog=FILE]\n"
+               "          [--cache] [--cache-entries=N]\n",
                argv0);
   return 2;
 }
@@ -64,6 +67,8 @@ int main(int argc, char** argv) {
   double duration_s = 30.0;
   double sample_rate = 0.05;
   double slo_ms = 50.0;
+  bool cache = false;
+  size_t cache_entries = 1024;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--open=", 7) == 0) {
@@ -86,6 +91,10 @@ int main(int argc, char** argv) {
       slo_ms = std::atof(arg + 9);
     } else if (std::strncmp(arg, "--querylog=", 11) == 0) {
       querylog_path = arg + 11;
+    } else if (std::strcmp(arg, "--cache") == 0) {
+      cache = true;
+    } else if (std::strncmp(arg, "--cache-entries=", 16) == 0) {
+      cache_entries = static_cast<size_t>(std::atoi(arg + 16));
     } else {
       return Usage(argv[0]);
     }
@@ -140,6 +149,14 @@ int main(int argc, char** argv) {
                  open_dir.c_str(), objects.size());
   }
 
+  if (cache) {
+    ir2::serving::ResultCacheOptions cache_options;
+    cache_options.max_entries = cache_entries;
+    db->EnableResultCache(cache_options);
+    std::fprintf(stderr, "result cache enabled (%zu entries)\n",
+                 cache_entries);
+  }
+
   ir2::WorkloadConfig workload;
   workload.seed = 11;
   workload.num_queries = 64;
@@ -178,8 +195,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("admin server on http://127.0.0.1:%d  (try /metrics /statusz "
-              "/querylogz /tracez)\n",
-              admin.port());
+              "/querylogz /tracez%s)\n",
+              admin.port(), cache ? " /cachez" : "");
   std::fflush(stdout);
 
   // Self-load: rotate queries across tenants at load_qps until the
@@ -215,6 +232,16 @@ int main(int argc, char** argv) {
               window.window_seconds, window.p50, window.p99, slo.burn_5m);
   std::printf("query log captured %llu records\n",
               static_cast<unsigned long long>(loop.query_log()->recorded()));
+  if (db->result_cache() != nullptr) {
+    const auto cache_stats = db->result_cache()->GetStats();
+    std::printf("result cache: %llu hits, %llu near hits, %llu misses "
+                "(hit rate %.2f; %llu entries)\n",
+                static_cast<unsigned long long>(cache_stats.hits),
+                static_cast<unsigned long long>(cache_stats.near_hits),
+                static_cast<unsigned long long>(cache_stats.misses),
+                cache_stats.HitRate(),
+                static_cast<unsigned long long>(cache_stats.entries));
+  }
   if (!querylog_path.empty()) {
     ir2::Status drained = loop.query_log()->DrainToFile(querylog_path);
     if (!drained.ok()) {

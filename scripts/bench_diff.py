@@ -34,7 +34,8 @@ import sys
 
 # Fields whose values identify an element of a result list.
 ID_KEYS = ("bench", "dataset", "tree", "kernel", "algorithm", "engine",
-           "workload", "shards", "shard", "threads", "regime", "backend")
+           "workload", "shards", "shard", "threads", "regime", "backend",
+           "cache")
 # Baseline-zero integers that must stay zero at any scale.
 ZERO_PIN = re.compile(r"mismatch|read_errors", re.IGNORECASE)
 # Scale-invariant ratios in [0, 1], compared with --atol.

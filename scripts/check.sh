@@ -129,6 +129,55 @@ EOF
 fi
 
 echo
+echo "== Semantic result cache: ablation smoke + live /cachez =="
+# bench_cache replays Zipf-hot template traffic through a sharded tier with
+# the cache off and then on: every answer — cached or planned — is
+# re-checked against an uncached single database, and the JSON embeds the
+# >=1.5x simulated-tier speedup verdict (docs/performance.md, result-cache
+# chapter).
+(cd build && ./bench/bench_cache --smoke)
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool build/BENCH_cache.json > /dev/null
+  python3 - <<'EOF'
+import json
+acceptance = json.load(open("build/BENCH_cache.json"))["acceptance"]
+assert acceptance["golden_mismatches"] == 0, acceptance
+assert acceptance["speedup_at_least_1_5x"], acceptance
+print("cache bench acceptance: 0 mismatches, >=1.5x tier speedup")
+EOF
+fi
+# Live hit/miss smoke: a short cached serve run repeats a small query pool,
+# so the cache must take hits, and /cachez must render the keyword-set
+# table while the server is up.
+rm -f build/serve_cache.log
+(cd build && ./examples/serve --cache --duration-s=6 --load-qps=120 \
+  --shards=2 > serve_cache.log 2>&1) &
+serve_pid=$!
+serve_url=""
+for _ in $(seq 1 200); do
+  serve_url=$(sed -n 's#.*admin server on \(http://[0-9.:]*\).*#\1#p' \
+    build/serve_cache.log 2>/dev/null | head -n 1)
+  [ -n "$serve_url" ] && break
+  sleep 0.1
+done
+if [ -z "$serve_url" ]; then
+  echo "cached serve run never came up:"
+  cat build/serve_cache.log
+  exit 1
+fi
+sleep 2  # Let the self-load revisit the pool so hits exist.
+curl -fsS "$serve_url/cachez" > build/serve_cachez.json
+grep -q '"keyword_sets"' build/serve_cachez.json \
+  && echo "admin /cachez: keyword-set table present"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool build/serve_cachez.json > /dev/null \
+    && echo "admin /cachez: valid JSON"
+fi
+wait "$serve_pid"
+grep -Eq 'result cache: [1-9][0-9]* hits' build/serve_cache.log \
+  && echo "cached serve run: hits recorded"
+
+echo
 echo "== Bench baselines: smoke runs vs committed full-size JSON =="
 # The smoke JSONs written by the stages above against the checked-in
 # full-size baselines: scale-dependent numbers are ignored, but acceptance
@@ -189,16 +238,17 @@ else
   # prefetch scheduler's worker thread, the async I/O backend's
   # submit/reap ring under demand+prefetch races, the sharded
   # metrics/tracer hammers, the planner's lock-free feedback under
-  # database-mode batches, and the serving tier's admission queue +
-  # concurrent scatter-gather workers) — the rest of the suite is
-  # single-threaded and covered by the Release run.
+  # database-mode batches, the serving tier's admission queue +
+  # concurrent scatter-gather workers, and the striped result cache's
+  # lookup/fill/evict races) — the rest of the suite is single-threaded
+  # and covered by the Release run.
   cmake --build build-tsan -j "$jobs" --target \
     concurrency_test batch_executor_test node_cache_test storage_test \
     io_scheduler_test file_device_async_test obs_test planner_test \
     server_loop_test sharded_database_test kc_tree_test telemetry_test \
-    admin_server_test
+    admin_server_test result_cache_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'concurrency_test|batch_executor_test|node_cache_test|storage_test|io_scheduler_test|file_device_async_test|obs_test|planner_test|server_loop_test|sharded_database_test|kc_tree_test|telemetry_test|admin_server_test'
+    -R 'concurrency_test|batch_executor_test|node_cache_test|storage_test|io_scheduler_test|file_device_async_test|obs_test|planner_test|server_loop_test|sharded_database_test|kc_tree_test|telemetry_test|admin_server_test|result_cache_test'
 fi
 
 echo
@@ -206,16 +256,17 @@ echo "== UndefinedBehaviorSanitizer build =="
 # The cold-path I/O engine does a lot of BlockId arithmetic (run
 # coalescing, span clipping, ref-to-block division) where overflow or bad
 # shifts would corrupt placement silently; UBSan-check the storage and
-# traversal suites that drive it.
+# traversal suites that drive it. The result cache rides along for its
+# distance re-rank arithmetic and the EWMA decay exponentials.
 cmake -B build-ubsan -S . -DIR2_SANITIZE=undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-ubsan -j "$jobs" --target \
   io_scheduler_test prefetch_invariance_test cold_regime_regression_test \
-  storage_test bulk_load_test simd_test kc_tree_test
+  storage_test bulk_load_test simd_test kc_tree_test result_cache_test
 # Twice: dispatched kernels (wide loads, unaligned pointers) and the
 # scalar tier both have to be UB-clean.
 ctest --test-dir build-ubsan --output-on-failure \
-  -R 'io_scheduler_test|prefetch_invariance_test|cold_regime_regression_test|storage_test|bulk_load_test|simd_test|kc_tree_test'
+  -R 'io_scheduler_test|prefetch_invariance_test|cold_regime_regression_test|storage_test|bulk_load_test|simd_test|kc_tree_test|result_cache_test'
 IR2_DISABLE_SIMD=1 ctest --test-dir build-ubsan --output-on-failure \
   -R 'cold_regime_regression_test|simd_test|kc_tree_test'
 

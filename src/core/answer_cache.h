@@ -1,0 +1,87 @@
+#ifndef IR2TREE_CORE_ANSWER_CACHE_H_
+#define IR2TREE_CORE_ANSWER_CACHE_H_
+
+// Seam between the core query engine and the serving tier's semantic
+// result cache (serving/result_cache.h). The core cannot depend on serving,
+// so SpatialKeywordDatabase::QueryAuto consults this abstract hook; the
+// concrete implementation lives above it.
+//
+// Contract (docs/performance.md, result-cache chapter): an entry caches the
+// exact top-K answer around an original query point p with covering radius
+// r_K (the K-th distance). A later query (p', k') over the same normalized
+// keyword set is answered exactly from the entry when the re-ranked k'-th
+// distance d'_k' satisfies
+//
+//     d'_k' < r_K - dist(p, p')
+//
+// (strict — objects tied at exactly r_K may be absent from the entry), or
+// unconditionally when the entry is exhaustive (it holds every matching
+// object in the database), or when p' == p and k' <= K (the cached list is
+// the same total order's prefix). Entries carry the mutation epoch they
+// were filled under and are rejected once the database mutates.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/query.h"
+#include "obs/explain.h"
+
+namespace ir2 {
+
+// The reuse decision for one lookup, with the inequality's actual numbers —
+// surfaced by EXPLAIN so a hit is auditable, not just observable.
+struct CacheReuseCheck {
+  bool attempted = false;    // An entry existed for the keyword set.
+  bool hit = false;          // Served from cache.
+  bool exact = false;        // p' == p (prefix reuse, no inequality needed).
+  bool exhaustive = false;   // Entry holds every match in the database.
+  bool stale = false;        // Entry rejected: mutation epoch moved.
+  double center_shift = 0.0;   // dist(p, p').
+  double cached_radius = 0.0;  // r_K of the entry consulted.
+  double kth_distance = 0.0;   // Re-ranked k'-th distance d'_k'.
+  uint64_t cached_results = 0; // Objects held by the entry (K).
+};
+
+// Implemented by serving::ResultCache. All methods must be thread-safe:
+// warm-regime queries consult the hook concurrently.
+class AnswerCacheHook {
+ public:
+  virtual ~AnswerCacheHook() = default;
+
+  // Attempts to answer `q` (keywords already normalized to the canonical
+  // form) from the cache. `epoch` is the caller's current mutation epoch;
+  // entries filled under a different epoch are rejected and dropped. On a
+  // provable hit, fills *out with the exact top-k' (re-ranked around
+  // q.point, sorted by (distance, object id, ref)) and returns true.
+  // `check` (optional) receives the reuse decision either way.
+  virtual bool TryServe(const DistanceFirstQuery& q, uint64_t epoch,
+                        std::vector<QueryResult>* out,
+                        CacheReuseCheck* check) = 0;
+
+  // Admission policy after a miss: the K > q.k this keyword set should be
+  // over-fetched to so the refill can serve future perturbed repeats, or 0
+  // when the set is too cold to cache. Frequency-aware: hot keyword sets
+  // (per-set EWMA) earn a larger K.
+  virtual uint32_t OverfetchK(const DistanceFirstQuery& q) = 0;
+
+  // Stores the over-fetched answer for `q` (the same normalized query given
+  // to OverfetchK, still with its original k; `fetched_k` is the K actually
+  // executed). `results` is the exact top-fetched_k; fewer than fetched_k
+  // results means the database holds fewer matches, making the entry
+  // exhaustive. `epoch` must be the epoch captured before the query ran, so
+  // a mutation racing the fill leaves a stale (rejectable) entry, never a
+  // wrong one.
+  virtual void Admit(const DistanceFirstQuery& q, uint32_t fetched_k,
+                     uint64_t epoch, std::span<const QueryResult> results) = 0;
+};
+
+// Appends a "Result cache" EXPLAIN section showing the reuse inequality's
+// actual numbers (d'_k' < r_K - dist(p, p')) and the verdict. Shared by the
+// single-database and sharded EXPLAIN paths. Defined in core/database.cc.
+void AddCacheReuseSection(obs::ExplainReport* report,
+                          const CacheReuseCheck& check);
+
+}  // namespace ir2
+
+#endif  // IR2TREE_CORE_ANSWER_CACHE_H_

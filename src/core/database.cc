@@ -711,7 +711,76 @@ StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryKc(
   });
 }
 
+uint64_t SpatialKeywordDatabase::MutationEpoch() const {
+  uint64_t epoch = 0;
+  if (rtree_ != nullptr) epoch += rtree_->version();
+  if (ir2_ != nullptr) epoch += ir2_->version();
+  if (mir2_ != nullptr) epoch += mir2_->version();
+  if (kc_ != nullptr) epoch += kc_->version();
+  return epoch;
+}
+
 StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryAuto(
+    const DistanceFirstQuery& q, QueryStats* stats, QueryPlan* plan_out) {
+  return QueryAutoCached(q, stats, plan_out, /*check_out=*/nullptr);
+}
+
+StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryAutoCached(
+    const DistanceFirstQuery& q, QueryStats* stats, QueryPlan* plan_out,
+    CacheReuseCheck* check_out) {
+  // Only plain point top-k queries are cacheable: an area target has no
+  // single center for the triangle-inequality ball, and a max_distance
+  // bound can truncate the over-fetch below K, which would record a radius
+  // the entry does not actually cover.
+  if (result_cache_ == nullptr || q.area.has_value() ||
+      q.max_distance.has_value() || q.k == 0) {
+    return QueryAutoPlanned(q, stats, plan_out);
+  }
+  // One canonical keyword form for the cache key and the executed query.
+  // NormalizeKeywords is idempotent, so the algorithms' own normalization
+  // of the rewritten query is a no-op.
+  DistanceFirstQuery canonical = q;
+  canonical.keywords = tokenizer_.NormalizeKeywords(q.keywords);
+  const uint64_t epoch = MutationEpoch();
+  CacheReuseCheck check;
+  std::vector<QueryResult> cached;
+  if (result_cache_->TryServe(canonical, epoch, &cached, &check)) {
+    if (stats != nullptr) {
+      if (check.exact || check.exhaustive) {
+        ++stats->result_cache_hits;
+      } else {
+        ++stats->result_cache_near_hits;
+      }
+    }
+    if (check_out != nullptr) *check_out = check;
+    if (plan_out != nullptr) *plan_out = QueryPlan{};  // Nothing planned.
+    return cached;
+  }
+  if (stats != nullptr) {
+    ++stats->result_cache_misses;
+    if (check.stale) ++stats->result_cache_invalidations;
+  }
+  if (check_out != nullptr) *check_out = check;
+  const uint32_t fetch_k = result_cache_->OverfetchK(canonical);
+  if (fetch_k <= canonical.k) {
+    // Admission declined (keyword set too cold): plain planned query.
+    return QueryAutoPlanned(canonical, stats, plan_out);
+  }
+  // Over-fetch: run the same planned path with k = K. The distance-ordered
+  // algorithms produce a deterministic result stream, so the first q.k of
+  // the top-K are exactly the plain top-k answer — truncation loses
+  // nothing but fills the cache with a reusable ball.
+  DistanceFirstQuery overfetch = canonical;
+  overfetch.k = fetch_k;
+  auto fetched = QueryAutoPlanned(overfetch, stats, plan_out);
+  IR2_RETURN_IF_ERROR(fetched.status());
+  result_cache_->Admit(canonical, fetch_k, epoch, fetched.value());
+  std::vector<QueryResult> top = std::move(fetched).value();
+  if (top.size() > canonical.k) top.resize(canonical.k);
+  return top;
+}
+
+StatusOr<std::vector<QueryResult>> SpatialKeywordDatabase::QueryAutoPlanned(
     const DistanceFirstQuery& q, QueryStats* stats, QueryPlan* plan_out) {
   if (planner_ == nullptr) {
     return Status::FailedPrecondition("Planner was not built");
@@ -833,6 +902,39 @@ void AddIoRow(obs::ExplainSection* section, const char* label,
 
 }  // namespace
 
+void AddCacheReuseSection(obs::ExplainReport* report,
+                          const CacheReuseCheck& check) {
+  obs::ExplainSection* section = report->AddSection("Result cache");
+  char buf[96];
+  if (!check.attempted) {
+    section->AddRow("verdict", "miss (no entry for this keyword set)");
+    return;
+  }
+  if (check.stale) {
+    section->AddRow("verdict", "invalidated (mutation epoch moved)");
+    return;
+  }
+  section->AddRow("cached results (K)", obs::FormatCount(check.cached_results));
+  std::snprintf(buf, sizeof(buf), "%.6f", check.cached_radius);
+  section->AddRow("cached radius r_K", buf);
+  std::snprintf(buf, sizeof(buf), "%.6f", check.center_shift);
+  section->AddRow("center shift dist(p, p')", buf);
+  if (check.exhaustive) {
+    section->AddRow("reuse proof", "entry is exhaustive (every match cached)");
+  } else if (check.exact) {
+    section->AddRow("reuse proof", "exact center, k' <= K (prefix of the "
+                                   "cached total order)");
+  } else {
+    std::snprintf(buf, sizeof(buf), "d'_k' = %.6f %s r_K - shift = %.6f",
+                  check.kth_distance, check.hit ? "<" : ">=",
+                  check.cached_radius - check.center_shift);
+    section->AddRow("reuse inequality", buf);
+  }
+  section->AddRow("verdict", check.hit ? "hit (answered from cache, zero "
+                                         "index I/O)"
+                                       : "miss (inequality not provable)");
+}
+
 StatusOr<SpatialKeywordDatabase::ExplainResult> SpatialKeywordDatabase::
     Explain(const DistanceFirstQuery& q, ExplainAlgo algo) {
   struct PoolRow {
@@ -877,6 +979,7 @@ StatusOr<SpatialKeywordDatabase::ExplainResult> SpatialKeywordDatabase::
   ExplainResult out;
   obs::Tracer tracer;
   QueryPlan plan;
+  CacheReuseCheck cache_check;
   StatusOr<std::vector<QueryResult>> results(std::vector<QueryResult>{});
   {
     obs::ScopedTracer scoped(&tracer);
@@ -897,7 +1000,7 @@ StatusOr<SpatialKeywordDatabase::ExplainResult> SpatialKeywordDatabase::
         results = QueryKc(q, &out.stats);
         break;
       case ExplainAlgo::kAuto:
-        results = QueryAuto(q, &out.stats, &plan);
+        results = QueryAutoCached(q, &out.stats, &plan, &cache_check);
         break;
     }
   }
@@ -911,7 +1014,9 @@ StatusOr<SpatialKeywordDatabase::ExplainResult> SpatialKeywordDatabase::
                  " distance-first top-" + std::to_string(q.k);
 
   obs::ExplainSection* query = report.AddSection("Query");
-  if (algo == ExplainAlgo::kAuto) {
+  if (algo == ExplainAlgo::kAuto && cache_check.hit) {
+    query->AddRow("algorithm", "auto -> result cache (no plan executed)");
+  } else if (algo == ExplainAlgo::kAuto) {
     query->AddRow("algorithm", std::string("auto -> ") +
                                    AlgorithmName(plan.chosen) +
                                    " (cost-based)");
@@ -934,7 +1039,11 @@ StatusOr<SpatialKeywordDatabase::ExplainResult> SpatialKeywordDatabase::
   query->AddRow("prefetch", options_.prefetch ? "on" : "off");
   query->AddRow("simd", simd::LevelName(simd::ActiveLevel()));
 
-  if (algo == ExplainAlgo::kAuto) {
+  if (algo == ExplainAlgo::kAuto && result_cache_ != nullptr) {
+    AddCacheReuseSection(&report, cache_check);
+  }
+
+  if (algo == ExplainAlgo::kAuto && !cache_check.hit) {
     // How the decision was made (docs/planner.md): every candidate's
     // static DiskModel estimate, the feedback-corrected prediction the
     // choice minimized, and how the chosen plan's prediction compared to

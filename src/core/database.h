@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status_or.h"
+#include "core/answer_cache.h"
 #include "core/ir2_tree.h"
 #include "core/kc_tree.h"
 #include "obs/explain.h"
@@ -247,6 +248,21 @@ class SpatialKeywordDatabase {
   StatusOr<std::vector<ObjectRef>> KeywordMatches(
       const std::vector<std::string>& keywords, QueryStats* stats = nullptr);
 
+  // ---- Semantic result cache (core/answer_cache.h) ----
+  // Installs (nullptr detaches) the answer-cache hook QueryAuto consults
+  // before planning. The hook must outlive the database or be detached
+  // first; the fixed-algorithm Query* methods never consult it, so cold
+  // regression goldens are untouched by construction. Serving tiers that
+  // cache above the scatter-gather (ShardedDatabase) leave the per-shard
+  // hooks unset.
+  void SetResultCache(AnswerCacheHook* hook) { result_cache_ = hook; }
+  AnswerCacheHook* result_cache() const { return result_cache_; }
+  // Sum of the mutation counters (RTreeBase::version) of every built tree:
+  // moves whenever an Insert/Delete/BulkLoad stores a node. The NodeCache
+  // invalidation rule lifted to whole answers — cached results filled under
+  // an older epoch are rejected on read.
+  uint64_t MutationEpoch() const;
+
   // ---- Measurement control ----
   // Drains in-flight prefetches, then clears every buffer pool and node
   // cache, so the next query starts from a cold simulated disk.
@@ -310,6 +326,14 @@ class SpatialKeywordDatabase {
   // snapshot's reads never appear in any measurement.
   Status WirePlanner();
 
+  // QueryAuto minus the result-cache consult: plan, execute, feed back.
+  StatusOr<std::vector<QueryResult>> QueryAutoPlanned(
+      const DistanceFirstQuery& q, QueryStats* stats, QueryPlan* plan_out);
+  // Full QueryAuto path with the reuse decision surfaced (EXPLAIN).
+  StatusOr<std::vector<QueryResult>> QueryAutoCached(
+      const DistanceFirstQuery& q, QueryStats* stats, QueryPlan* plan_out,
+      CacheReuseCheck* check_out);
+
   // Shared prologue/epilogue of every query method: optional cache drop,
   // timing, three-way I/O diffing (demand / physical / speculative) and
   // simulated-time pricing.
@@ -342,6 +366,7 @@ class SpatialKeywordDatabase {
   DatabaseOptions options_;
   DatasetStats stats_;
   Tokenizer tokenizer_;
+  AnswerCacheHook* result_cache_ = nullptr;  // Not owned.
 
   // Devices first, pools second, trees third: members are destroyed in
   // reverse order, so trees flush into live pools and pools into live

@@ -122,10 +122,11 @@ class GeneralIr2TopKCursor::Impl {
           }
           continue;
         }
-        double distance = target_.MinDist(Point(object.coords));
+        Point location(object.coords);
+        double distance = target_.MinDist(location);
         double score = F(distance, ir_score);
         QueryResult result{static_cast<ObjectRef>(item.id), object.id,
-                           distance, ir_score, score};
+                           distance, ir_score, score, location};
         // "Check if actual score of T is >= the max possible score of the
         // objects in the queue."
         if (queue_.empty() || score >= queue_.top().score) {

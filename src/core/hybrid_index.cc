@@ -109,7 +109,8 @@ StatusOr<std::vector<QueryResult>> HybridKeywordIndex::TopK(
       if (ContainsAllKeywords(tokenizer, object.text, keywords)) {
         results.push_back(QueryResult{neighbor->ref, object.id,
                                       neighbor->distance, 0.0,
-                                      -neighbor->distance});
+                                      -neighbor->distance,
+                                      Point(object.coords)});
       } else if (stats != nullptr) {
         ++stats->false_positives;
       }
@@ -135,9 +136,10 @@ StatusOr<std::vector<QueryResult>> HybridKeywordIndex::TopK(
       }
       continue;
     }
-    double distance = target.MinDist(Point(object.coords));
+    Point location(object.coords);
+    double distance = target.MinDist(location);
     candidates.push_back(
-        QueryResult{ref, object.id, distance, 0.0, -distance});
+        QueryResult{ref, object.id, distance, 0.0, -distance, location});
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const QueryResult& a, const QueryResult& b) {

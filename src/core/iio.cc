@@ -91,7 +91,7 @@ StatusOr<std::vector<QueryResult>> IioTopK(const InvertedIndex& index,
     Point location(object.coords);
     double distance = target.MinDist(location);
     candidates.push_back(
-        QueryResult{ref, object.id, distance, 0.0, -distance});
+        QueryResult{ref, object.id, distance, 0.0, -distance, location});
   }
 
   // Lines 9-10: sort by distance, return the first k.

@@ -77,7 +77,7 @@ class Ir2TopKCursor::Impl {
       if (ContainsAllNormalizedKeywords(candidate_->text, keywords_)) {
         return std::optional<QueryResult>(
             QueryResult{neighbor->ref, candidate_->id, neighbor->distance, 0.0,
-                        -neighbor->distance});
+                        -neighbor->distance, Point(candidate_->coords)});
       }
       obs::DefaultMetrics().verification_false_positives->Add();
       if (stats_ != nullptr) {

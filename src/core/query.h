@@ -58,6 +58,11 @@ struct QueryResult {
   double distance = 0.0;
   double ir_score = 0.0;  // 0 for distance-first queries.
   double score = 0.0;     // f(...) for general queries; -distance otherwise.
+  // The object's coordinates, captured at verification time (the loaded
+  // StoredObject is in hand, so this costs no extra I/O). The semantic
+  // result cache re-ranks cached answers around a shifted query point, which
+  // needs the locations after the fact (serving/result_cache.h).
+  Point location;
 };
 
 // Per-query metrics in the units the paper's figures report.
@@ -112,6 +117,16 @@ struct QueryStats {
   // unable to contribute, so it was never queried (docs/serving.md).
   uint64_t shards_queried = 0;
   uint64_t shards_pruned = 0;
+  // Semantic result-cache accounting (serving/result_cache.h; all zero
+  // when no cache is installed). A hit answered an exact-repeat query (or
+  // one covered by an exhaustive entry); a near hit answered a shifted
+  // (p', k') query proved exact by the triangle inequality; an
+  // invalidation is an entry rejected because the mutation epoch moved
+  // (also counted as a miss).
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_near_hits = 0;
+  uint64_t result_cache_misses = 0;
+  uint64_t result_cache_invalidations = 0;
 
   QueryStats& operator+=(const QueryStats& other) {
     objects_loaded += other.objects_loaded;
@@ -141,6 +156,10 @@ struct QueryStats {
     simulated_disk_ms += other.simulated_disk_ms;
     shards_queried += other.shards_queried;
     shards_pruned += other.shards_pruned;
+    result_cache_hits += other.result_cache_hits;
+    result_cache_near_hits += other.result_cache_near_hits;
+    result_cache_misses += other.result_cache_misses;
+    result_cache_invalidations += other.result_cache_invalidations;
     return *this;
   }
 };

@@ -33,7 +33,8 @@ StatusOr<std::vector<QueryResult>> RTreeTopK(const RTreeBase& tree,
     if (ContainsAllKeywords(tokenizer, object.text, query.keywords)) {
       results.push_back(QueryResult{neighbor->ref, object.id,
                                     neighbor->distance, 0.0,
-                                    -neighbor->distance});
+                                    -neighbor->distance,
+                                    Point(object.coords)});
     } else {
       obs::DefaultMetrics().verification_false_positives->Add();
       if (stats != nullptr) {

@@ -43,6 +43,8 @@ const char* SpanKindName(SpanKind kind) {
       return "shard_fanout";
     case SpanKind::kShardMerge:
       return "shard_merge";
+    case SpanKind::kResultCache:
+      return "result_cache";
   }
   return "unknown";
 }

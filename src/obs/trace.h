@@ -33,8 +33,9 @@ enum class SpanKind : uint8_t {
   kPostingListRead,      // IIO posting-list retrieval for one keyword.
   kShardFanout,          // One shard's leg of a scatter-gather query.
   kShardMerge,           // Cross-shard (distance, id) result merge.
+  kResultCache,          // Semantic result-cache lookup (arg: 1 hit, 0 miss).
 };
-inline constexpr int kNumSpanKinds = 10;
+inline constexpr int kNumSpanKinds = 11;
 
 const char* SpanKindName(SpanKind kind);
 

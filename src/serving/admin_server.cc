@@ -212,6 +212,11 @@ std::string RenderStatusJson(const StatusSnapshot& snapshot) {
            std::to_string(row.rejected_queue_full);
     out += ",\"rejected_quota\":" + std::to_string(row.rejected_quota);
     out += ",\"completed\":" + std::to_string(row.completed);
+    out += ",\"cache_hits\":" + std::to_string(row.cache_hits);
+    out += ",\"cache_near_hits\":" + std::to_string(row.cache_near_hits);
+    out += ",\"cache_misses\":" + std::to_string(row.cache_misses);
+    out += ",\"cache_invalidations\":" +
+           std::to_string(row.cache_invalidations);
     out += "}";
   }
   out += "],\"latency_window\":{\"window_seconds\":" +
@@ -232,7 +237,22 @@ std::string RenderStatusJson(const StatusSnapshot& snapshot) {
   out += ",\"burn_1h\":" + FormatDouble(snapshot.slo.burn_1h);
   out += ",\"budget_remaining_1h\":" +
          FormatDouble(snapshot.slo.budget_remaining_1h);
-  out += "},\"shards\":[";
+  out += "},\"result_cache\":";
+  if (snapshot.has_result_cache) {
+    const ResultCache::Stats& cache = snapshot.result_cache;
+    out += "{\"entries\":" + std::to_string(cache.entries);
+    out += ",\"hits\":" + std::to_string(cache.hits);
+    out += ",\"near_hits\":" + std::to_string(cache.near_hits);
+    out += ",\"misses\":" + std::to_string(cache.misses);
+    out += ",\"invalidations\":" + std::to_string(cache.invalidations);
+    out += ",\"admitted\":" + std::to_string(cache.admitted);
+    out += ",\"evictions\":" + std::to_string(cache.evictions);
+    out += ",\"hit_rate\":" + FormatDouble(cache.HitRate());
+    out += "}";
+  } else {
+    out += "null";
+  }
+  out += ",\"shards\":[";
   for (size_t i = 0; i < snapshot.shards.size(); ++i) {
     const StatusSnapshot::ShardRow& row = snapshot.shards[i];
     if (i > 0) out += ",";
@@ -294,6 +314,10 @@ void MountAdminEndpoints(AdminServer* admin, const AdminEndpoints& endpoints) {
         }
         snapshot.shards.push_back(row);
       }
+      if (endpoints.db->result_cache() != nullptr) {
+        snapshot.has_result_cache = true;
+        snapshot.result_cache = endpoints.db->result_cache()->GetStats();
+      }
     }
     HttpResponse response;
     response.content_type = "application/json";
@@ -315,6 +339,20 @@ void MountAdminEndpoints(AdminServer* admin, const AdminEndpoints& endpoints) {
     response.content_type = "application/x-ndjson";
     if (endpoints.server != nullptr) {
       response.body = endpoints.server->query_log()->ToJsonLines();
+    }
+    return response;
+  });
+
+  admin->Handle("/cachez", [endpoints](const std::string&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    if (endpoints.db != nullptr && endpoints.db->result_cache() != nullptr) {
+      ResultCache* cache = endpoints.db->result_cache();
+      response.body = RenderCachezJson(cache->GetStats(), cache->Table(),
+                                       endpoints.db->MutationEpoch()) +
+                      "\n";
+    } else {
+      response.body = "{\"result_cache\":null}\n";
     }
     return response;
   });

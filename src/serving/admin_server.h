@@ -5,9 +5,9 @@
 // chapter): a dependency-free blocking-socket server that answers GET
 // requests from one accept-loop thread. It exists to make the serving tier
 // observable — /metrics (Prometheus text), /healthz, /statusz (JSON),
-// /tracez (Chrome-trace JSON), /querylogz (JSON lines) — not to serve
-// traffic: one connection is handled at a time, responses close the
-// connection, and anything but GET gets 405.
+// /tracez (Chrome-trace JSON), /querylogz (JSON lines), /cachez (semantic
+// result-cache contents) — not to serve traffic: one connection is handled
+// at a time, responses close the connection, and anything but GET gets 405.
 //
 // StatusSnapshot/RenderStatusJson split the /statusz payload from its data
 // sources so the JSON shape is pinned by a byte-exact golden over a
@@ -98,6 +98,10 @@ struct StatusSnapshot {
     double lo_x = 0.0, lo_y = 0.0, hi_x = 0.0, hi_y = 0.0;
   };
   std::vector<ShardRow> shards;
+  // Semantic result-cache totals (serving/result_cache.h); rendered as
+  // "result_cache":null when the tier runs without a cache.
+  bool has_result_cache = false;
+  ResultCache::Stats result_cache;
 };
 
 std::string RenderStatusJson(const StatusSnapshot& snapshot);
@@ -112,9 +116,9 @@ struct AdminEndpoints {
   std::string build_info;
 };
 
-// Mounts /metrics, /healthz, /statusz, /tracez, and /querylogz on `admin`.
-// The endpoint objects must outlive the server. Uptime counts from this
-// call.
+// Mounts /metrics, /healthz, /statusz, /tracez, /querylogz, and /cachez on
+// `admin`. The endpoint objects must outlive the server. Uptime counts from
+// this call.
 void MountAdminEndpoints(AdminServer* admin, const AdminEndpoints& endpoints);
 
 }  // namespace serving

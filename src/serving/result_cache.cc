@@ -1,0 +1,396 @@
+#include "serving/result_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <utility>
+
+#include "geo/point.h"
+#include "geo/rect.h"
+#include "obs/trace.h"
+
+namespace ir2 {
+namespace serving {
+
+namespace {
+
+// Internal key separator: cannot occur in normalized keywords (the
+// tokenizer strips control characters).
+constexpr char kKeySep = '\x1f';
+
+// The cached order and the re-rank order are both the global merge order
+// of the sharded tier: (distance, object id, ref) ascending. Keeping one
+// total order everywhere is what makes "top-k' is a prefix of top-K" true.
+bool ResultLess(const QueryResult& a, const QueryResult& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  if (a.object_id != b.object_id) return a.object_id < b.object_id;
+  return a.ref < b.ref;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+const ResultCacheMetrics& DefaultResultCacheMetrics() {
+  static const ResultCacheMetrics metrics = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+    ResultCacheMetrics m;
+    m.hits_total = r.GetCounter(
+        "ir2_result_cache_hits_total",
+        "Result-cache hits (exact repeats and exhaustive entries)");
+    m.near_hits_total = r.GetCounter(
+        "ir2_result_cache_near_hits_total",
+        "Result-cache hits proved by the triangle inequality (shifted p')");
+    m.misses_total = r.GetCounter(
+        "ir2_result_cache_misses_total",
+        "Result-cache lookups that fell through to the planner");
+    m.invalidations_total = r.GetCounter(
+        "ir2_result_cache_invalidations_total",
+        "Cached entries rejected because the mutation epoch moved");
+    m.admitted_total = r.GetCounter(
+        "ir2_result_cache_admitted_total",
+        "Over-fetched answers admitted into the result cache");
+    m.evictions_total = r.GetCounter(
+        "ir2_result_cache_evictions_total",
+        "Keyword sets evicted from the result cache LRU");
+    return m;
+  }();
+  return metrics;
+}
+
+ResultCache::ResultCache(ResultCacheOptions options)
+    : options_(options) {
+  if (options_.max_entries == 0) options_.max_entries = 1;
+  if (options_.num_stripes == 0) options_.num_stripes = 1;
+  if (options_.ewma_tau <= 0.0) options_.ewma_tau = 1.0;
+  const uint32_t stripes = std::min<uint32_t>(
+      options_.num_stripes, static_cast<uint32_t>(options_.max_entries));
+  per_stripe_capacity_ = (options_.max_entries + stripes - 1) / stripes;
+  stripes_.reserve(stripes);
+  for (uint32_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+std::string ResultCache::Key(const std::vector<std::string>& keywords) {
+  std::vector<std::string> sorted = keywords;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (const std::string& keyword : sorted) {
+    if (!key.empty()) key.push_back(kKeySep);
+    key += keyword;
+  }
+  return key;
+}
+
+ResultCache::Stripe& ResultCache::StripeFor(const std::string& key) {
+  const size_t hash = std::hash<std::string>{}(key);
+  return *stripes_[hash % stripes_.size()];
+}
+
+double ResultCache::DecayedEwma(const Slot& slot, uint64_t tick) const {
+  if (slot.last_tick == 0 || tick <= slot.last_tick) return slot.ewma;
+  const double dt = static_cast<double>(tick - slot.last_tick);
+  return slot.ewma * std::exp(-dt / options_.ewma_tau);
+}
+
+ResultCache::Slot& ResultCache::TouchSlot(Stripe& stripe,
+                                          const std::string& key,
+                                          uint64_t tick) {
+  auto it = stripe.slots.find(key);
+  if (it == stripe.slots.end()) {
+    if (stripe.slots.size() >= per_stripe_capacity_) {
+      // Evict the least recently touched keyword set — entry and EWMA
+      // admission state together. A set hot enough to matter re-earns its
+      // frequency; a cold one should not pin capacity.
+      const std::string victim = stripe.lru.back();
+      stripe.lru.pop_back();
+      stripe.slots.erase(victim);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      DefaultResultCacheMetrics().evictions_total->Add();
+    }
+    stripe.lru.push_front(key);
+    Slot fresh;
+    fresh.lru_it = stripe.lru.begin();
+    it = stripe.slots.emplace(key, std::move(fresh)).first;
+  } else {
+    stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second.lru_it);
+  }
+  Slot& slot = it->second;
+  slot.ewma = DecayedEwma(slot, tick) + 1.0;
+  slot.last_tick = tick;
+  return slot;
+}
+
+bool ResultCache::TryServe(const DistanceFirstQuery& q, uint64_t epoch,
+                           std::vector<QueryResult>* out,
+                           CacheReuseCheck* check) {
+  const ResultCacheMetrics& metrics = DefaultResultCacheMetrics();
+  CacheReuseCheck local;
+  bool served = false;
+  if (!q.area.has_value() && !q.max_distance.has_value() && q.k > 0) {
+    const std::string key = Key(q.keywords);
+    const uint64_t tick = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const Rect target = q.Target();
+    Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    Slot& slot = TouchSlot(stripe, key, tick);
+    Entry* entry = slot.entry.get();
+    if (entry != nullptr) {
+      local.attempted = true;
+      if (entry->epoch != epoch) {
+        // The trees mutated since the fill: the entry may be missing new
+        // objects or holding deleted ones. Reject and drop it.
+        local.stale = true;
+        slot.entry.reset();
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+        metrics.invalidations_total->Add();
+      } else {
+        local.cached_results = entry->objects.size();
+        local.cached_radius = entry->radius;
+        const double shift = Distance(entry->center, q.point);
+        local.center_shift = shift;
+        local.exhaustive = entry->exhaustive;
+        if (entry->exhaustive) {
+          // The entry is the complete match set; any (p', k') re-rank over
+          // it is exact by definition.
+          local.hit = true;
+          local.exact = shift == 0.0;
+        } else if (shift == 0.0 && q.k <= entry->objects.size()) {
+          // Same center: the cached list is the same total order's prefix.
+          local.hit = true;
+          local.exact = true;
+        } else if (q.k <= entry->objects.size()) {
+          // Shifted center: prove the k'-th re-ranked distance with the
+          // triangle inequality. STRICT — an object tied at exactly r_K
+          // may have lost the K-th slot on object id and be absent.
+          std::vector<QueryResult> ranked = entry->objects;
+          for (QueryResult& r : ranked) {
+            r.distance = target.MinDist(r.location);
+            r.score = -r.distance;
+          }
+          std::sort(ranked.begin(), ranked.end(), ResultLess);
+          local.kth_distance = ranked[q.k - 1].distance;
+          if (local.kth_distance < entry->radius - shift) {
+            local.hit = true;
+            ranked.resize(q.k);
+            *out = std::move(ranked);
+            served = true;
+          }
+        }
+        if (local.hit && !served) {
+          // Exact/exhaustive service: re-rank (identical distances for the
+          // exact case — same MinDist code path) and take the prefix.
+          std::vector<QueryResult> ranked = entry->objects;
+          if (shift != 0.0) {
+            for (QueryResult& r : ranked) {
+              r.distance = target.MinDist(r.location);
+              r.score = -r.distance;
+            }
+            std::sort(ranked.begin(), ranked.end(), ResultLess);
+          }
+          if (ranked.size() > q.k) ranked.resize(q.k);
+          *out = std::move(ranked);
+          served = true;
+        }
+      }
+    }
+  }
+  if (served) {
+    if (local.exact || local.exhaustive) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      metrics.hits_total->Add();
+    } else {
+      near_hits_.fetch_add(1, std::memory_order_relaxed);
+      metrics.near_hits_total->Add();
+    }
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    metrics.misses_total->Add();
+  }
+  if (check != nullptr) *check = local;
+  obs::TraceInstant(obs::SpanKind::kResultCache, served ? 1 : 0);
+  return served;
+}
+
+uint32_t ResultCache::OverfetchK(const DistanceFirstQuery& q) {
+  if (q.area.has_value() || q.max_distance.has_value() || q.k == 0) return 0;
+  const std::string key = Key(q.keywords);
+  const uint64_t tick = tick_.load(std::memory_order_relaxed);
+  double ewma = 0.0;
+  {
+    Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.slots.find(key);
+    if (it != stripe.slots.end()) ewma = DecayedEwma(it->second, tick);
+  }
+  if (ewma < options_.admit_ewma) return 0;  // Too cold to cache.
+  const double factor =
+      ewma >= options_.hot_ewma ? options_.hot_factor : options_.overfetch_factor;
+  uint64_t fetch_k =
+      static_cast<uint64_t>(std::ceil(static_cast<double>(q.k) * factor));
+  fetch_k = std::max<uint64_t>(
+      fetch_k, static_cast<uint64_t>(q.k) + options_.min_overfetch);
+  fetch_k = std::min<uint64_t>(
+      fetch_k, static_cast<uint64_t>(q.k) + options_.max_overfetch);
+  return static_cast<uint32_t>(fetch_k);
+}
+
+void ResultCache::Admit(const DistanceFirstQuery& q, uint32_t fetched_k,
+                        uint64_t epoch, std::span<const QueryResult> results) {
+  if (q.area.has_value() || q.max_distance.has_value() || q.k == 0 ||
+      fetched_k <= q.k) {
+    return;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->center = q.point;
+  entry->objects.assign(results.begin(), results.end());
+  // The engine already emits this order (distance stream / sharded merge);
+  // sorting is a cheap guarantee against future callers.
+  std::sort(entry->objects.begin(), entry->objects.end(), ResultLess);
+  entry->radius = entry->objects.empty() ? 0.0 : entry->objects.back().distance;
+  // Fewer results than requested means the database holds fewer matches:
+  // the entry is the complete match set for this keyword conjunction.
+  entry->exhaustive = entry->objects.size() < fetched_k;
+  entry->epoch = epoch;
+
+  const std::string key = Key(q.keywords);
+  const uint64_t tick = tick_.load(std::memory_order_relaxed);
+  {
+    Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.slots.find(key);
+    if (it == stripe.slots.end()) {
+      // The slot was evicted between the miss and the fill (hostile churn);
+      // re-create it without bumping the EWMA — this request was already
+      // counted by TryServe.
+      Slot& slot = TouchSlot(stripe, key, tick);
+      slot.ewma -= 1.0;
+      slot.entry = std::move(entry);
+    } else {
+      stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second.lru_it);
+      it->second.entry = std::move(entry);
+    }
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  DefaultResultCacheMetrics().admitted_total->Add();
+}
+
+void ResultCache::Clear() {
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->slots.clear();
+    stripe->lru.clear();
+  }
+}
+
+ResultCache::Stats ResultCache::GetStats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.near_hits = near_hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.ticks = tick_.load(std::memory_order_relaxed);
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const auto& [key, slot] : stripe->slots) {
+      if (slot.entry != nullptr) {
+        ++stats.entries;
+        stats.cached_results += slot.entry->objects.size();
+      }
+    }
+  }
+  return stats;
+}
+
+std::vector<ResultCache::EntryRow> ResultCache::Table(size_t limit) const {
+  const uint64_t tick = tick_.load(std::memory_order_relaxed);
+  std::vector<EntryRow> rows;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const auto& [key, slot] : stripe->slots) {
+      EntryRow row;
+      row.key = key;
+      std::replace(row.key.begin(), row.key.end(), kKeySep, ' ');
+      row.ewma = DecayedEwma(slot, tick);
+      row.last_tick = slot.last_tick;
+      if (slot.entry != nullptr) {
+        row.has_entry = true;
+        row.cached_results = slot.entry->objects.size();
+        row.radius = slot.entry->radius;
+        row.exhaustive = slot.entry->exhaustive;
+        row.epoch = slot.entry->epoch;
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const EntryRow& a, const EntryRow& b) {
+    if (a.ewma != b.ewma) return a.ewma > b.ewma;
+    return a.key < b.key;
+  });
+  if (rows.size() > limit) rows.resize(limit);
+  return rows;
+}
+
+std::string RenderCachezJson(const ResultCache::Stats& stats,
+                             const std::vector<ResultCache::EntryRow>& rows,
+                             uint64_t mutation_epoch) {
+  std::string out = "{\"result_cache\":{";
+  out += "\"entries\":" + std::to_string(stats.entries);
+  out += ",\"cached_results\":" + std::to_string(stats.cached_results);
+  out += ",\"hits\":" + std::to_string(stats.hits);
+  out += ",\"near_hits\":" + std::to_string(stats.near_hits);
+  out += ",\"misses\":" + std::to_string(stats.misses);
+  out += ",\"invalidations\":" + std::to_string(stats.invalidations);
+  out += ",\"admitted\":" + std::to_string(stats.admitted);
+  out += ",\"evictions\":" + std::to_string(stats.evictions);
+  out += ",\"requests\":" + std::to_string(stats.ticks);
+  out += ",\"hit_rate\":" + FormatDouble(stats.HitRate());
+  out += ",\"mutation_epoch\":" + std::to_string(mutation_epoch);
+  out += ",\"keyword_sets\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ResultCache::EntryRow& row = rows[i];
+    if (i > 0) out += ",";
+    out += "{\"keywords\":";
+    AppendJsonString(&out, row.key);
+    out += ",\"ewma\":" + FormatDouble(row.ewma);
+    out += ",\"last_tick\":" + std::to_string(row.last_tick);
+    out += ",\"cached\":";
+    out += row.has_entry ? "true" : "false";
+    out += ",\"cached_results\":" + std::to_string(row.cached_results);
+    out += ",\"radius\":" + FormatDouble(row.radius);
+    out += ",\"exhaustive\":";
+    out += row.exhaustive ? "true" : "false";
+    out += ",\"epoch\":" + std::to_string(row.epoch);
+    out += "}";
+  }
+  out += "]}}";
+  return out;
+}
+
+}  // namespace serving
+}  // namespace ir2

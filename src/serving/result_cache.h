@@ -1,0 +1,206 @@
+#ifndef IR2TREE_SERVING_RESULT_CACHE_H_
+#define IR2TREE_SERVING_RESULT_CACHE_H_
+
+// Semantic top-k result cache with provable triangle-inequality reuse
+// (docs/performance.md, result-cache chapter). Sits above the whole planner
+// — and, in the sharded tier, above the scatter-gather — turning repeated
+// hot traffic into near-zero-I/O answers.
+//
+// An entry is keyed by the *normalized keyword multiset* (sorted canonical
+// keywords) and holds the exact over-fetched top-K around the original
+// query point p, sorted by the global merge order (distance, object id,
+// ref), plus the covering radius r_K (the K-th distance). A later query
+// (p', k') with the same keywords is re-ranked against the cached objects;
+// the answer is provably exact when
+//
+//     d'_k' < r_K - dist(p, p')          (strict)
+//
+// because any object absent from the entry is at least r_K from p, hence at
+// least r_K - dist(p, p') from p' — strictly farther than every selected
+// result. Two short-circuits need no inequality: p' == p with k' <= K (the
+// cached list is the same total order, so its prefix *is* the answer), and
+// exhaustive entries (the database held fewer than K matches, so the entry
+// is the complete match set and any (p', k') re-rank is exact). The strict
+// inequality is what keeps ties at exactly r_K sound: such objects may have
+// lost the K-th slot on object id and be absent from the entry.
+//
+// Admission is frequency-aware: a per-keyword-set EWMA, decayed on a global
+// request tick (deterministic — no wall clock), decides whether a missed
+// set is worth caching at all and how far past k to over-fetch (hot sets
+// earn a larger K, which widens the reusable ball). Over-fetch is always
+// strictly past k so exact repeats hit.
+//
+// Correctness under mutation rides the trees' NodeCache version counters:
+// the caller passes its current mutation epoch (sum of RTreeBase::version
+// over the built trees) into TryServe/Admit; an entry filled under any
+// other epoch is rejected on read, counted as an invalidation, and dropped.
+//
+// Thread-safe: the key space is striped over independently locked shards
+// (the BufferPool/NodeCache pattern); the request tick is one atomic.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/answer_cache.h"
+#include "core/query.h"
+#include "obs/metrics.h"
+
+namespace ir2 {
+namespace serving {
+
+// Result-cache metrics, registered once in MetricsRegistry::Global() and
+// cached here (the ServingMetrics pattern).
+struct ResultCacheMetrics {
+  obs::Counter* hits_total;           // Exact / exhaustive hits.
+  obs::Counter* near_hits_total;      // Triangle-inequality hits (p' != p).
+  obs::Counter* misses_total;         // Fell through to the planner.
+  obs::Counter* invalidations_total;  // Entries rejected for a stale epoch.
+  obs::Counter* admitted_total;       // Entries (re)filled after a miss.
+  obs::Counter* evictions_total;      // LRU evictions under capacity.
+};
+
+const ResultCacheMetrics& DefaultResultCacheMetrics();
+
+struct ResultCacheOptions {
+  // Entry capacity across all stripes; an insert past it evicts the least
+  // recently touched keyword set (entry and its EWMA state together).
+  size_t max_entries = 1024;
+  // Lock striping width (clamped to >= 1).
+  uint32_t num_stripes = 8;
+  // EWMA decay constant in request ticks: a set's frequency halves every
+  // tau * ln 2 requests of silence. Deterministic and testable — no wall
+  // clock anywhere in the policy.
+  double ewma_tau = 256.0;
+  // A keyword set is admitted (cached on its next miss) once its EWMA
+  // reaches this. The default admits on first sight; raise it to keep
+  // one-off queries from churning the LRU.
+  double admit_ewma = 0.0;
+  // Over-fetch policy: K = clamp(k * factor, k + min_overfetch,
+  // k + max_overfetch), with hot sets (EWMA >= hot_ewma) using hot_factor.
+  // A wider K costs more at fill but widens the reusable ball
+  // (r_K - dist(p, p')) for every later perturbed repeat.
+  double overfetch_factor = 2.0;
+  double hot_factor = 4.0;
+  double hot_ewma = 4.0;
+  uint32_t min_overfetch = 4;
+  uint32_t max_overfetch = 256;
+};
+
+class ResultCache : public AnswerCacheHook {
+ public:
+  explicit ResultCache(ResultCacheOptions options = ResultCacheOptions());
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // AnswerCacheHook (core/answer_cache.h). `q.keywords` must already be in
+  // canonical normalized form — the facade hoists normalization so the key
+  // and every shard leg share it.
+  bool TryServe(const DistanceFirstQuery& q, uint64_t epoch,
+                std::vector<QueryResult>* out,
+                CacheReuseCheck* check) override;
+  uint32_t OverfetchK(const DistanceFirstQuery& q) override;
+  void Admit(const DistanceFirstQuery& q, uint32_t fetched_k, uint64_t epoch,
+             std::span<const QueryResult> results) override;
+
+  // Drops every entry *and* its EWMA admission state — a full reset, used
+  // by tests and /cachez?clear-style tooling.
+  void Clear();
+
+  // Point-in-time totals for /statusz, /cachez and tests.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t near_hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+    uint64_t admitted = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0;         // Slots currently holding an answer.
+    uint64_t cached_results = 0;  // Objects held across those entries.
+    uint64_t ticks = 0;           // Requests seen (EWMA clock).
+    double HitRate() const {
+      const uint64_t total = hits + near_hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits + near_hits) /
+                              static_cast<double>(total);
+    }
+  };
+  Stats GetStats() const;
+
+  // One keyword set's row for /cachez: admission state plus the cached
+  // ball, hottest first.
+  struct EntryRow {
+    std::string key;       // Canonical keywords, space-joined.
+    double ewma = 0.0;
+    uint64_t last_tick = 0;
+    bool has_entry = false;
+    uint64_t cached_results = 0;  // K actually held.
+    double radius = 0.0;          // r_K.
+    bool exhaustive = false;
+    uint64_t epoch = 0;
+  };
+  std::vector<EntryRow> Table(size_t limit = 64) const;
+
+  const ResultCacheOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    Point center;
+    std::vector<QueryResult> objects;  // Sorted by (distance, id, ref).
+    double radius = 0.0;               // Distance of the last object.
+    bool exhaustive = false;
+    uint64_t epoch = 0;
+  };
+  struct Slot {
+    double ewma = 0.0;
+    uint64_t last_tick = 0;
+    std::unique_ptr<Entry> entry;
+    // Position in the stripe's LRU list (most recent at front).
+    std::list<std::string>::iterator lru_it;
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::list<std::string> lru;
+    std::unordered_map<std::string, Slot> slots;
+  };
+
+  // Canonical key: the (already normalized) keywords, sorted and joined.
+  static std::string Key(const std::vector<std::string>& keywords);
+  Stripe& StripeFor(const std::string& key);
+  // Finds or creates the slot, decays + bumps its EWMA at `tick`, and
+  // refreshes LRU position; evicts the coldest slot when over capacity.
+  // Caller holds stripe.mu.
+  Slot& TouchSlot(Stripe& stripe, const std::string& key, uint64_t tick);
+  double DecayedEwma(const Slot& slot, uint64_t tick) const;
+
+  ResultCacheOptions options_;
+  size_t per_stripe_capacity_ = 0;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<uint64_t> tick_{0};
+
+  // Totals (relaxed atomics; exactness across stripes is not required).
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> near_hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> invalidations_{0};
+  mutable std::atomic<uint64_t> admitted_{0};
+  mutable std::atomic<uint64_t> evictions_{0};
+};
+
+// /cachez payload renderer, split from the endpoint so the JSON shape can
+// be pinned by a byte-exact golden over constructed inputs.
+std::string RenderCachezJson(const ResultCache::Stats& stats,
+                             const std::vector<ResultCache::EntryRow>& rows,
+                             uint64_t mutation_epoch);
+
+}  // namespace serving
+}  // namespace ir2
+
+#endif  // IR2TREE_SERVING_RESULT_CACHE_H_

@@ -64,6 +64,16 @@ ServerLoop::TenantCells& ServerLoop::CellsFor(const std::string& tenant) {
             "ir2_server_rejected_quota_total", "tenant", label));
     cells.completed = registry.GetCounter(obs::MetricsRegistry::LabelledName(
         "ir2_server_completed_total", "tenant", label));
+    cells.cache_hits = registry.GetCounter(obs::MetricsRegistry::LabelledName(
+        "ir2_result_cache_hits_total", "tenant", label));
+    cells.cache_near_hits =
+        registry.GetCounter(obs::MetricsRegistry::LabelledName(
+            "ir2_result_cache_near_hits_total", "tenant", label));
+    cells.cache_misses = registry.GetCounter(obs::MetricsRegistry::LabelledName(
+        "ir2_result_cache_misses_total", "tenant", label));
+    cells.cache_invalidations =
+        registry.GetCounter(obs::MetricsRegistry::LabelledName(
+            "ir2_result_cache_invalidations_total", "tenant", label));
     it = tenants_.emplace(label, std::move(cells)).first;
   }
   return it->second;
@@ -228,6 +238,24 @@ void ServerLoop::WorkerMain() {
         TenantCells& cells = CellsFor(request.tenant);
         ++cells.row.completed;
         cells.completed->Add();
+        // Result-cache outcome of this query (the bare families are fed by
+        // the cache itself; these are the per-tenant labelled series).
+        cells.row.cache_hits += stats.result_cache_hits;
+        cells.row.cache_near_hits += stats.result_cache_near_hits;
+        cells.row.cache_misses += stats.result_cache_misses;
+        cells.row.cache_invalidations += stats.result_cache_invalidations;
+        if (stats.result_cache_hits > 0) {
+          cells.cache_hits->Add(stats.result_cache_hits);
+        }
+        if (stats.result_cache_near_hits > 0) {
+          cells.cache_near_hits->Add(stats.result_cache_near_hits);
+        }
+        if (stats.result_cache_misses > 0) {
+          cells.cache_misses->Add(stats.result_cache_misses);
+        }
+        if (stats.result_cache_invalidations > 0) {
+          cells.cache_invalidations->Add(stats.result_cache_invalidations);
+        }
       }
       if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
     }

@@ -79,6 +79,12 @@ struct TenantRow {
   uint64_t rejected_queue_full = 0;
   uint64_t rejected_quota = 0;
   uint64_t completed = 0;
+  // Semantic result-cache outcomes for this tenant's completed queries
+  // (serving/result_cache.h); all zero when the tier runs without a cache.
+  uint64_t cache_hits = 0;
+  uint64_t cache_near_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_invalidations = 0;
 };
 
 class ServerLoop {
@@ -157,6 +163,10 @@ class ServerLoop {
     obs::Counter* rejected_queue_full = nullptr;
     obs::Counter* rejected_quota = nullptr;
     obs::Counter* completed = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_near_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* cache_invalidations = nullptr;
   };
 
   void WorkerMain();

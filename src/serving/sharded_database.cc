@@ -126,9 +126,71 @@ bool ShardedDatabase::SafeForConcurrentQueries() const {
   return true;
 }
 
+void ShardedDatabase::EnableResultCache(ResultCacheOptions options) {
+  cache_ = std::make_unique<ResultCache>(options);
+}
+
+uint64_t ShardedDatabase::MutationEpoch() const {
+  uint64_t epoch = 0;
+  for (const auto& shard : shards_) epoch += shard->MutationEpoch();
+  return epoch;
+}
+
 StatusOr<std::vector<QueryResult>> ShardedDatabase::Query(
     const DistanceFirstQuery& q, Algorithm algo, QueryStats* stats) {
-  return QueryImpl(q, algo, stats, nullptr);
+  return QueryCached(q, algo, stats, nullptr, nullptr);
+}
+
+StatusOr<std::vector<QueryResult>> ShardedDatabase::QueryCached(
+    const DistanceFirstQuery& q, Algorithm algo, QueryStats* stats,
+    std::vector<ShardLeg>* legs, CacheReuseCheck* check_out) {
+  // One canonical normalization at the facade: the cache key and every
+  // shard leg share it (shard-side normalization is idempotent, so legs do
+  // no extra semantic work).
+  DistanceFirstQuery canonical = q;
+  canonical.keywords = shards_[0]->tokenizer().NormalizeKeywords(q.keywords);
+  if (cache_ == nullptr || algo != Algorithm::kAuto ||
+      canonical.area.has_value() || canonical.max_distance.has_value() ||
+      canonical.k == 0) {
+    // Fixed-algorithm, windowed, and bounded queries never consult the
+    // cache: their stats and answers are identical with the cache on or
+    // off, which the cold-regime goldens pin.
+    return QueryImpl(canonical, algo, stats, legs);
+  }
+  const uint64_t epoch = MutationEpoch();
+  CacheReuseCheck check;
+  std::vector<QueryResult> cached;
+  if (cache_->TryServe(canonical, epoch, &cached, &check)) {
+    if (stats != nullptr) {
+      if (check.exact || check.exhaustive) {
+        ++stats->result_cache_hits;
+      } else {
+        ++stats->result_cache_near_hits;
+      }
+    }
+    if (check_out != nullptr) *check_out = check;
+    return cached;
+  }
+  if (stats != nullptr) {
+    ++stats->result_cache_misses;
+    if (check.stale) ++stats->result_cache_invalidations;
+  }
+  if (check_out != nullptr) *check_out = check;
+  const uint32_t fetch_k = cache_->OverfetchK(canonical);
+  if (fetch_k <= canonical.k) {
+    return QueryImpl(canonical, algo, stats, legs);
+  }
+  // Over-fetched fill: the top-K global merge's first k entries are the
+  // plain top-k answer (one total order), and the extra K - k tail widens
+  // the reusable ball r_K - dist(p, p') for later perturbed repeats.
+  DistanceFirstQuery overfetch = canonical;
+  overfetch.k = fetch_k;
+  auto fetched = QueryImpl(overfetch, algo, stats, legs);
+  IR2_RETURN_IF_ERROR(fetched.status());
+  cache_->Admit(canonical, fetch_k, epoch, fetched.value());
+  std::vector<QueryResult> top = std::move(fetched).value();
+  if (top.size() > canonical.k) top.resize(canonical.k);
+  return top;
 }
 
 StatusOr<std::vector<QueryResult>> ShardedDatabase::QueryImpl(
@@ -257,7 +319,7 @@ StatusOr<std::vector<QueryResult>> ShardedDatabase::QueryImpl(
 StatusOr<ShardedDatabase::ExplainResult> ShardedDatabase::Explain(
     const DistanceFirstQuery& q, Algorithm algo) {
   ExplainResult out;
-  auto results = QueryImpl(q, algo, &out.stats, &out.legs);
+  auto results = QueryCached(q, algo, &out.stats, &out.legs, &out.cache_check);
   IR2_RETURN_IF_ERROR(results.status());
   out.results = std::move(results).value();
 
@@ -268,7 +330,9 @@ StatusOr<ShardedDatabase::ExplainResult> ShardedDatabase::Explain(
   obs::ExplainSection* query = report.AddSection("Sharded query");
   query->AddRow("shards", obs::FormatCount(shards_.size()));
   query->AddRow("curve", CurveKindName(sharding_.curve));
-  query->AddRow("algorithm", AlgorithmName(algo));
+  query->AddRow("algorithm", out.cache_check.hit
+                                 ? "auto -> result cache (no fan-out)"
+                                 : AlgorithmName(algo));
   query->AddRow("k", obs::FormatCount(q.k));
   std::string keywords;
   for (const std::string& keyword : q.keywords) {
@@ -276,6 +340,14 @@ StatusOr<ShardedDatabase::ExplainResult> ShardedDatabase::Explain(
     keywords += keyword;
   }
   query->AddRow("keywords", keywords);
+
+  if (cache_ != nullptr && algo == Algorithm::kAuto) {
+    AddCacheReuseSection(&report, out.cache_check);
+  }
+  if (out.cache_check.hit) {
+    // The cache answered; there was no fan-out or merge to report.
+    return out;
+  }
 
   obs::ExplainSection* fanout = report.AddSection("Shard fan-out");
   fanout->columns = {"shard", "objects",  "lower_bound", "status",

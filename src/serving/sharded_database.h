@@ -23,11 +23,13 @@
 #include <vector>
 
 #include "common/status_or.h"
+#include "core/answer_cache.h"
 #include "core/database.h"
 #include "core/planner.h"
 #include "core/query.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
+#include "serving/result_cache.h"
 #include "serving/space_filling.h"
 
 namespace ir2 {
@@ -128,10 +130,25 @@ class ShardedDatabase {
     obs::ExplainReport report;
     QueryStats stats;
     std::vector<QueryResult> results;
-    std::vector<ShardLeg> legs;
+    std::vector<ShardLeg> legs;  // Empty when the result cache served.
+    CacheReuseCheck cache_check;
   };
   StatusOr<ExplainResult> Explain(const DistanceFirstQuery& q,
                                   Algorithm algo = Algorithm::kAuto);
+
+  // Semantic result cache (serving/result_cache.h), installed *above* the
+  // scatter-gather so a hit skips every shard leg. Only kAuto point top-k
+  // queries consult it; fixed-algorithm Query() calls bypass it by
+  // construction, which is what keeps the cold-regime QueryStats goldens
+  // byte-identical whether or not a cache is enabled.
+  void EnableResultCache(ResultCacheOptions options = ResultCacheOptions());
+  void DisableResultCache() { cache_.reset(); }
+  ResultCache* result_cache() const { return cache_.get(); }
+
+  // Sum of every shard's tree mutation epoch (core RTreeBase version
+  // counters). Captured before a cache fill and compared on every cache
+  // read, so Insert/Delete anywhere in the tier invalidates cached answers.
+  uint64_t MutationEpoch() const;
 
   size_t num_shards() const { return shards_.size(); }
   SpatialKeywordDatabase* shard(size_t i) { return shards_[i].get(); }
@@ -148,10 +165,20 @@ class ShardedDatabase {
                                                Algorithm algo,
                                                QueryStats* stats,
                                                std::vector<ShardLeg>* legs);
+  // Query() with the result cache consulted above the scatter-gather:
+  // normalizes keywords once at the facade (the cache key and every shard
+  // leg share the canonical form), tries the cache, and on a miss runs the
+  // over-fetched QueryImpl and admits the answer.
+  StatusOr<std::vector<QueryResult>> QueryCached(const DistanceFirstQuery& q,
+                                                 Algorithm algo,
+                                                 QueryStats* stats,
+                                                 std::vector<ShardLeg>* legs,
+                                                 CacheReuseCheck* check_out);
 
   ShardingOptions sharding_;
   std::vector<std::unique_ptr<SpatialKeywordDatabase>> shards_;
   std::vector<ShardInfo> info_;
+  std::unique_ptr<ResultCache> cache_;
 };
 
 }  // namespace serving

@@ -1,0 +1,569 @@
+#include "serving/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/database.h"
+#include "datagen/workload.h"
+#include "serving/server_loop.h"
+#include "serving/sharded_database.h"
+#include "tests/test_util.h"
+
+namespace ir2 {
+namespace {
+
+using serving::RenderCachezJson;
+using serving::ResultCache;
+using serving::ResultCacheOptions;
+using serving::ServerLoop;
+using serving::ServerLoopOptions;
+using serving::ShardedDatabase;
+using serving::ShardingOptions;
+using testing_util::RandomObjects;
+
+// ---------------------------------------------------------------- helpers
+
+QueryResult MakeResult(uint32_t id, double x, double y, const Point& from) {
+  QueryResult r;
+  r.ref = id;
+  r.object_id = id;
+  r.location = Point(x, y);
+  r.distance = Rect::ForPoint(from).MinDist(r.location);
+  r.score = -r.distance;
+  return r;
+}
+
+DistanceFirstQuery MakeQuery(double x, double y, uint32_t k,
+                             std::vector<std::string> keywords) {
+  DistanceFirstQuery q;
+  q.point = Point(x, y);
+  q.k = k;
+  q.keywords = std::move(keywords);
+  return q;
+}
+
+// A line of four objects east of the origin: distances 1, 2, 3, 4 from
+// p = (0, 0). Admitted with fetched_k == 4, the entry is NOT exhaustive and
+// its covering radius r_K is exactly 4.
+void AdmitLineEntry(ResultCache* cache, uint64_t epoch) {
+  const DistanceFirstQuery fill = MakeQuery(0, 0, 2, {"w"});
+  const Point p = fill.point;
+  std::vector<QueryResult> results = {
+      MakeResult(1, 1, 0, p), MakeResult(2, 2, 0, p), MakeResult(3, 3, 0, p),
+      MakeResult(4, 4, 0, p)};
+  cache->Admit(fill, /*fetched_k=*/4, epoch, results);
+}
+
+// ------------------------------------------------------------- unit tests
+
+TEST(ResultCacheTest, ExactRepeatServesVerbatimPrefix) {
+  ResultCache cache;
+  AdmitLineEntry(&cache, /*epoch=*/7);
+
+  CacheReuseCheck check;
+  std::vector<QueryResult> out;
+  DistanceFirstQuery q = MakeQuery(0, 0, 3, {"w"});
+  ASSERT_TRUE(cache.TryServe(q, /*epoch=*/7, &out, &check));
+  EXPECT_TRUE(check.exact);
+  EXPECT_FALSE(check.exhaustive);
+  EXPECT_EQ(check.center_shift, 0.0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].object_id, 1u);
+  EXPECT_EQ(out[1].object_id, 2u);
+  EXPECT_EQ(out[2].object_id, 3u);
+  // Stored distances come back bit-for-bit — no recomputation on the exact
+  // path.
+  EXPECT_EQ(out[0].distance, 1.0);
+  EXPECT_EQ(out[2].distance, 3.0);
+
+  const ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.near_hits, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.cached_results, 4u);
+}
+
+TEST(ResultCacheTest, TriangleInequalityHitIsStrict) {
+  ResultCache cache;
+  AdmitLineEntry(&cache, /*epoch=*/1);
+
+  // p' = (1, 0): shift = 1, re-ranked distances 0, 1, 2, 3; r_K = 4.
+  // k' = 2: d'_2 = 1 < r_K - shift = 3  -> provable, near hit.
+  {
+    CacheReuseCheck check;
+    std::vector<QueryResult> out;
+    DistanceFirstQuery q = MakeQuery(1, 0, 2, {"w"});
+    ASSERT_TRUE(cache.TryServe(q, 1, &out, &check));
+    EXPECT_TRUE(check.hit);
+    EXPECT_FALSE(check.exact);
+    EXPECT_EQ(check.center_shift, 1.0);
+    EXPECT_EQ(check.kth_distance, 1.0);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].object_id, 1u);
+    EXPECT_EQ(out[0].distance, 0.0);
+    EXPECT_EQ(out[1].object_id, 2u);
+    EXPECT_EQ(out[1].distance, 1.0);
+  }
+
+  // k' = 4: d'_4 = 3 == r_K - shift = 3. The inequality is strict — an
+  // object tied at exactly r_K may have lost the K-th slot on object id and
+  // be missing from the entry — so this MUST fall through to the planner.
+  {
+    CacheReuseCheck check;
+    std::vector<QueryResult> out;
+    DistanceFirstQuery q = MakeQuery(1, 0, 4, {"w"});
+    EXPECT_FALSE(cache.TryServe(q, 1, &out, &check));
+    EXPECT_TRUE(check.attempted);
+    EXPECT_FALSE(check.hit);
+    EXPECT_EQ(check.kth_distance, 3.0);
+  }
+
+  const ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.near_hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ResultCacheTest, ExhaustiveEntryServesAnyPerturbation) {
+  ResultCache cache;
+  const DistanceFirstQuery fill = MakeQuery(0, 0, 2, {"rare"});
+  const Point p = fill.point;
+  // Three results against fetched_k = 6: the database holds only three
+  // matches, so the entry is the complete match set.
+  std::vector<QueryResult> results = {
+      MakeResult(1, 1, 0, p), MakeResult(2, 2, 0, p), MakeResult(3, 3, 0, p)};
+  cache.Admit(fill, /*fetched_k=*/6, /*epoch=*/0, results);
+
+  // A far-away query point with k' > cached results: still exact — re-rank
+  // the complete match set and return all of it.
+  CacheReuseCheck check;
+  std::vector<QueryResult> out;
+  DistanceFirstQuery q = MakeQuery(100, 100, 10, {"rare"});
+  ASSERT_TRUE(cache.TryServe(q, 0, &out, &check));
+  EXPECT_TRUE(check.exhaustive);
+  ASSERT_EQ(out.size(), 3u);
+  // Re-ranked: object 3 at (3,0) is now nearest to (100,100).
+  EXPECT_EQ(out[0].object_id, 3u);
+  EXPECT_EQ(out[0].distance, Distance(Point(3, 0), Point(100, 100)));
+  EXPECT_EQ(cache.GetStats().hits, 1u);
+}
+
+TEST(ResultCacheTest, ZeroMatchEntryIsExhaustive) {
+  ResultCache cache;
+  const DistanceFirstQuery fill = MakeQuery(0, 0, 2, {"nosuchword"});
+  cache.Admit(fill, /*fetched_k=*/6, /*epoch=*/0, {});
+
+  std::vector<QueryResult> out;
+  DistanceFirstQuery q = MakeQuery(50, 50, 5, {"nosuchword"});
+  ASSERT_TRUE(cache.TryServe(q, 0, &out, nullptr));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ResultCacheTest, StaleEpochInvalidatesAndDropsTheEntry) {
+  ResultCache cache;
+  AdmitLineEntry(&cache, /*epoch=*/3);
+
+  CacheReuseCheck check;
+  std::vector<QueryResult> out;
+  DistanceFirstQuery q = MakeQuery(0, 0, 2, {"w"});
+  // The tier mutated: epoch 3 -> 4. The entry must be rejected and dropped.
+  EXPECT_FALSE(cache.TryServe(q, /*epoch=*/4, &out, &check));
+  EXPECT_TRUE(check.stale);
+  EXPECT_EQ(cache.GetStats().invalidations, 1u);
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+
+  // The drop is permanent: a retry at the old epoch finds nothing either.
+  CacheReuseCheck again;
+  EXPECT_FALSE(cache.TryServe(q, /*epoch=*/3, &out, &again));
+  EXPECT_FALSE(again.attempted);
+}
+
+TEST(ResultCacheTest, KeyIsTheSortedKeywordMultiset) {
+  ResultCache cache;
+  const Point p(0, 0);
+  std::vector<QueryResult> results = {MakeResult(1, 1, 0, p)};
+  cache.Admit(MakeQuery(0, 0, 1, {"pool", "internet"}), 6, 0, results);
+
+  // Same set, different order: same entry.
+  std::vector<QueryResult> out;
+  ASSERT_TRUE(cache.TryServe(MakeQuery(0, 0, 1, {"internet", "pool"}), 0,
+                             &out, nullptr));
+  // Different set: no entry.
+  EXPECT_FALSE(
+      cache.TryServe(MakeQuery(0, 0, 1, {"internet"}), 0, &out, nullptr));
+}
+
+TEST(ResultCacheTest, OverfetchPolicyScalesWithFrequency) {
+  ResultCacheOptions options;
+  options.overfetch_factor = 2.0;
+  options.hot_factor = 4.0;
+  options.hot_ewma = 4.0;
+  options.min_overfetch = 4;
+  options.max_overfetch = 32;
+  ResultCache cache(options);
+
+  DistanceFirstQuery q = MakeQuery(0, 0, 10, {"w"});
+  std::vector<QueryResult> out;
+  // Cold set: factor 2 -> K = 20.
+  cache.TryServe(q, 0, &out, nullptr);
+  EXPECT_EQ(cache.OverfetchK(q), 20u);
+  // min_overfetch floors small k so exact repeats always over-fetch.
+  DistanceFirstQuery tiny = MakeQuery(0, 0, 1, {"w"});
+  EXPECT_EQ(cache.OverfetchK(tiny), 5u);
+  // Hammer the set hot (EWMA >= 4): factor 4 -> K = min(40, k + 32) = 40.
+  for (int i = 0; i < 8; ++i) cache.TryServe(q, 0, &out, nullptr);
+  EXPECT_EQ(cache.OverfetchK(q), 40u);
+  // max_overfetch caps the ball: k = 30 hot would be 120, capped to 62.
+  DistanceFirstQuery big = MakeQuery(0, 0, 30, {"w"});
+  EXPECT_EQ(cache.OverfetchK(big), 62u);
+}
+
+TEST(ResultCacheTest, AdmitEwmaThresholdDeclinesColdSets) {
+  ResultCacheOptions options;
+  options.admit_ewma = 1.5;  // Needs to be seen ~twice before caching.
+  ResultCache cache(options);
+
+  DistanceFirstQuery q = MakeQuery(0, 0, 5, {"w"});
+  std::vector<QueryResult> out;
+  cache.TryServe(q, 0, &out, nullptr);  // First sight: EWMA ~= 1.
+  EXPECT_EQ(cache.OverfetchK(q), 0u);   // Too cold — do not cache.
+  cache.TryServe(q, 0, &out, nullptr);  // Second sight: EWMA ~= 2.
+  EXPECT_GT(cache.OverfetchK(q), q.k);
+}
+
+TEST(ResultCacheTest, GatedQueriesNeverTouchTheCache) {
+  ResultCache cache;
+  AdmitLineEntry(&cache, 0);
+  std::vector<QueryResult> out;
+
+  DistanceFirstQuery area = MakeQuery(0, 0, 2, {"w"});
+  area.area = Rect(Point(0, 0), Point(1, 1));
+  EXPECT_FALSE(cache.TryServe(area, 0, &out, nullptr));
+  EXPECT_EQ(cache.OverfetchK(area), 0u);
+
+  DistanceFirstQuery bounded = MakeQuery(0, 0, 2, {"w"});
+  bounded.max_distance = 10.0;
+  EXPECT_FALSE(cache.TryServe(bounded, 0, &out, nullptr));
+  EXPECT_EQ(cache.OverfetchK(bounded), 0u);
+  // A bounded over-fetch could truncate below K and record an uncovered
+  // radius; Admit refuses it outright.
+  cache.Admit(bounded, 6, 0, {});
+  EXPECT_EQ(cache.GetStats().admitted, 1u);  // Only the line entry.
+}
+
+TEST(ResultCacheTest, LruEvictsTheColdestKeywordSet) {
+  ResultCacheOptions options;
+  options.max_entries = 2;
+  options.num_stripes = 1;
+  ResultCache cache(options);
+
+  const Point p(0, 0);
+  std::vector<QueryResult> one = {MakeResult(1, 1, 0, p)};
+  std::vector<QueryResult> out;
+  cache.TryServe(MakeQuery(0, 0, 1, {"a"}), 0, &out, nullptr);
+  cache.Admit(MakeQuery(0, 0, 1, {"a"}), 6, 0, one);
+  cache.TryServe(MakeQuery(0, 0, 1, {"b"}), 0, &out, nullptr);
+  cache.Admit(MakeQuery(0, 0, 1, {"b"}), 6, 0, one);
+  // Touch "a" so "b" is the LRU victim when "c" arrives.
+  ASSERT_TRUE(cache.TryServe(MakeQuery(0, 0, 1, {"a"}), 0, &out, nullptr));
+  cache.TryServe(MakeQuery(0, 0, 1, {"c"}), 0, &out, nullptr);
+  cache.Admit(MakeQuery(0, 0, 1, {"c"}), 6, 0, one);
+
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+  EXPECT_TRUE(cache.TryServe(MakeQuery(0, 0, 1, {"a"}), 0, &out, nullptr));
+  EXPECT_TRUE(cache.TryServe(MakeQuery(0, 0, 1, {"c"}), 0, &out, nullptr));
+  EXPECT_FALSE(cache.TryServe(MakeQuery(0, 0, 1, {"b"}), 0, &out, nullptr));
+}
+
+TEST(ResultCacheTest, ClearDropsEntriesAndAdmissionState) {
+  ResultCache cache;
+  AdmitLineEntry(&cache, 0);
+  ASSERT_EQ(cache.GetStats().entries, 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+  EXPECT_TRUE(cache.Table().empty());
+}
+
+TEST(ResultCacheTest, TableListsHottestFirst) {
+  ResultCache cache;
+  std::vector<QueryResult> out;
+  DistanceFirstQuery hot = MakeQuery(0, 0, 1, {"hot"});
+  DistanceFirstQuery cold = MakeQuery(0, 0, 1, {"cold", "set"});
+  cache.TryServe(cold, 0, &out, nullptr);
+  for (int i = 0; i < 4; ++i) cache.TryServe(hot, 0, &out, nullptr);
+  const Point p(0, 0);
+  std::vector<QueryResult> one = {MakeResult(1, 1, 0, p)};
+  cache.Admit(hot, 5, 0, one);
+
+  auto rows = cache.Table();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].key, "hot");
+  EXPECT_TRUE(rows[0].has_entry);
+  EXPECT_EQ(rows[0].cached_results, 1u);
+  EXPECT_EQ(rows[1].key, "cold set");  // Display form is space-joined.
+  EXPECT_FALSE(rows[1].has_entry);
+}
+
+TEST(ResultCacheTest, CachezJsonGolden) {
+  ResultCache::Stats stats;
+  stats.hits = 3;
+  stats.near_hits = 1;
+  stats.misses = 4;
+  stats.invalidations = 1;
+  stats.admitted = 2;
+  stats.evictions = 0;
+  stats.entries = 1;
+  stats.cached_results = 20;
+  stats.ticks = 8;
+  ResultCache::EntryRow row;
+  row.key = "pool wifi";
+  row.ewma = 2.5;
+  row.last_tick = 8;
+  row.has_entry = true;
+  row.cached_results = 20;
+  row.radius = 12.25;
+  row.exhaustive = false;
+  row.epoch = 6;
+  const std::string expected =
+      "{\"result_cache\":{\"entries\":1,\"cached_results\":20,\"hits\":3,"
+      "\"near_hits\":1,\"misses\":4,\"invalidations\":1,\"admitted\":2,"
+      "\"evictions\":0,\"requests\":8,\"hit_rate\":0.5,\"mutation_epoch\":9,"
+      "\"keyword_sets\":[{\"keywords\":\"pool wifi\",\"ewma\":2.5,"
+      "\"last_tick\":8,\"cached\":true,\"cached_results\":20,"
+      "\"radius\":12.25,\"exhaustive\":false,\"epoch\":6}]}}";
+  EXPECT_EQ(RenderCachezJson(stats, {row}, /*mutation_epoch=*/9), expected);
+}
+
+// ------------------------------------------------- single-database hook
+
+TEST(DatabaseResultCacheTest, QueryAutoConsultsTheHook) {
+  std::vector<StoredObject> objects = RandomObjects(5, 200, 30, 5);
+  DatabaseOptions options;
+  options.ir2_signature = SignatureConfig{256, 3};
+  options.cold_queries = false;
+  auto db = SpatialKeywordDatabase::Build(objects, options).value();
+
+  serving::ResultCache cache;
+  db->SetResultCache(&cache);
+
+  DistanceFirstQuery q;
+  q.point = Point(500, 500);
+  q.keywords = {"w1"};
+  q.k = 5;
+
+  QueryStats miss_stats;
+  auto first = db->QueryAuto(q, &miss_stats);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(miss_stats.result_cache_misses, 1u);
+  EXPECT_EQ(miss_stats.result_cache_hits, 0u);
+
+  QueryStats hit_stats;
+  auto second = db->QueryAuto(q, &hit_stats);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(hit_stats.result_cache_hits, 1u);
+  // The hit does not touch the planner or the trees.
+  EXPECT_EQ(hit_stats.nodes_visited, 0u);
+  EXPECT_EQ(hit_stats.objects_loaded, 0u);
+  ASSERT_EQ(second.value().size(), first.value().size());
+  for (size_t i = 0; i < first.value().size(); ++i) {
+    EXPECT_EQ(second.value()[i].object_id, first.value()[i].object_id);
+    EXPECT_EQ(second.value()[i].distance, first.value()[i].distance);
+  }
+
+  // EXPLAIN surfaces the reuse decision with the inequality's numbers.
+  auto explain = db->Explain(q, Algorithm::kAuto);
+  ASSERT_TRUE(explain.ok());
+  const std::string report = explain.value().report.ToString();
+  EXPECT_NE(report.find("Result cache"), std::string::npos);
+  EXPECT_NE(report.find("verdict"), std::string::npos);
+
+  db->SetResultCache(nullptr);  // Detach before the cache dies.
+}
+
+// ---------------------------------------------- sharded integration/fuzz
+
+class ShardedResultCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    objects_ = RandomObjects(7, 400, 40, 5);
+    DatabaseOptions options;
+    options.ir2_signature = SignatureConfig{256, 3};
+    options.cold_queries = false;
+    single_ = SpatialKeywordDatabase::Build(objects_, options).value();
+    ShardingOptions sharding;
+    sharding.num_shards = 4;
+    sharded_ = ShardedDatabase::Build(objects_, options, sharding).value();
+    sharded_->EnableResultCache();
+
+    WorkloadConfig one_kw;
+    one_kw.seed = 3;
+    one_kw.num_queries = 4;
+    one_kw.num_keywords = 1;  // ~60 matches: exercises the inequality path.
+    WorkloadConfig two_kw = one_kw;
+    two_kw.seed = 4;
+    two_kw.num_keywords = 2;  // ~7 matches: exercises exhaustive entries.
+    templates_ = GenerateWorkload(objects_, single_->tokenizer(), one_kw);
+    auto more = GenerateWorkload(objects_, single_->tokenizer(), two_kw);
+    templates_.insert(templates_.end(), more.begin(), more.end());
+    ASSERT_FALSE(templates_.empty());
+  }
+
+  std::vector<QueryResult> Oracle(const DistanceFirstQuery& q) {
+    std::vector<QueryResult> expected = single_->Query(q, Algorithm::kIr2).value();
+    std::sort(expected.begin(), expected.end(),
+              [](const QueryResult& a, const QueryResult& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.object_id < b.object_id;
+              });
+    return expected;
+  }
+
+  std::vector<StoredObject> objects_;
+  std::unique_ptr<SpatialKeywordDatabase> single_;
+  std::unique_ptr<ShardedDatabase> sharded_;
+  std::vector<DistanceFirstQuery> templates_;
+};
+
+TEST_F(ShardedResultCacheTest, FuzzCachedAnswersEqualPlannerAnswers) {
+  // 1000 random (p', k') perturbations of a small template pool: every
+  // cached answer must match the uncached planner answer bit-for-bit
+  // (object ids AND distances), across misses, exact repeats, inequality
+  // hits, and exhaustive-entry hits.
+  Rng rng(99);
+  QueryStats totals;
+  for (int i = 0; i < 1000; ++i) {
+    DistanceFirstQuery q = templates_[rng.NextUint64(templates_.size())];
+    q.point = Point(q.point.coords()[0] + rng.NextDouble(-40, 40),
+                    q.point.coords()[1] + rng.NextDouble(-40, 40));
+    q.k = static_cast<uint32_t>(1 + rng.NextUint64(15));
+    auto served = sharded_->Query(q, Algorithm::kAuto, &totals);
+    ASSERT_TRUE(served.ok());
+    std::vector<QueryResult> expected = Oracle(q);
+    ASSERT_EQ(served.value().size(), expected.size()) << "iteration " << i;
+    for (size_t r = 0; r < expected.size(); ++r) {
+      ASSERT_EQ(served.value()[r].object_id, expected[r].object_id)
+          << "iteration " << i << " result " << r;
+      ASSERT_EQ(served.value()[r].distance, expected[r].distance)
+          << "iteration " << i << " result " << r;
+    }
+  }
+  // The workload is hot enough that the cache must actually engage, and
+  // the per-query stats must agree with the cache's own totals.
+  const ResultCache::Stats stats = sharded_->result_cache()->GetStats();
+  EXPECT_GT(stats.hits + stats.near_hits, 0u);
+  EXPECT_EQ(totals.result_cache_hits, stats.hits);
+  EXPECT_EQ(totals.result_cache_near_hits, stats.near_hits);
+  EXPECT_EQ(totals.result_cache_misses, stats.misses);
+}
+
+TEST_F(ShardedResultCacheTest, MutationBumpsEpochAndInvalidates) {
+  DistanceFirstQuery q = templates_.front();
+  q.k = 5;
+  QueryStats stats;
+  ASSERT_TRUE(sharded_->Query(q, Algorithm::kAuto, &stats).ok());  // Fill.
+  ASSERT_TRUE(sharded_->Query(q, Algorithm::kAuto, &stats).ok());  // Hit.
+  ASSERT_EQ(stats.result_cache_hits, 1u);
+
+  // Answer-preserving mutation: delete one object from shard 0's baseline
+  // R-tree and re-insert the identical entry. Both operations store nodes,
+  // so the tier's mutation epoch moves; the answer does not.
+  const uint64_t before = sharded_->MutationEpoch();
+  auto probe = sharded_->shard(0)->QueryRTree(MakeQuery(0, 0, 1, {}));
+  ASSERT_TRUE(probe.ok());
+  ASSERT_FALSE(probe.value().empty());
+  const QueryResult victim = probe.value().front();
+  const Rect rect = Rect::ForPoint(victim.location);
+  ASSERT_TRUE(sharded_->shard(0)->rtree()->Delete(victim.ref, rect).value());
+  ASSERT_TRUE(sharded_->shard(0)->rtree()->Insert(victim.ref, rect).ok());
+  EXPECT_GT(sharded_->MutationEpoch(), before);
+
+  // The cached entry was filled under the old epoch: rejected, recounted,
+  // refilled — and the refilled answer still matches the oracle.
+  QueryStats after;
+  auto refilled = sharded_->Query(q, Algorithm::kAuto, &after);
+  ASSERT_TRUE(refilled.ok());
+  EXPECT_EQ(after.result_cache_invalidations, 1u);
+  EXPECT_EQ(after.result_cache_misses, 1u);
+  std::vector<QueryResult> expected = Oracle(q);
+  ASSERT_EQ(refilled.value().size(), expected.size());
+  for (size_t r = 0; r < expected.size(); ++r) {
+    EXPECT_EQ(refilled.value()[r].object_id, expected[r].object_id);
+  }
+
+  QueryStats hit_again;
+  ASSERT_TRUE(sharded_->Query(q, Algorithm::kAuto, &hit_again).ok());
+  EXPECT_EQ(hit_again.result_cache_hits, 1u);
+}
+
+TEST_F(ShardedResultCacheTest, FixedAlgorithmQueriesBypassTheCache) {
+  DistanceFirstQuery q = templates_.front();
+  q.k = 5;
+  QueryStats stats;
+  ASSERT_TRUE(sharded_->Query(q, Algorithm::kIr2, &stats).ok());
+  ASSERT_TRUE(sharded_->Query(q, Algorithm::kIr2, &stats).ok());
+  EXPECT_EQ(stats.result_cache_hits + stats.result_cache_near_hits +
+                stats.result_cache_misses,
+            0u);
+  EXPECT_EQ(sharded_->result_cache()->GetStats().ticks, 0u);
+}
+
+TEST_F(ShardedResultCacheTest, ExplainShowsTheReuseProof) {
+  DistanceFirstQuery q = templates_.front();
+  q.k = 5;
+  ASSERT_TRUE(sharded_->Query(q, Algorithm::kAuto).ok());  // Fill.
+  auto explain = sharded_->Explain(q, Algorithm::kAuto);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_TRUE(explain.value().cache_check.hit);
+  EXPECT_TRUE(explain.value().legs.empty());  // No fan-out on a hit.
+  const std::string report = explain.value().report.ToString();
+  EXPECT_NE(report.find("Result cache"), std::string::npos);
+  EXPECT_NE(report.find("result cache (no fan-out)"), std::string::npos);
+  EXPECT_EQ(report.find("Shard fan-out"), std::string::npos);
+}
+
+TEST_F(ShardedResultCacheTest, ConcurrentServerLoopHammer) {
+  // TSan target: four workers racing repeated hot queries through the
+  // striped cache — lookups, fills, evictions, and the EWMA tick all
+  // exercised concurrently. Answers must still match the oracle.
+  ServerLoopOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 512;
+  ServerLoop loop(sharded_.get(), options);
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 256; ++i) {
+    DistanceFirstQuery q = templates_[i % templates_.size()];
+    q.k = 5;
+    std::vector<QueryResult> expected = Oracle(q);
+    loop.Submit("hammer",
+                q, [expected, &mismatches, &completed](
+                       StatusOr<std::vector<QueryResult>> got,
+                       const QueryStats&) {
+                  ++completed;
+                  if (!got.ok() || got.value().size() != expected.size()) {
+                    ++mismatches;
+                    return;
+                  }
+                  for (size_t r = 0; r < expected.size(); ++r) {
+                    if (got.value()[r].object_id != expected[r].object_id ||
+                        got.value()[r].distance != expected[r].distance) {
+                      ++mismatches;
+                    }
+                  }
+                });
+  }
+  loop.Drain();
+  loop.Stop();
+  EXPECT_EQ(completed.load(), 256);
+  EXPECT_EQ(mismatches.load(), 0);
+  const ResultCache::Stats stats = sharded_->result_cache()->GetStats();
+  EXPECT_GT(stats.hits + stats.near_hits, 0u);
+}
+
+}  // namespace
+}  // namespace ir2

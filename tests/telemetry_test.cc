@@ -253,6 +253,10 @@ TEST(StatusJsonTest, ShapeGolden) {
   row.rejected_queue_full = 1;
   row.rejected_quota = 0;
   row.completed = 4;
+  row.cache_hits = 2;
+  row.cache_near_hits = 1;
+  row.cache_misses = 1;
+  row.cache_invalidations = 0;
   snapshot.tenants.push_back(row);
   snapshot.latency.count = 4;
   snapshot.latency.sum = 10.0;
@@ -278,20 +282,42 @@ TEST(StatusJsonTest, ShapeGolden) {
   shard.hi_y = 1.0;
   snapshot.shards.push_back(shard);
 
-  const std::string expected =
-      "{\"uptime_seconds\":12.5,\"build\":\"test-build\",\"queue_depth\":3,"
-      "\"totals\":{\"admitted\":7,\"rejected_queue_full\":2,"
-      "\"rejected_quota\":1,\"completed\":4},"
+  const std::string tenants_and_window =
       "\"tenants\":[{\"tenant\":\"acme\",\"admitted\":5,"
-      "\"rejected_queue_full\":1,\"rejected_quota\":0,\"completed\":4}],"
+      "\"rejected_queue_full\":1,\"rejected_quota\":0,\"completed\":4,"
+      "\"cache_hits\":2,\"cache_near_hits\":1,\"cache_misses\":1,"
+      "\"cache_invalidations\":0}],"
       "\"latency_window\":{\"window_seconds\":60,\"count\":4,"
       "\"mean_ms\":2.5,\"p50_ms\":2,\"p95_ms\":3,\"p99_ms\":4},"
       "\"slo\":{\"latency_threshold_ms\":50,\"objective\":0.999,"
       "\"total_5m\":100,\"bad_5m\":1,\"burn_5m\":10,"
       "\"total_1h\":1000,\"bad_1h\":5,\"burn_1h\":5,"
-      "\"budget_remaining_1h\":0},"
+      "\"budget_remaining_1h\":0},";
+  const std::string head =
+      "{\"uptime_seconds\":12.5,\"build\":\"test-build\",\"queue_depth\":3,"
+      "\"totals\":{\"admitted\":7,\"rejected_queue_full\":2,"
+      "\"rejected_quota\":1,\"completed\":4},";
+  const std::string shards =
       "\"shards\":[{\"shard\":0,\"objects\":250,\"bounds\":[0,0,1,1]}]}";
-  EXPECT_EQ(RenderStatusJson(snapshot), expected);
+
+  // Without a cache the section renders null.
+  EXPECT_EQ(RenderStatusJson(snapshot),
+            head + tenants_and_window + "\"result_cache\":null," + shards);
+
+  snapshot.has_result_cache = true;
+  snapshot.result_cache.hits = 2;
+  snapshot.result_cache.near_hits = 1;
+  snapshot.result_cache.misses = 1;
+  snapshot.result_cache.invalidations = 0;
+  snapshot.result_cache.admitted = 1;
+  snapshot.result_cache.evictions = 0;
+  snapshot.result_cache.entries = 1;
+  EXPECT_EQ(RenderStatusJson(snapshot),
+            head + tenants_and_window +
+                "\"result_cache\":{\"entries\":1,\"hits\":2,\"near_hits\":1,"
+                "\"misses\":1,\"invalidations\":0,\"admitted\":1,"
+                "\"evictions\":0,\"hit_rate\":0.75}," +
+                shards);
 }
 
 // ------------------------------------------------------------- plan audit
